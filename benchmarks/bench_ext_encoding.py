@@ -1,0 +1,53 @@
+"""Extension: encoding width trade-off (paper §IV-B).
+
+The paper fixes M = 2 bits per label counter, calling it "a trade-off
+between space and filtering capabilities". This sweep varies M and
+measures candidate-table selectivity (average candidates per query
+vertex) and the resulting kernel cycles.
+"""
+
+from common import DEFAULT_QUERY_SIZE, RATE, bench_dataset, queries_for
+
+from repro.bench.harness import BENCH_PARAMS, run_gamma
+from repro.bench.reporting import render_table, save_artifact
+from repro.bench.workloads import holdout_workload
+from repro.filtering import CandidateTable
+from repro.matching import WBMConfig
+
+
+def run_experiment() -> str:
+    rows = []
+    for ds in ("GH", "LJ"):
+        graph = bench_dataset(ds)
+        queries = queries_for(graph, DEFAULT_QUERY_SIZE, "dense")
+        if not queries:
+            continue
+        query = queries[0]
+        g0, batch = holdout_workload(graph, RATE, mode="insert", seed=121)
+        for bits in (1, 2, 3, 4):
+            table = CandidateTable(query, g0, bits_per_label=bits)
+            sel = table.stats()
+            run = run_gamma(
+                query, g0, batch, config=WBMConfig(bits_per_label=bits)
+            )
+            code_bits = len(query.label_alphabet()) * (1 + bits)
+            rows.append(
+                [
+                    ds,
+                    bits,
+                    code_bits,
+                    f"{sel['mean']:.0f}",
+                    f"{run.model_seconds * 1e3:.3f}ms" if run.solved else "timeout",
+                ]
+            )
+    return render_table(
+        "Extension: NLF counter width M vs selectivity and latency",
+        ["DS", "M bits", "code bits K", "avg |C(u)|", "GAMMA latency"],
+        rows,
+    )
+
+
+def test_ext_encoding(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_artifact("ext_encoding_width", text)
+    assert "M bits" in text

@@ -1,0 +1,53 @@
+"""Extension: GPMA micro-benchmark — the two §V-C optimizations.
+
+Measures batch-update cost (simulated cycles) across batch sizes with
+(a) top-k segment-tree caching on/off and (b) cooperative-group
+sub-warp allocation on/off, plus the escalation/segment statistics.
+"""
+
+from common import bench_dataset
+
+from repro.bench.reporting import render_table, save_artifact
+from repro.bench.workloads import holdout_workload
+from repro.graph.updates import effective_delta
+from repro.pma import GPMAGraph
+
+
+def run_experiment() -> str:
+    graph = bench_dataset("LJ")
+    rows = []
+    for rate in (0.02, 0.05, 0.10):
+        g0, batch = holdout_workload(graph, rate, mode="insert", seed=101)
+        delta = effective_delta(g0, batch)
+        variants = [
+            ("full", dict(top_k_cached=3, cooperative_groups=True)),
+            ("no top-k cache", dict(top_k_cached=0, cooperative_groups=True)),
+            ("no coop groups", dict(top_k_cached=3, cooperative_groups=False)),
+            ("plain GPMA", dict(top_k_cached=0, cooperative_groups=False)),
+        ]
+        for name, kwargs in variants:
+            gpma = GPMAGraph.from_graph(g0, **kwargs)
+            stats = gpma.apply_delta(delta)
+            rows.append(
+                [
+                    f"{rate * 100:.0f}%",
+                    name,
+                    len(batch),
+                    f"{stats.total_cycles:.0f}",
+                    f"{stats.locate_cycles:.0f}",
+                    f"{stats.materialize_cycles:.0f}",
+                    stats.global_probes,
+                    stats.escalations,
+                ]
+            )
+    return render_table(
+        "Extension: GPMA batch-update cost (cycles) by optimization",
+        ["rate", "variant", "|ΔB|", "total", "locate", "materialize", "glob.probes", "escal."],
+        rows,
+    )
+
+
+def test_ext_gpma(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_artifact("ext_gpma_updates", text)
+    assert "plain GPMA" in text

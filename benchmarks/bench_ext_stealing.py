@@ -1,0 +1,53 @@
+"""Extension: active vs passive stealing (paper §V-A describes both).
+
+The paper adopts active stealing after arguing passive stealing causes
+thread under-utilization (busy warps must interrupt their own work to
+scan for idle siblings). This ablation measures both against no
+stealing: kernel cycles, utilization, and steal counts.
+"""
+
+from common import DEFAULT_QUERY_SIZE, RATE, bench_dataset, queries_for
+
+from repro.bench.harness import run_gamma
+from repro.bench.reporting import fmt_seconds, render_table, save_artifact
+from repro.bench.workloads import holdout_workload
+from repro.matching import WBMConfig
+
+MODES = ("off", "passive", "active")
+
+
+def run_experiment() -> str:
+    rows = []
+    for ds in ("GH", "LJ"):
+        graph = bench_dataset(ds)
+        for kind in ("dense", "tree"):
+            queries = queries_for(graph, DEFAULT_QUERY_SIZE, kind)
+            if not queries:
+                continue
+            g0, batch = holdout_workload(graph, RATE, mode="insert", seed=91)
+            for mode in MODES:
+                runs = [
+                    run_gamma(q, g0, batch, config=WBMConfig(work_stealing=mode))
+                    for q in queries
+                ]
+                solved = [r for r in runs if r.solved]
+                if not solved:
+                    rows.append([ds, kind, mode, "timeout", "-", "-"])
+                    continue
+                avg_lat = sum(r.kernel_seconds for r in solved) / len(solved)
+                avg_util = sum(r.utilization or 0 for r in solved) / len(solved)
+                steals = sum(r.steals for r in solved)
+                rows.append(
+                    [ds, kind, mode, fmt_seconds(avg_lat), f"{100 * avg_util:.1f}%", steals]
+                )
+    return render_table(
+        "Extension: work-stealing strategy comparison",
+        ["DS", "class", "strategy", "kernel latency", "utilization", "steals"],
+        rows,
+    )
+
+
+def test_ext_stealing(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_artifact("ext_stealing_strategies", text)
+    assert "passive" in text

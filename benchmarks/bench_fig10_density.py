@@ -1,0 +1,53 @@
+"""Figure 10: latency vs update-region density on LS.
+
+Insertion edges are sampled from within the k-core for k ∈ {low,
+middle, high}: denser update regions produce more incremental matches
+per update. The paper reports all methods slowing with density, with
+GAMMA accelerating relatively thanks to parallelism + load balance.
+"""
+
+from common import DEFAULT_QUERY_SIZE, RATE, bench_dataset, queries_for
+
+from repro.bench.harness import aggregate, run_baseline, run_gamma
+from repro.bench.reporting import render_table, save_artifact
+from repro.bench.workloads import holdout_workload
+from repro.graph.kcore import core_numbers
+
+ENGINES = ("GAMMA", "TF", "SYM", "RF", "CL")
+
+
+def run_experiment() -> str:
+    graph = bench_dataset("LS")
+    cores = core_numbers(graph)
+    kmax = max(cores)
+    levels = [
+        ("low", max(1, kmax // 3)),
+        ("middle", max(2, (2 * kmax) // 3)),
+        ("high", max(3, kmax - 1)),
+    ]
+    rows = []
+    for kind in ("dense", "sparse", "tree"):
+        queries = queries_for(graph, DEFAULT_QUERY_SIZE, kind)
+        if not queries:
+            continue
+        for label, k in levels:
+            g0, batch = holdout_workload(graph, RATE, mode="insert", seed=41, core_k=k)
+            cells = []
+            for engine in ENGINES:
+                if engine == "GAMMA":
+                    runs = [run_gamma(q, g0, batch) for q in queries]
+                else:
+                    runs = [run_baseline(engine, q, g0, batch) for q in queries]
+                cells.append(aggregate(runs).cell())
+            rows.append([kind, f"{label} (k={k})"] + cells)
+    return render_table(
+        "Figure 10: latency vs update-region density on LS (model seconds)",
+        ["class", "density", "GAMMA", "TF", "SYM", "RF", "CL"],
+        rows,
+    )
+
+
+def test_fig10_density(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_artifact("fig10_density", text)
+    assert "density" in text

@@ -1,0 +1,45 @@
+"""Figure 11: mixed workloads, insertions : deletions = 2 : 1 (GH, ST).
+
+Same story as the single-sign workloads: latency grows as the query
+class gets sparser; GAMMA leads across all classes.
+"""
+
+from common import DEFAULT_QUERY_SIZE, RATE, bench_dataset, queries_for
+
+from repro.bench.harness import aggregate, run_baseline, run_gamma
+from repro.bench.reporting import render_table, save_artifact
+from repro.bench.workloads import holdout_workload
+
+ENGINES = ("GAMMA", "TF", "SYM", "RF", "CL")
+
+
+def run_experiment() -> str:
+    rows = []
+    for ds in ("GH", "ST"):
+        graph = bench_dataset(ds)
+        g0, batch = holdout_workload(graph, RATE, mode="mixed", seed=51)
+        n_ins = len(batch.insertions())
+        n_del = len(batch.deletions())
+        for kind in ("dense", "sparse", "tree"):
+            queries = queries_for(graph, DEFAULT_QUERY_SIZE, kind)
+            if not queries:
+                continue
+            cells = []
+            for engine in ENGINES:
+                if engine == "GAMMA":
+                    runs = [run_gamma(q, g0, batch) for q in queries]
+                else:
+                    runs = [run_baseline(engine, q, g0, batch) for q in queries]
+                cells.append(aggregate(runs).cell())
+            rows.append([ds, kind, f"{n_ins}:{n_del}"] + cells)
+    return render_table(
+        "Figure 11: mixed workloads 2:1 (model seconds)",
+        ["DS", "class", "ins:del", "GAMMA", "TF", "SYM", "RF", "CL"],
+        rows,
+    )
+
+
+def test_fig11_mixed(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_artifact("fig11_mixed", text)
+    assert "ins:del" in text

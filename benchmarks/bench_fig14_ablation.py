@@ -1,0 +1,57 @@
+"""Figure 14: ablation study — WBM, WBM+cs, WBM+ws, WBM+cs+ws.
+
+The paper reports coalesced search worth 1.1–1.9× (more on sparse/tree
+queries whose search space it prunes) and work stealing 1.2–6.4×, with
+the full configuration fastest everywhere.
+"""
+
+from common import DATASETS, DEFAULT_QUERY_SIZE, RATE, bench_dataset, queries_for
+
+from repro.bench.harness import aggregate, run_gamma
+from repro.bench.reporting import render_table, save_artifact
+from repro.bench.workloads import holdout_workload
+from repro.matching import WBMConfig
+
+ARMS = [
+    ("WBM", WBMConfig(work_stealing="off", coalesced=False)),
+    ("WBM+cs", WBMConfig(work_stealing="off", coalesced=True)),
+    ("WBM+ws", WBMConfig(work_stealing="active", coalesced=False)),
+    ("WBM+cs+ws", WBMConfig(work_stealing="active", coalesced=True)),
+]
+
+
+def run_experiment() -> str:
+    parts = []
+    for kind in ("dense", "sparse", "tree"):
+        rows = []
+        for ds in DATASETS:
+            graph = bench_dataset(ds)
+            queries = queries_for(graph, DEFAULT_QUERY_SIZE, kind)
+            if not queries:
+                continue
+            g0, batch = holdout_workload(graph, RATE, mode="insert", seed=81)
+            cells = []
+            for _, config in ARMS:
+                runs = [run_gamma(q, g0, batch, config=config) for q in queries]
+                solved = [r for r in runs if r.solved]
+                if not solved:
+                    cells.append(f"timeout({len(runs)})")
+                    continue
+                kern = sum(r.kernel_seconds for r in solved) / len(solved)
+                suffix = f"({len(runs) - len(solved)})" if len(solved) < len(runs) else ""
+                cells.append(f"{kern:.4g}{suffix}")
+            rows.append([ds] + cells)
+        parts.append(
+            render_table(
+                f"Figure 14 ({kind} queries): ablation (kernel model seconds)",
+                ["DS"] + [name for name, _ in ARMS],
+                rows,
+            )
+        )
+    return "\n".join(parts)
+
+
+def test_fig14_ablation(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_artifact("fig14_ablation", text)
+    assert "WBM+cs+ws" in text

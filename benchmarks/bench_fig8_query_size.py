@@ -1,0 +1,50 @@
+"""Figure 8: scalability vs query graph size |V(Q)| ∈ {4..12} (GH, ST).
+
+Average latency and solved-query percentage per class for GAMMA and the
+two strongest baselines. Expected shape: latency grows and solved%
+drops with query size; the GAMMA-vs-baseline gap widens because the
+expanded search space is explored in parallel.
+"""
+
+from common import bench_dataset, queries_for, RATE
+
+from repro.bench.harness import aggregate, run_baseline, run_gamma
+from repro.bench.reporting import render_table, save_artifact
+from repro.bench.workloads import holdout_workload
+
+SIZES = (4, 6, 8, 10, 12)
+ENGINES = ("GAMMA", "RF", "SYM")
+
+
+def run_experiment() -> str:
+    rows = []
+    for ds in ("GH", "ST"):
+        graph = bench_dataset(ds)
+        g0, batch = holdout_workload(graph, RATE, mode="insert", seed=21)
+        for kind in ("dense", "sparse", "tree"):
+            for size in SIZES:
+                queries = queries_for(graph, size, kind)
+                if not queries:
+                    rows.append([ds, kind, size, "n/a", "n/a", "n/a"])
+                    continue
+                cells = []
+                for engine in ENGINES:
+                    if engine == "GAMMA":
+                        runs = [run_gamma(q, g0, batch) for q in queries]
+                    else:
+                        runs = [run_baseline(engine, q, g0, batch) for q in queries]
+                    agg = aggregate(runs)
+                    solved_pct = 100 * (agg.n_queries - agg.unsolved) / agg.n_queries
+                    cells.append(f"{agg.cell()} [{solved_pct:.0f}%]")
+                rows.append([ds, kind, size] + cells)
+    return render_table(
+        "Figure 8: latency + solved% vs |V(Q)| (model seconds)",
+        ["DS", "class", "|V(Q)|", "GAMMA", "RF", "SYM"],
+        rows,
+    )
+
+
+def test_fig8_query_size(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_artifact("fig8_query_size", text)
+    assert "|V(Q)|" in text

@@ -1,0 +1,46 @@
+"""Figure 9: scalability vs insertion rate Ir ∈ {2..10}% (GH, ST).
+
+Latency generally grows with the rate; GAMMA amortizes the larger
+batches across warps while the baselines pay per-update index
+maintenance — the gap grows with Ir.
+"""
+
+from common import DEFAULT_QUERY_SIZE, bench_dataset, queries_for
+
+from repro.bench.harness import aggregate, run_baseline, run_gamma
+from repro.bench.reporting import render_table, save_artifact
+from repro.bench.workloads import holdout_workload
+
+RATES = (0.02, 0.04, 0.06, 0.08, 0.10)
+ENGINES = ("GAMMA", "RF", "SYM")
+
+
+def run_experiment() -> str:
+    rows = []
+    for ds in ("GH", "ST"):
+        graph = bench_dataset(ds)
+        for kind in ("dense", "sparse", "tree"):
+            queries = queries_for(graph, DEFAULT_QUERY_SIZE, kind)
+            if not queries:
+                continue
+            for rate in RATES:
+                g0, batch = holdout_workload(graph, rate, mode="insert", seed=31)
+                cells = []
+                for engine in ENGINES:
+                    if engine == "GAMMA":
+                        runs = [run_gamma(q, g0, batch) for q in queries]
+                    else:
+                        runs = [run_baseline(engine, q, g0, batch) for q in queries]
+                    cells.append(aggregate(runs).cell())
+                rows.append([ds, kind, f"{rate * 100:.0f}%", len(batch)] + cells)
+    return render_table(
+        "Figure 9: latency vs insertion rate (model seconds)",
+        ["DS", "class", "Ir", "|ΔB|", "GAMMA", "RF", "SYM"],
+        rows,
+    )
+
+
+def test_fig9_insertion_rate(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_artifact("fig9_insertion_rate", text)
+    assert "Ir" in text

@@ -1,0 +1,55 @@
+"""Table III: overall performance compared with baselines.
+
+For every dataset × query class: average query latency (model seconds)
+and unsolved counts for GAMMA vs TF / SYM / RF / CL, at the default
+|V(Q)| = 6 and 10% insertion batches.
+
+Expected shape (paper): GAMMA best or tied nearly everywhere, the gap
+widening from dense to sparse to tree; RF the strongest baseline; CL
+collapsing on the edge-labeled NF/LS.
+"""
+
+from common import (
+    BASELINE_NAMES,
+    DATASETS,
+    DEFAULT_QUERY_SIZE,
+    RATE,
+    bench_dataset,
+    queries_for,
+)
+
+from repro.bench.harness import aggregate, run_baseline, run_gamma
+from repro.bench.reporting import fmt_seconds, render_table, save_artifact
+from repro.bench.workloads import holdout_workload
+
+
+def run_experiment() -> str:
+    rows = []
+    for ds in DATASETS:
+        graph = bench_dataset(ds)
+        for kind in ("dense", "sparse", "tree"):
+            queries = queries_for(graph, DEFAULT_QUERY_SIZE, kind)
+            if not queries:
+                rows.append([kind, ds, "n/a", "-", "-", "-", "-"])
+                continue
+            g0, batch = holdout_workload(graph, RATE, mode="insert", seed=11)
+            cells = {}
+            gamma_runs = [run_gamma(q, g0, batch) for q in queries]
+            cells["GAMMA"] = aggregate(gamma_runs).cell()
+            for name in BASELINE_NAMES:
+                runs = [run_baseline(name, q, g0, batch) for q in queries]
+                cells[name] = aggregate(runs).cell()
+            rows.append(
+                [kind, ds, cells["TF"], cells["SYM"], cells["RF"], cells["CL"], cells["GAMMA"]]
+            )
+    return render_table(
+        "Table III: overall performance (avg model-seconds latency, (n) = unsolved)",
+        ["QS", "DS", "TF", "SYM", "RF", "CL", "GAMMA"],
+        rows,
+    )
+
+
+def test_table3_overall(benchmark):
+    text = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    save_artifact("table3_overall", text)
+    assert "GAMMA" in text

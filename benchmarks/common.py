@@ -1,0 +1,54 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper on the
+scale-down datasets. Environment knobs:
+
+* ``REPRO_BENCH_SCALE``   — dataset scale factor (default 0.35);
+* ``REPRO_BENCH_QUERIES`` — queries per (dataset, class) cell (default 1;
+  the paper uses 50 — raise this for a fuller run);
+* ``REPRO_BENCH_RATE``    — default insertion/deletion rate (default 0.10,
+  the paper's default batch size).
+
+Artifacts land in ``benchmarks/out/*.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.workloads import extract_query  # noqa: E402
+from repro.errors import BenchmarkError  # noqa: E402
+from repro.graph import load_dataset  # noqa: E402
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+N_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "1"))
+RATE = float(os.environ.get("REPRO_BENCH_RATE", "0.10"))
+
+DATASETS = ("GH", "ST", "AZ", "LJ", "NF", "LS")
+QUERY_KINDS = ("dense", "sparse", "tree")
+BASELINE_NAMES = ("TF", "SYM", "RF", "CL")
+DEFAULT_QUERY_SIZE = 6  # the paper's default |V(Q)|
+
+
+def bench_dataset(name: str):
+    return load_dataset(name, scale=BENCH_SCALE)
+
+
+def queries_for(graph, size: int, kind: str, count: int = N_QUERIES, seed: int = 7):
+    """Up to ``count`` queries of one class; skips seeds the graph
+    cannot satisfy (e.g. large dense queries on NF)."""
+    out = []
+    attempt = 0
+    while len(out) < count and attempt < count * 5:
+        try:
+            out.append(extract_query(graph, size, kind, seed=seed + attempt))
+        except BenchmarkError:
+            pass
+        attempt += 1
+    return out

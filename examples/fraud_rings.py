@@ -1,0 +1,108 @@
+"""Fraud-ring detection on a streaming transaction graph.
+
+The paper motivates BDSM with "identifying patterns of malicious
+activity" over batch-updated graph databases. This example builds an
+e-commerce interaction graph (buyers, sellers, devices) and watches for
+a *collusion ring*: two buyer accounts sharing one device, both
+transacting with the same seller — a diamond with a device pendant:
+
+        buyer1 ──── seller            labels: buyer  (B)
+        │    \\        │                       seller (S)
+      device  ╲_______│                       device (D)
+        │             │               edges: transaction / same-device
+        buyer2 ───────┘
+
+Transactions arrive in batches; GAMMA reports each ring the moment the
+closing edge lands, and the collector maintains the live ring set.
+
+Run:
+    python examples/fraud_rings.py
+"""
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import GammaSystem, LabeledGraph, UpdateBatch, UpdateOp, WBMConfig
+
+BUYER, SELLER, DEVICE = 0, 1, 2
+TXN, SHARES = 0, 1  # edge labels: transaction vs device-sharing
+
+
+def ring_query() -> LabeledGraph:
+    """buyer1/buyer2 share a device and both hit the same seller."""
+    q = LabeledGraph([BUYER, BUYER, SELLER, DEVICE])
+    q.add_edge(0, 2, TXN)  # buyer1 -> seller
+    q.add_edge(1, 2, TXN)  # buyer2 -> seller
+    q.add_edge(0, 3, SHARES)  # buyer1 -> device
+    q.add_edge(1, 3, SHARES)  # buyer2 -> device
+    return q
+
+
+def build_marketplace(n_buyers=120, n_sellers=25, n_devices=60, seed=7):
+    rng = random.Random(seed)
+    labels = [BUYER] * n_buyers + [SELLER] * n_sellers + [DEVICE] * n_devices
+    g = LabeledGraph(labels)
+    sellers = range(n_buyers, n_buyers + n_sellers)
+    devices = range(n_buyers + n_sellers, len(labels))
+    # background activity: normal buyers with their own devices
+    for b in range(n_buyers):
+        g.add_edge(b, rng.choice(list(devices)), SHARES)
+        for _ in range(rng.randint(1, 3)):
+            s = rng.choice(list(sellers))
+            if not g.has_edge(b, s):
+                g.add_edge(b, s, TXN)
+    return g, rng
+
+
+def main() -> None:
+    query = ring_query()
+    graph, rng = build_marketplace()
+    print(f"marketplace: {graph}")
+    system = GammaSystem(query, graph, config=WBMConfig())
+
+    sellers = [v for v in graph.vertices() if graph.vertex_label(v) == SELLER]
+    devices = [v for v in graph.vertices() if graph.vertex_label(v) == DEVICE]
+    buyers = [v for v in graph.vertices() if graph.vertex_label(v) == BUYER]
+
+    total_rings = 0
+    for day in range(5):
+        ops = []
+        live = system.graph
+        # normal traffic
+        for _ in range(25):
+            b, s = rng.choice(buyers), rng.choice(sellers)
+            if not live.has_edge(b, s):
+                ops.append(UpdateOp.insert(b, s, TXN))
+        # a fraud crew: a pair of buyers registers the same device and
+        # splits purchases across one seller
+        b1, b2 = rng.sample(buyers, 2)
+        d, s = rng.choice(devices), rng.choice(sellers)
+        for u, v, lbl in ((b1, d, SHARES), (b2, d, SHARES), (b1, s, TXN), (b2, s, TXN)):
+            if not live.has_edge(u, v):
+                ops.append(UpdateOp.insert(u, v, lbl))
+        # dedupe ops on the same edge within the batch
+        seen, batch_ops = set(), []
+        for op in ops:
+            if op.edge not in seen:
+                seen.add(op.edge)
+                batch_ops.append(op)
+        report = system.process_batch(UpdateBatch(batch_ops))
+        rings = report.result.positives
+        total_rings += len(rings)
+        print(
+            f"day {day}: {len(batch_ops):3d} updates -> {len(rings):3d} new ring "
+            f"embeddings (kernel {report.kernel_seconds * 1e6:8.1f} us, "
+            f"util {report.result.kernel_stats.utilization:.0%})"
+        )
+        for m in sorted(rings)[:2]:
+            print(f"    ring: buyers ({m[0]}, {m[1]}) device {m[3]} seller {m[2]}")
+
+    print(f"\ntotal ring embeddings flagged: {total_rings}")
+    print(f"live rings now: {len(system.collector.live_matches())}")
+
+
+if __name__ == "__main__":
+    main()

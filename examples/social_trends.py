@@ -1,0 +1,78 @@
+"""Social-stream monitoring: when does batch-dynamic GPU matching pay?
+
+A social platform ingests follower/interaction edges in batches. We
+monitor two patterns over the same stream and compare GAMMA against a
+sequential CSM engine (RapidFlow) in shared model time:
+
+* a **triangle** (creator + two mutual fans) — a short-running query
+  that cannot saturate the GPU: the paper itself notes GAMMA is merely
+  "comparable" to RapidFlow on such queries, and the sequential engine
+  wins here;
+* a **tight community** (6-vertex dense motif) — enough search work per
+  batch that warp parallelism dominates and GAMMA pulls ahead.
+
+This mirrors Table III's dense-query columns: the win grows with the
+work per batch.
+
+Run:
+    python examples/social_trends.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import GammaSystem, LabeledGraph, RapidFlow, load_dataset
+from repro.bench.cost import CostCounter, DEFAULT_COST_MODEL
+from repro.bench.workloads import extract_query, holdout_stream
+
+CREATOR, FAN = 1, 0
+
+
+def triangle_query() -> LabeledGraph:
+    return LabeledGraph.from_edges([CREATOR, FAN, FAN], [(0, 1), (0, 2), (1, 2)])
+
+
+def compare(name: str, query: LabeledGraph, g0, stream) -> None:
+    system = GammaSystem(query, g0.copy())
+    reports, pipeline = system.process_stream(stream)
+    gamma_total = sum(r.total_seconds for r in reports)
+    gamma_found = system.collector.total_positives
+
+    cost = CostCounter()
+    rf = RapidFlow(query, g0.copy(), cost)
+    cost.reset()
+    rf_found = 0
+    for batch in stream:
+        pos, _ = rf.process_batch(batch)
+        rf_found += len(pos)
+    rf_total = cost.seconds(DEFAULT_COST_MODEL)
+
+    assert gamma_found == rf_found, "engines disagree!"
+    winner = "GAMMA" if gamma_total < rf_total else "RapidFlow"
+    ratio = max(gamma_total, rf_total) / max(min(gamma_total, rf_total), 1e-12)
+    print(f"  {name}:")
+    print(f"    matches found : {gamma_found} (identical for both engines)")
+    print(f"    GAMMA         : {gamma_total * 1e3:8.3f} ms "
+          f"(pipeline overlap {pipeline.overlap_speedup:.2f}x)")
+    print(f"    RapidFlow     : {rf_total * 1e3:8.3f} ms")
+    print(f"    -> {winner} wins by {ratio:.1f}x\n")
+
+
+def main() -> None:
+    graph = load_dataset("GH", scale=0.5)
+    print(f"social graph: {graph}")
+    g0, stream = holdout_stream(graph, rate=0.10, n_batches=3, seed=3)
+    print(f"stream: {len(stream)} batches, {stream.total_ops()} updates total\n")
+
+    print("short-running query (GPU under-saturated):")
+    compare("triangle", triangle_query(), g0, stream)
+
+    print("work-heavy query (warp parallelism dominates):")
+    community = extract_query(graph, 6, "dense", seed=4)
+    compare(f"6-vertex community (|E|={community.n_edges})", community, g0, stream)
+
+
+if __name__ == "__main__":
+    main()

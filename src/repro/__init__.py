@@ -1,0 +1,114 @@
+"""GAMMA: GPU-Accelerated Batch-Dynamic Subgraph Matching (ICDE 2024).
+
+A complete reproduction of the paper's system on a simulated SIMT GPU:
+
+* :class:`~repro.pipeline.gamma.GammaSystem` — the end-to-end system
+  (preprocess → GPMA update → WBM kernel → postprocess);
+* :class:`~repro.matching.wbm.WBMEngine` — the warp-centric DFS kernel
+  with work stealing and coalesced search;
+* :mod:`repro.baselines` — TurboFlux / SymBi / RapidFlow / CaLiG
+  reimplementations;
+* :mod:`repro.gpu` — the virtual GPU substrate;
+* :mod:`repro.pma` — PMA / GPMA dynamic graph container;
+* :mod:`repro.bench` — workloads, harness, and reporting for every
+  table and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import GammaSystem, LabeledGraph, make_batch
+
+    query = LabeledGraph.from_edges([0, 1, 1, 2], [(0, 1), (0, 2), (1, 2), (1, 3)])
+    data = LabeledGraph.from_edges([0, 1, 1, 2], [(0, 1), (1, 2), (1, 3)])
+    system = GammaSystem(query, data)
+    report = system.process_batch(make_batch([("+", 0, 2)]))
+    print(report.result.positives)
+"""
+
+from repro.errors import (
+    BenchmarkError,
+    BudgetExceeded,
+    DeviceMemoryError,
+    GpuError,
+    GraphError,
+    MatchingError,
+    PmaError,
+    ReproError,
+    UpdateError,
+)
+from repro.graph import (
+    CSRGraph,
+    LabeledGraph,
+    UpdateBatch,
+    UpdateOp,
+    UpdateStream,
+    dataset_summary,
+    load_dataset,
+)
+from repro.graph.updates import apply_batch, effective_delta, make_batch
+from repro.gpu import DeviceParams, VirtualGPU
+from repro.pma import GPMAGraph, PMA
+from repro.filtering import CandidateTable, EncodingSchema, EncodingTable
+from repro.matching import (
+    BFSEngine,
+    WBMConfig,
+    WBMEngine,
+    build_coalesced_plan,
+    find_matches,
+    oracle_delta,
+)
+from repro.baselines import BASELINES, CaLiG, Graphflow, IncIsoMat, RapidFlow, SymBi, TurboFlux
+from repro.pipeline import GammaSystem, MatchCollector, PipelineModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "GraphError",
+    "UpdateError",
+    "GpuError",
+    "DeviceMemoryError",
+    "PmaError",
+    "MatchingError",
+    "BudgetExceeded",
+    "BenchmarkError",
+    # graph
+    "LabeledGraph",
+    "CSRGraph",
+    "UpdateOp",
+    "UpdateBatch",
+    "UpdateStream",
+    "make_batch",
+    "apply_batch",
+    "effective_delta",
+    "load_dataset",
+    "dataset_summary",
+    # substrates
+    "DeviceParams",
+    "VirtualGPU",
+    "PMA",
+    "GPMAGraph",
+    "EncodingSchema",
+    "EncodingTable",
+    "CandidateTable",
+    # matching
+    "WBMEngine",
+    "WBMConfig",
+    "BFSEngine",
+    "find_matches",
+    "oracle_delta",
+    "build_coalesced_plan",
+    # baselines
+    "BASELINES",
+    "TurboFlux",
+    "SymBi",
+    "RapidFlow",
+    "CaLiG",
+    "Graphflow",
+    "IncIsoMat",
+    # system
+    "GammaSystem",
+    "MatchCollector",
+    "PipelineModel",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""CPU continuous-subgraph-matching baselines (paper §VI-A).
+
+Reimplementations of the four systems GAMMA is compared against, each
+built around its published mechanism:
+
+* :class:`TurboFlux` — data-centric graph with spanning-tree vertex
+  states maintained incrementally (Kim et al., SIGMOD'18);
+* :class:`SymBi` — query DAG + dynamic candidate space with
+  ancestor/descendant weak embeddings (Min et al., PVLDB'21);
+* :class:`RapidFlow` — query reduction (leaf elimination) and dual
+  matching over automorphism orbits (Sun et al., PVLDB'22);
+* :class:`CaLiG` — candidate-lighting index with edge-label
+  vertexification for edge-labeled graphs (Yang et al., SIGMOD'23);
+
+plus two reference engines: :class:`Graphflow` (index-free edge-at-a-
+time extension) and :class:`IncIsoMat` (locality-bounded re-matching).
+
+All process updates one at a time (CSM semantics) and are validated
+against the oracle; costs accumulate in a shared
+:class:`~repro.bench.cost.CostCounter`.
+"""
+
+from repro.baselines.base import CSMEngine
+from repro.baselines.graphflow import Graphflow
+from repro.baselines.incisomat import IncIsoMat
+from repro.baselines.turboflux import TurboFlux
+from repro.baselines.symbi import SymBi
+from repro.baselines.rapidflow import RapidFlow
+from repro.baselines.calig import CaLiG
+
+BASELINES = {
+    "TF": TurboFlux,
+    "SYM": SymBi,
+    "RF": RapidFlow,
+    "CL": CaLiG,
+    "GF": Graphflow,
+    "IIM": IncIsoMat,
+}
+
+__all__ = [
+    "CSMEngine",
+    "Graphflow",
+    "IncIsoMat",
+    "TurboFlux",
+    "SymBi",
+    "RapidFlow",
+    "CaLiG",
+    "BASELINES",
+]

@@ -1,0 +1,176 @@
+"""Shared machinery for the CPU CSM baselines.
+
+A :class:`CSMEngine` processes one update at a time (the continuous
+semantics the paper contrasts with BDSM): each insert yields the
+positive matches it creates, each delete the negatives it destroys,
+against the *current* graph state. ``process_batch`` replays a batch
+sequentially and nets the per-op deltas, which telescopes to exactly
+the batch-dynamic ``ΔM`` — the property GAMMA exploits and the tests
+verify.
+
+Subclasses provide index construction/maintenance and an enumeration
+primitive anchored at the updated edge. The default enumeration is a
+backtracking extension loop shared by most engines; each baseline
+customizes candidate filtering (its index) and ordering.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Iterable, Optional
+
+from repro.bench.cost import CostCounter
+from repro.errors import MatchingError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.updates import OpKind, UpdateBatch, UpdateOp
+from repro.matching.matching_order import matching_order_for_pair
+
+Match = tuple[int, ...]
+
+
+class CSMEngine(ABC):
+    """Base class: continuous subgraph matching over single-edge updates."""
+
+    name = "CSM"
+
+    def __init__(
+        self,
+        query: LabeledGraph,
+        graph: LabeledGraph,
+        cost: Optional[CostCounter] = None,
+    ) -> None:
+        if query.n_vertices < 2:
+            raise MatchingError("query needs at least one edge")
+        self.query = query
+        self.graph = graph.copy()
+        self.cost = cost if cost is not None else CostCounter()
+        self._orders: dict[tuple[int, int], list[int]] = {}
+        self._build_index()
+
+    # ------------------------------------------------------------------
+    # framework
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _build_index(self) -> None:
+        """Construct the engine's auxiliary structures."""
+
+    def _index_insert(self, u: int, v: int, label: int) -> None:
+        """Maintain the index after an edge insertion (the edge is
+        already in ``self.graph``). Default: none."""
+
+    def _index_delete(self, u: int, v: int, label: int) -> None:
+        """Maintain the index after an edge deletion (the edge is
+        already gone from ``self.graph``). Default: none."""
+
+    def process_update(self, op: UpdateOp) -> tuple[set[Match], set[Match]]:
+        """Apply one update; returns ``(positives, negatives)`` created/
+        destroyed by it."""
+        u, v = op.edge
+        if op.kind is OpKind.INSERT:
+            if self.graph.has_edge(u, v):
+                raise MatchingError(f"insert of existing edge ({u}, {v})")
+            self.graph.add_edge(u, v, op.label)
+            self._index_insert(u, v, op.label)
+            pos = self._enumerate_with_edge(u, v)
+            return pos, set()
+        if not self.graph.has_edge(u, v):
+            raise MatchingError(f"delete of missing edge ({u}, {v})")
+        neg = self._enumerate_with_edge(u, v)
+        label = self.graph.edge_label(u, v)
+        self.graph.remove_edge(u, v)
+        self._index_delete(u, v, label)
+        return set(), neg
+
+    def process_batch(self, batch: UpdateBatch) -> tuple[set[Match], set[Match]]:
+        """Replay a batch one op at a time (the CSM way) and net the
+        deltas into the batch-dynamic ``ΔM``."""
+        net: Counter = Counter()
+        for op in batch:
+            pos, neg = self.process_update(op)
+            for m in pos:
+                net[m] += 1
+            for m in neg:
+                net[m] -= 1
+        positives = {m for m, c in net.items() if c > 0}
+        negatives = {m for m, c in net.items() if c < 0}
+        return positives, negatives
+
+    # ------------------------------------------------------------------
+    # anchored enumeration (shared backtracking core)
+    # ------------------------------------------------------------------
+    def _candidate_ok(self, qv: int, dv: int) -> bool:
+        """Index filter hook: may this data vertex match this query
+        vertex? Subclasses override with their index."""
+        return True
+
+    def _order_for(self, pair: tuple[int, int]) -> list[int]:
+        order = self._orders.get(pair)
+        if order is None:
+            order = matching_order_for_pair(self.query, pair)
+            self._orders[pair] = order
+        return order
+
+    def _mapped_pairs(self, x: int, y: int) -> Iterable[tuple[int, int]]:
+        """Ordered query edges the data edge (x, y) can map onto."""
+        q, g = self.query, self.graph
+        lx, ly = g.vertex_label(x), g.vertex_label(y)
+        elabel = g.edge_label(x, y)
+        for a, b in q.edges():
+            if q.edge_label(a, b) != elabel:
+                continue
+            if q.vertex_label(a) == lx and q.vertex_label(b) == ly:
+                yield (a, b)
+            if q.vertex_label(a) == ly and q.vertex_label(b) == lx:
+                yield (b, a)
+
+    def _enumerate_with_edge(self, x: int, y: int) -> set[Match]:
+        """All current matches using data edge (x, y) as a query-edge
+        image — the per-update incremental matches."""
+        out: set[Match] = set()
+        for a, b in self._mapped_pairs(x, y):
+            self.cost.charge(1, "mapping")
+            if not (self._candidate_ok(a, x) and self._candidate_ok(b, y)):
+                continue
+            order = self._order_for((a, b))
+            self._extend(order, {a: x, b: y}, 2, out)
+        return out
+
+    def _extend(
+        self,
+        order: list[int],
+        assign: dict[int, int],
+        level: int,
+        out: set[Match],
+    ) -> None:
+        q, g = self.query, self.graph
+        n = q.n_vertices
+        if level == n:
+            out.add(tuple(assign[u] for u in range(n)))
+            self.cost.charge(n, "emit")
+            return
+        qv = order[level]
+        matched = [w for w in q.neighbors(qv) if w in assign]
+        anchor = min(matched, key=lambda w: g.degree(assign[w]))
+        base = g.neighbors(assign[anchor])
+        self.cost.charge(len(base), "scan")
+        used = set(assign.values())
+        want = q.vertex_label(qv)
+        for c in base:
+            if g.vertex_label(c) != want or c in used:
+                continue
+            if not self._candidate_ok(qv, c):
+                continue
+            ok = True
+            for w in matched:
+                dv = assign[w]
+                elbl = g.neighbor_dict(dv).get(c)
+                self.cost.charge(1, "probe")
+                if elbl is None or elbl != q.edge_label(qv, w):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            assign[qv] = c
+            self._extend(order, assign, level + 1, out)
+            del assign[qv]

@@ -1,0 +1,30 @@
+"""Graphflow baseline (Kankanamge et al., SIGMOD'17 demo).
+
+Index-free continuous matching: each updated edge is mapped onto every
+compatible query edge and partial matches are extended by repeatedly
+joining the remaining query vertices against adjacency lists — exactly
+the shared backtracking core, with only the NLF check as a filter.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import CSMEngine
+
+
+class Graphflow(CSMEngine):
+    """One-off extension per update; no maintained index."""
+
+    name = "GF"
+
+    def _build_index(self) -> None:
+        # Graphflow maintains no candidate index; precompute the query
+        # NLF signatures used as the per-vertex filter
+        self._qnlf = {u: self.query.nlf(u) for u in self.query.vertices()}
+
+    def _candidate_ok(self, qv: int, dv: int) -> bool:
+        self.cost.charge(1, "filter")
+        g = self.graph
+        if g.degree(dv) < self.query.degree(qv):
+            return False
+        gn = g.nlf(dv)
+        return all(gn.get(lbl, 0) >= cnt for lbl, cnt in self._qnlf[qv].items())

@@ -1,0 +1,230 @@
+"""SymBi baseline (Min et al., PVLDB'21).
+
+SymBi turns the query into a DAG (BFS order from a selective root; all
+edges directed low→high) and maintains a *dynamic candidate space*
+(DCS) with two weak-embedding flags per (data vertex, query vertex):
+
+* ``D1[v][u]`` — v can weakly embed u's *ancestor side*: label match
+  and, for every DAG parent p of u, some neighbor w with ``D1[w][p]``;
+* ``D2[v][u]`` — the *descendant side on top of D1*: ``D1[v][u]`` and,
+  for every DAG child c of u, some neighbor w with ``D2[w][c]``.
+
+Both are maintained incrementally with per-DAG-edge counters and
+bidirectional propagation on every update (the "symmetric" part of the
+name). ``D2`` is the enumeration filter; because it subsumes both
+directions it prunes harder than a one-sided tree index, at the price
+of heavier per-update maintenance — visible in the cost counter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.baselines.base import CSMEngine
+
+
+class SymBi(CSMEngine):
+    """DAG + DCS (D1/D2) with counter-based incremental maintenance."""
+
+    name = "SYM"
+
+    def _build_index(self) -> None:
+        q = self.query
+        root = max(q.vertices(), key=q.degree)
+        # BFS ranks give the DAG orientation (ties by vertex id)
+        rank = {root: (0, root)}
+        dq = deque([root])
+        level = {root: 0}
+        while dq:
+            u = dq.popleft()
+            for w in q.neighbors(u):
+                if w not in level:
+                    level[w] = level[u] + 1
+                    rank[w] = (level[w], w)
+                    dq.append(w)
+        for u in q.vertices():  # disconnected query vertices (defensive)
+            rank.setdefault(u, (q.n_vertices, u))
+        self._rank = rank
+        self._parents: dict[int, list[int]] = {u: [] for u in q.vertices()}
+        self._children: dict[int, list[int]] = {u: [] for u in q.vertices()}
+        for a, b in q.edges():
+            lo, hi = (a, b) if rank[a] < rank[b] else (b, a)
+            self._parents[hi].append(lo)
+            self._children[lo].append(hi)
+        # topological order = sort by rank
+        self._topo = sorted(q.vertices(), key=lambda u: rank[u])
+
+        g = self.graph
+        self._d1: dict[int, set[int]] = {u: set() for u in q.vertices()}
+        self._d2: dict[int, set[int]] = {u: set() for u in q.vertices()}
+        # cnt1[u][v] per parent edge support; keyed (u, p) and (u, c)
+        self._cnt1: dict[tuple[int, int], dict[int, int]] = {}
+        self._cnt2: dict[tuple[int, int], dict[int, int]] = {}
+        for u in q.vertices():
+            for p in self._parents[u]:
+                self._cnt1[(u, p)] = {}
+            for c in self._children[u]:
+                self._cnt2[(u, c)] = {}
+
+        # initial D1 top-down
+        for u in self._topo:
+            for v in g.vertices():
+                self.cost.charge(1, "index")
+                if self._d1_value(u, v):
+                    self._d1[u].add(v)
+        # initial D2 bottom-up
+        for u in reversed(self._topo):
+            for v in g.vertices():
+                self.cost.charge(1, "index")
+                if self._d2_value(u, v):
+                    self._d2[u].add(v)
+
+    # ------------------------------------------------------------------
+    def _d1_value(self, u: int, v: int) -> bool:
+        q, g = self.query, self.graph
+        if g.vertex_label(v) != q.vertex_label(u):
+            return False
+        # materialize every counter (no short-circuit): incremental
+        # maintenance adjusts them with get(v, 0) ± 1 and would silently
+        # undercount any counter skipped here
+        ok = True
+        for p in self._parents[u]:
+            cnt = self._support(v, p, self._d1, q.edge_label(u, p))
+            self._cnt1[(u, p)][v] = cnt
+            if cnt == 0:
+                ok = False
+        return ok
+
+    def _d2_value(self, u: int, v: int) -> bool:
+        q, g = self.query, self.graph
+        if g.vertex_label(v) != q.vertex_label(u):
+            return False
+        ok = v in self._d1[u]
+        for c in self._children[u]:
+            cnt = self._support(v, c, self._d2, q.edge_label(u, c))
+            self._cnt2[(u, c)][v] = cnt
+            if cnt == 0:
+                ok = False
+        return ok
+
+    def _support(self, v: int, u2: int, table: dict[int, set[int]], want: int) -> int:
+        total = 0
+        members = table[u2]
+        for w, elbl in self.graph.neighbor_dict(v).items():
+            self.cost.charge(1, "index")
+            if elbl == want and w in members:
+                total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (both directions)
+    # ------------------------------------------------------------------
+    def _adjust(self, x: int, y: int, label: int, delta: int) -> None:
+        q, g = self.query, self.graph
+        d1_flips: deque = deque()
+        d2_flips: deque = deque()
+        # counter updates induced directly by the edge (x, y)
+        for u in q.vertices():
+            for p in self._parents[u]:
+                if q.edge_label(u, p) != label:
+                    continue
+                for a, b in ((x, y), (y, x)):
+                    if g.vertex_label(a) != q.vertex_label(u):
+                        continue
+                    if b in self._d1[p]:
+                        self.cost.charge(1, "index")
+                        cnt = self._cnt1[(u, p)].get(a, 0) + delta
+                        self._cnt1[(u, p)][a] = cnt
+                        self._queue_d1(u, a, d1_flips)
+            for c in self._children[u]:
+                if q.edge_label(u, c) != label:
+                    continue
+                for a, b in ((x, y), (y, x)):
+                    if g.vertex_label(a) != q.vertex_label(u):
+                        continue
+                    if b in self._d2[c]:
+                        self.cost.charge(1, "index")
+                        cnt = self._cnt2[(u, c)].get(a, 0) + delta
+                        self._cnt2[(u, c)][a] = cnt
+                        self._queue_d2(u, a, d2_flips)
+        self._propagate_d1(d1_flips, d2_flips)
+        self._propagate_d2(d2_flips)
+
+    def _d1_now(self, u: int, v: int) -> bool:
+        return self.graph.vertex_label(v) == self.query.vertex_label(u) and all(
+            self._cnt1[(u, p)].get(v, 0) > 0 for p in self._parents[u]
+        )
+
+    def _d2_now(self, u: int, v: int) -> bool:
+        return v in self._d1[u] and all(
+            self._cnt2[(u, c)].get(v, 0) > 0 for c in self._children[u]
+        )
+
+    def _queue_d1(self, u: int, v: int, flips: deque) -> None:
+        if (v in self._d1[u]) != self._d1_now(u, v):
+            flips.append((u, v))
+
+    def _queue_d2(self, u: int, v: int, flips: deque) -> None:
+        if (v in self._d2[u]) != self._d2_now(u, v):
+            flips.append((u, v))
+
+    def _propagate_d1(self, flips: deque, d2_flips: deque) -> None:
+        q, g = self.query, self.graph
+        while flips:
+            u, v = flips.popleft()
+            # recompute at dequeue: a later counter change in this same
+            # cascade may have superseded the queued transition
+            now = self._d1_now(u, v)
+            if now == (v in self._d1[u]):
+                continue
+            if now:
+                self._d1[u].add(v)
+            else:
+                self._d1[u].discard(v)
+            # D1 of v@u supports D1 of neighbors at u's children
+            for c in self._children[u]:
+                want = q.edge_label(u, c)
+                clabel = q.vertex_label(c)
+                for w, elbl in g.neighbor_dict(v).items():
+                    self.cost.charge(1, "index")
+                    if elbl != want or g.vertex_label(w) != clabel:
+                        continue
+                    cnt = self._cnt1[(c, u)].get(w, 0) + (1 if now else -1)
+                    self._cnt1[(c, u)][w] = cnt
+                    self._queue_d1(c, w, flips)
+            # D1 feeds D2 at the same (u, v)
+            self._queue_d2(u, v, d2_flips)
+
+    def _propagate_d2(self, flips: deque) -> None:
+        q, g = self.query, self.graph
+        while flips:
+            u, v = flips.popleft()
+            now = self._d2_now(u, v)
+            if now == (v in self._d2[u]):
+                continue
+            if now:
+                self._d2[u].add(v)
+            else:
+                self._d2[u].discard(v)
+            # D2 of v@u supports D2 of neighbors at u's parents
+            for p in self._parents[u]:
+                want = q.edge_label(u, p)
+                plabel = q.vertex_label(p)
+                for w, elbl in g.neighbor_dict(v).items():
+                    self.cost.charge(1, "index")
+                    if elbl != want or g.vertex_label(w) != plabel:
+                        continue
+                    cnt = self._cnt2[(p, u)].get(w, 0) + (1 if now else -1)
+                    self._cnt2[(p, u)][w] = cnt
+                    self._queue_d2(p, w, flips)
+
+    def _index_insert(self, u: int, v: int, label: int) -> None:
+        self._adjust(u, v, label, +1)
+
+    def _index_delete(self, u: int, v: int, label: int) -> None:
+        self._adjust(u, v, label, -1)
+
+    # ------------------------------------------------------------------
+    def _candidate_ok(self, qv: int, dv: int) -> bool:
+        self.cost.charge(1, "filter")
+        return dv in self._d2[qv]

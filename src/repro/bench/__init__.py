@@ -1,0 +1,5 @@
+"""Benchmark infrastructure: cost model, workloads, harness, reporting."""
+
+from repro.bench.cost import CostCounter, CostModel, DEFAULT_COST_MODEL
+
+__all__ = ["CostCounter", "CostModel", "DEFAULT_COST_MODEL"]

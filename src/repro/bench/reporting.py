@@ -1,0 +1,69 @@
+"""Plain-text table/series rendering for the benchmark outputs.
+
+Every benchmark writes a text artifact under ``benchmarks/out/`` and
+prints the same content, so the tables/figures the paper reports can
+be regenerated and diffed run-to-run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+ARTIFACT_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "out"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Monospace table with a title rule."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * max(len(title), sum(widths) + 3 * len(widths))]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[object]],
+) -> str:
+    """One row per x value, one column per named series (figure data)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x] + [series[name][i] for name in series]
+        rows.append(row)
+    return render_table(title, headers, rows)
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Write (and echo) a benchmark artifact."""
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n{text}\n[artifact: {path}]")
+    return path
+
+
+def fmt_seconds(s: float) -> str:
+    """Human-scaled model seconds (the tables span µs..s)."""
+    if s == float("inf"):
+        return "timeout"
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f}ms"
+    if s >= 1e-6:
+        return f"{s * 1e6:.1f}us"
+    return f"{s * 1e9:.0f}ns"

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary. Sub-types distinguish
+the layer that failed (graph model, GPU simulator, PMA container,
+matching engines, benchmark harness).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Invalid operation on a graph (unknown vertex, duplicate edge...)."""
+
+
+class UpdateError(ReproError):
+    """Invalid update operation (inserting an existing edge, deleting a
+    missing one, malformed batch)."""
+
+
+class GpuError(ReproError):
+    """Virtual GPU misuse (invalid launch configuration, shared-memory
+    overflow, scheduler protocol violation)."""
+
+
+class SharedMemoryError(GpuError):
+    """A block exceeded its shared-memory allocation."""
+
+
+class DeviceMemoryError(GpuError):
+    """Device (global) memory capacity exceeded.
+
+    The BFS kernel catches this to trigger host/device spill transfers;
+    anywhere else it is a hard failure.
+    """
+
+
+class PmaError(ReproError):
+    """Packed-memory-array invariant violation or invalid key operation."""
+
+
+class MatchingError(ReproError):
+    """Matching engine misuse (query/data mismatch, bad matching order)."""
+
+
+class BudgetExceeded(ReproError):
+    """An engine exceeded its operation budget (the reproduction's
+    analogue of the paper's 30-minute timeout). The harness marks the
+    query *unsolved* when this escapes an engine."""
+
+    def __init__(self, spent: float, budget: float) -> None:
+        super().__init__(f"operation budget exceeded: spent {spent:.0f} of {budget:.0f}")
+        self.spent = spent
+        self.budget = budget
+
+
+class BenchmarkError(ReproError):
+    """Benchmark harness configuration error."""

@@ -1,0 +1,89 @@
+"""Bitmap candidate table (paper §IV-B, Figure 4 right).
+
+Rows are data vertices, columns are query vertices; a bit marks
+``v ∈ C(u)``. The table is the space-efficient representation chosen
+over per-query-vertex arrays because device memory is scarce; here a
+numpy boolean matrix plays that role, and per-column sorted candidate
+id arrays are materialized lazily for the kernels' Gen-Candidates
+initialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatchingError
+from repro.filtering.encoding import EncodingSchema, EncodingTable
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class CandidateTable:
+    """Candidacy bitmap plus lazily cached per-query-vertex arrays."""
+
+    def __init__(
+        self,
+        query: LabeledGraph,
+        graph: LabeledGraph,
+        encodings: EncodingTable | None = None,
+        bits_per_label: int = 2,
+    ) -> None:
+        self.query = query
+        if encodings is None:
+            schema = EncodingSchema.for_query(query, bits_per_label)
+            encodings = EncodingTable(schema, graph)
+        self.encodings = encodings
+        self.query_codes: list[int] = [
+            encodings.schema.encode(query, u) for u in query.vertices()
+        ]
+        n_data, n_query = len(encodings), query.n_vertices
+        self.bitmap = np.zeros((n_data, n_query), dtype=bool)
+        for v in range(n_data):
+            code_v = encodings[v]
+            for u in range(n_query):
+                self.bitmap[v, u] = EncodingSchema.is_candidate(self.query_codes[u], code_v)
+        self._columns: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def is_candidate(self, u: int, v: int) -> bool:
+        """Does data vertex ``v`` pass query vertex ``u``'s filter?"""
+        if not 0 <= u < self.query.n_vertices:
+            raise MatchingError(f"query vertex {u} out of range")
+        if not 0 <= v < self.bitmap.shape[0]:
+            return False  # vertices appended after table build: no claim
+        return bool(self.bitmap[v, u])
+
+    def candidates_of(self, u: int) -> tuple[int, ...]:
+        """Sorted data-vertex ids in ``C(u)`` (cached per column)."""
+        col = self._columns.get(u)
+        if col is None:
+            col = tuple(int(x) for x in np.nonzero(self.bitmap[:, u])[0])
+            self._columns[u] = col
+        return col
+
+    def candidate_count(self, u: int) -> int:
+        return len(self.candidates_of(u))
+
+    # ------------------------------------------------------------------
+    def refresh_rows(self, changed: set[int]) -> None:
+        """Recompute the rows of vertices whose encoding changed; grows
+        the bitmap when updates appended new vertices."""
+        if not changed:
+            return
+        n_data = len(self.encodings)
+        if n_data > self.bitmap.shape[0]:
+            extra = np.zeros((n_data - self.bitmap.shape[0], self.query.n_vertices), dtype=bool)
+            self.bitmap = np.vstack([self.bitmap, extra])
+        for v in changed:
+            code_v = self.encodings[v]
+            for u in range(self.query.n_vertices):
+                self.bitmap[v, u] = EncodingSchema.is_candidate(self.query_codes[u], code_v)
+        self._columns.clear()
+
+    def stats(self) -> dict[str, float]:
+        """Selectivity diagnostics (used by matching-order generation)."""
+        counts = self.bitmap.sum(axis=0)
+        return {
+            "min": float(counts.min()) if counts.size else 0.0,
+            "max": float(counts.max()) if counts.size else 0.0,
+            "mean": float(counts.mean()) if counts.size else 0.0,
+        }

@@ -1,0 +1,130 @@
+"""GSI-style neighborhood-label-frequency binary encoding (paper §IV-B).
+
+Every vertex gets a K-bit code: the first N bits one-hot encode the
+vertex label over the *query graph's* label alphabet (labels absent
+from the query are not encoded — the paper's refinement of GSI), and
+the remaining N groups of M bits encode, in saturating unary, how many
+neighbors carry each query label (count ``c`` sets the low
+``min(c, M)`` bits of its group).
+
+Unary saturation is what makes candidacy a single bitwise AND::
+
+    v ∈ C(u)  ⇔  ENC(u) & ENC(v) == ENC(u)
+
+because group-wise superset testing is exactly ``count_v ≥ count_u``
+clamped at M — matching Figure 4, where v0's code survives an edge
+insertion unchanged ("a trade-off between space and filtering
+capabilities") while v2's counter ticks from "00" to "01".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MatchingError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.updates import EffectiveDelta
+
+
+@dataclass(frozen=True)
+class EncodingSchema:
+    """Bit layout of the encoding for one query's label alphabet."""
+
+    labels: tuple[int, ...]  # sorted query vertex labels
+    bits_per_label: int  # M
+
+    @classmethod
+    def for_query(cls, query: LabeledGraph, bits_per_label: int = 2) -> "EncodingSchema":
+        if bits_per_label < 1:
+            raise MatchingError(f"bits_per_label must be >= 1, got {bits_per_label}")
+        return cls(tuple(sorted(query.label_alphabet())), bits_per_label)
+
+    @property
+    def n_labels(self) -> int:
+        return len(self.labels)
+
+    @property
+    def total_bits(self) -> int:
+        """K = N label bits + N groups of M counter bits."""
+        return self.n_labels * (1 + self.bits_per_label)
+
+    def label_index(self, label: int) -> int | None:
+        """Position of ``label`` in the alphabet, or None if unencoded."""
+        lo, hi = 0, len(self.labels)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.labels[mid] < label:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.labels) and self.labels[lo] == label:
+            return lo
+        return None
+
+    def encode(self, graph: LabeledGraph, v: int) -> int:
+        """K-bit code of vertex ``v`` in ``graph``."""
+        m = self.bits_per_label
+        n = self.n_labels
+        code = 0
+        idx = self.label_index(graph.vertex_label(v))
+        if idx is not None:
+            code |= 1 << idx
+        counts = [0] * n
+        labels = graph.vertex_labels
+        for w in graph.neighbor_dict(v):
+            j = self.label_index(labels[w])
+            if j is not None:
+                counts[j] += 1
+        for j, c in enumerate(counts):
+            sat = min(c, m)
+            group = (1 << sat) - 1  # saturating unary
+            code |= group << (n + j * m)
+        return code
+
+    @staticmethod
+    def is_candidate(enc_query: int, enc_data: int) -> bool:
+        """Bitwise-AND candidacy test (the GPU's massively parallel op)."""
+        return enc_query & enc_data == enc_query
+
+
+class EncodingTable:
+    """Codes for every data vertex, refreshed incrementally per batch."""
+
+    def __init__(self, schema: EncodingSchema, graph: LabeledGraph) -> None:
+        self.schema = schema
+        self.codes: list[int] = [schema.encode(graph, v) for v in graph.vertices()]
+
+    def __getitem__(self, v: int) -> int:
+        return self.codes[v]
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def refresh_vertices(self, graph: LabeledGraph, vertices: set[int]) -> set[int]:
+        """Re-encode ``vertices`` against the (already updated) graph;
+        returns the subset whose code actually changed — only those rows
+        need to cross PCIe and refresh the candidate table."""
+        changed: set[int] = set()
+        for v in vertices:
+            while v >= len(self.codes):  # vertices appended by updates
+                self.codes.append(0)
+            new_code = self.schema.encode(graph, v)
+            if new_code != self.codes[v]:
+                self.codes[v] = new_code
+                changed.add(v)
+        return changed
+
+    def apply_delta(self, graph_after: LabeledGraph, delta: EffectiveDelta) -> set[int]:
+        """Incrementally re-encode after a batch (graph already updated).
+
+        Only endpoints of net-changed edges can change code; returns the
+        vertices whose code did change.
+        """
+        touched: set[int] = set()
+        for u, v, _ in delta.inserted:
+            touched.add(u)
+            touched.add(v)
+        for u, v, _ in delta.deleted:
+            touched.add(u)
+            touched.add(v)
+        return self.refresh_vertices(graph_after, touched)

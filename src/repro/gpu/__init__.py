@@ -1,0 +1,36 @@
+"""Virtual SIMT GPU: the reproduction's stand-in for CUDA hardware.
+
+The simulator models exactly the quantities GAMMA's design arguments
+rest on: warps as the scheduling unit, per-warp cycle accounting,
+coalesced vs. scattered global-memory transactions, block shared
+memory, cooperative sub-warp groups, and a min-local-clock warp
+scheduler whose idle hook implements work stealing.
+
+Latency reported by kernels is ``cycles / clock`` ("model seconds"),
+comparable against the CPU baselines through the shared cost model in
+``repro.bench.cost``.
+"""
+
+from repro.gpu.params import DeviceParams
+from repro.gpu.stats import KernelStats, BlockStats
+from repro.gpu.memory import GlobalMemory, SharedMemory, HostDeviceLink
+from repro.gpu.warp import WarpContext
+from repro.gpu.scheduler import BlockScheduler, WarpTask
+from repro.gpu.device import VirtualGPU, LaunchResult
+from repro.gpu.cooperative_groups import tiled_partition, ThreadGroup
+
+__all__ = [
+    "DeviceParams",
+    "KernelStats",
+    "BlockStats",
+    "GlobalMemory",
+    "SharedMemory",
+    "HostDeviceLink",
+    "WarpContext",
+    "BlockScheduler",
+    "WarpTask",
+    "VirtualGPU",
+    "LaunchResult",
+    "tiled_partition",
+    "ThreadGroup",
+]

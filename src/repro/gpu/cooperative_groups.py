@@ -1,0 +1,65 @@
+"""Cooperative groups: power-of-two sub-warp partitioning.
+
+The paper (§V-C) fixes GPMA's under-utilization on segments smaller
+than a warp by splitting a warp into cooperative groups sized by
+powers of two (16, 8, ...) and assigning each group its own segment.
+Here a :class:`ThreadGroup` prices data-parallel work in rounds of
+``group size`` lanes, and :func:`tiled_partition` validates the split.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from repro.errors import GpuError
+from repro.gpu.warp import WarpContext
+
+
+class ThreadGroup:
+    """A sub-warp of ``size`` lanes charging work through its parent warp."""
+
+    def __init__(self, ctx: WarpContext, size: int, group_index: int) -> None:
+        if size < 1 or size > ctx.params.warp_size:
+            raise GpuError(f"group size {size} outside [1, {ctx.params.warp_size}]")
+        if size & (size - 1):
+            raise GpuError(f"group size {size} must be a power of two")
+        self.ctx = ctx
+        self.size = size
+        self.group_index = group_index
+
+    def charge_lanes(self, n_items: int) -> None:
+        """Data-parallel op over ``n_items`` with ``size`` lanes.
+
+        Concurrent groups of the same warp issue together, so the warp
+        pays ``ceil(n / size)`` rounds for the *longest* group; callers
+        model that by charging only the busiest group (see GPMA).
+        """
+        self.ctx.charge_compute(ceil(max(n_items, 1) / self.size))
+
+    def read_global_consecutive(self, n_words: int) -> None:
+        """Coalesced read issued by this group (still ≤ one transaction
+        per 32 consecutive words at warp level)."""
+        tx = ceil(max(n_words, 1) / self.ctx.params.warp_size)
+        self.ctx._charge(tx * self.ctx.params.global_transaction_cycles)
+        self.ctx.stats.global_transactions += tx
+        self.ctx.stats.coalesced_transactions += tx
+
+
+def tiled_partition(ctx: WarpContext, group_size: int) -> list[ThreadGroup]:
+    """Split the warp into ``warp_size / group_size`` cooperative groups."""
+    if group_size < 1 or ctx.params.warp_size % group_size != 0:
+        raise GpuError(
+            f"group size {group_size} does not tile warp of {ctx.params.warp_size}"
+        )
+    n_groups = ctx.params.warp_size // group_size
+    return [ThreadGroup(ctx, group_size, g) for g in range(n_groups)]
+
+
+def best_group_size(ctx: WarpContext, segment_len: int) -> int:
+    """Smallest power-of-two group that still covers ``segment_len``
+    lanes in one round — the paper's adaptive allocation for segments
+    in the 16..32 / 8..16 / ... ranges."""
+    size = ctx.params.warp_size
+    while size > 1 and size // 2 >= segment_len:
+        size //= 2
+    return size

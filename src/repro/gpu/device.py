@@ -1,0 +1,95 @@
+"""VirtualGPU: grid launches over the block scheduler.
+
+Blocks are assigned to SMs round-robin; each SM executes its blocks
+sequentially (one resident block per SM — a conservative wave model),
+so kernel latency is ``max over SMs of Σ block makespans``. Host-device
+transfers accumulate separately, feeding the Figure 5 Comm/Comp
+breakdown and the Figure 12 preprocessing analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.gpu.memory import GlobalMemory, HostDeviceLink, SharedMemory
+from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
+from repro.gpu.scheduler import BlockScheduler, IdleHandler, WarpTask
+from repro.gpu.stats import KernelStats
+from repro.gpu.warp import WarpContext
+
+# Factory invoked per block: receives (block_scheduler) after construction
+# so kernels can register idle handlers that close over block state.
+BlockHook = Callable[[BlockScheduler], Optional[IdleHandler]]
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    stats: KernelStats
+    n_blocks: int = 0
+    n_tasks: int = 0
+    aborted: bool = False  # an engine budget stopped the kernel early
+    extras: dict = field(default_factory=dict)
+
+
+class VirtualGPU:
+    """The device: owns global memory, the PCIe link and launch logic."""
+
+    def __init__(self, params: DeviceParams = DEFAULT_PARAMS) -> None:
+        self.params = params
+        self.global_mem = GlobalMemory(params)
+        self.link = HostDeviceLink(params)
+
+    def reset_memory(self) -> None:
+        """Fresh global memory (between independent experiments)."""
+        self.global_mem = GlobalMemory(self.params)
+
+    # ------------------------------------------------------------------
+    def transfer_to_device(self, n_words: int, stats: KernelStats) -> None:
+        """Host→device copy, charged to ``stats.transfer_cycles``."""
+        stats.transfer_cycles += self.link.transfer_cycles(n_words)
+
+    def transfer_to_host(self, n_words: int, stats: KernelStats) -> None:
+        """Device→host copy, charged to ``stats.transfer_cycles``."""
+        stats.transfer_cycles += self.link.transfer_cycles(n_words)
+
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        tasks: list[WarpTask],
+        block_hook: BlockHook | None = None,
+        shared_setup: Callable[[SharedMemory, list[WarpContext]], None] | None = None,
+        tasks_per_block: int | None = None,
+    ) -> LaunchResult:
+        """Run ``tasks`` (one warp each) as a grid.
+
+        ``tasks_per_block`` defaults to ``warps_per_block`` (one task
+        per warp); larger values queue extra tasks inside the block
+        (persistent-warp style). ``block_hook`` lets the kernel attach
+        an idle handler (work stealing) to every block scheduler.
+        """
+        params = self.params
+        stats = KernelStats(params_total_warps=params.total_warps)
+        if not tasks:
+            return LaunchResult(stats=stats)
+
+        per_block = tasks_per_block or params.warps_per_block
+        blocks = [tasks[i : i + per_block] for i in range(0, len(tasks), per_block)]
+        sm_time = [0.0] * params.num_sms
+        for b, block_tasks in enumerate(blocks):
+            sched = BlockScheduler(
+                params,
+                block_tasks,
+                global_mem=self.global_mem,
+                shared_setup=shared_setup,
+            )
+            if block_hook is not None:
+                sched.idle_handler = block_hook(sched)
+            block_stats = sched.run()
+            stats.add_block(block_stats)
+            sm_time[b % params.num_sms] += block_stats.makespan_cycles
+        stats.kernel_cycles = max(sm_time)
+        stats.peak_device_words = self.global_mem.peak_used
+        return LaunchResult(stats=stats, n_blocks=len(blocks), n_tasks=len(tasks))

@@ -1,0 +1,128 @@
+"""Memory hierarchy of the virtual GPU.
+
+``GlobalMemory`` tracks allocation against device capacity (the BFS
+kernel's spill behaviour in Figure 5 comes from here). ``SharedMemory``
+is the block-scoped scratchpad: it stores real Python values (the work
+stealing protocol reads and writes sibling warp state through it) while
+accounting capacity and access counts. ``HostDeviceLink`` prices PCIe
+transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import DeviceMemoryError, SharedMemoryError
+from repro.gpu.params import DeviceParams
+
+
+class GlobalMemory:
+    """Device global memory: capacity tracking plus peak-usage stats."""
+
+    def __init__(self, params: DeviceParams) -> None:
+        self._params = params
+        self._capacity = params.device_memory_words
+        self._used = 0
+        self.peak_used = 0
+
+    @property
+    def capacity_words(self) -> int:
+        return self._capacity
+
+    @property
+    def used_words(self) -> int:
+        return self._used
+
+    @property
+    def free_words(self) -> int:
+        return self._capacity - self._used
+
+    def alloc(self, n_words: int) -> None:
+        """Reserve ``n_words``; raises :class:`DeviceMemoryError` when
+        the device is full (callers may catch it to spill to host)."""
+        if n_words < 0:
+            raise DeviceMemoryError(f"negative allocation {n_words}")
+        if self._used + n_words > self._capacity:
+            raise DeviceMemoryError(
+                f"device memory exhausted: want {n_words}, free {self.free_words}"
+            )
+        self._used += n_words
+        self.peak_used = max(self.peak_used, self._used)
+
+    def free(self, n_words: int) -> None:
+        if n_words < 0 or n_words > self._used:
+            raise DeviceMemoryError(f"invalid free of {n_words} (used {self._used})")
+        self._used -= n_words
+
+    def usage_fraction(self) -> float:
+        return self._used / self._capacity if self._capacity else 0.0
+
+
+class SharedMemory:
+    """Block-scoped scratchpad storing named Python values.
+
+    Values are arbitrary objects; ``words`` passed at :meth:`alloc` time
+    count against the block's shared-memory budget, mirroring how a
+    CUDA kernel declares fixed-size shared arrays. Reads/writes return
+    their cycle cost so the caller (a :class:`WarpContext`) can charge
+    its clock.
+    """
+
+    def __init__(self, params: DeviceParams) -> None:
+        self._params = params
+        self._capacity = params.shared_memory_words
+        self._used = 0
+        self._store: dict[str, Any] = {}
+        self._sizes: dict[str, int] = {}
+        self.accesses = 0
+
+    @property
+    def used_words(self) -> int:
+        return self._used
+
+    def alloc(self, name: str, value: Any, words: int) -> None:
+        """Declare a named shared allocation of ``words`` words."""
+        if name in self._store:
+            raise SharedMemoryError(f"shared allocation {name!r} already exists")
+        if self._used + words > self._capacity:
+            raise SharedMemoryError(
+                f"shared memory exhausted: want {words}, free {self._capacity - self._used}"
+            )
+        self._store[name] = value
+        self._sizes[name] = words
+        self._used += words
+
+    def read(self, name: str) -> tuple[Any, int]:
+        """Return ``(value, cycle_cost)``."""
+        if name not in self._store:
+            raise SharedMemoryError(f"unknown shared allocation {name!r}")
+        self.accesses += 1
+        return self._store[name], self._params.shared_access_cycles
+
+    def write(self, name: str, value: Any) -> int:
+        """Overwrite a named allocation; returns cycle cost."""
+        if name not in self._store:
+            raise SharedMemoryError(f"unknown shared allocation {name!r}")
+        self._store[name] = value
+        self.accesses += 1
+        return self._params.shared_access_cycles
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._store
+
+
+class HostDeviceLink:
+    """PCIe transfer model: cycles = words / throughput."""
+
+    def __init__(self, params: DeviceParams) -> None:
+        self._params = params
+        self.words_transferred = 0
+        self.transfers = 0
+
+    def transfer_cycles(self, n_words: int) -> float:
+        """Price a host<->device transfer of ``n_words`` words."""
+        if n_words < 0:
+            raise DeviceMemoryError(f"negative transfer {n_words}")
+        self.words_transferred += n_words
+        self.transfers += 1
+        return n_words / self._params.pcie_words_per_cycle

@@ -1,0 +1,71 @@
+"""Device parameters and the cycle cost model.
+
+Defaults are loosely shaped after the paper's RTX 3090 (83 SMs, 24 GB)
+but scaled down so pure-Python simulation stays fast; what matters for
+the reproduction is the *ratios* between compute, shared-memory and
+global-memory costs, which follow CUDA folklore (global ≈ 100× shared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Configuration of the virtual GPU.
+
+    Attributes
+    ----------
+    num_sms:
+        Streaming multiprocessors; blocks are assigned round-robin and
+        each SM runs its blocks sequentially (one wave at a time).
+    warps_per_block:
+        Warps in a cooperative thread array. Work stealing operates
+        among these (shared memory is block-scoped).
+    warp_size:
+        Lanes per warp (32, as in CUDA).
+    clock_hz:
+        Converts cycles to model seconds.
+    compute_cycles:
+        Cycles for one warp-wide ALU round (all 32 lanes issue once).
+    shared_access_cycles:
+        Cycles per shared-memory word access (bank-conflict free).
+    global_transaction_cycles:
+        Cycles per 32-word coalesced global-memory transaction; a
+        scattered access by a full warp costs up to 32 of these.
+    device_memory_words:
+        Global-memory capacity in words; the BFS kernel spills to host
+        when intermediate results exceed it (Figure 5).
+    shared_memory_words:
+        Shared-memory capacity per block in words.
+    pcie_words_per_cycle:
+        Host-device link throughput, used for spill/transfer costs.
+    steal_check_cycles:
+        Cost of one scan of the block's workload arrays when a warp
+        looks for work to steal (paper §V-A, O(L·|W|) scan).
+    """
+
+    num_sms: int = 16
+    warps_per_block: int = 8
+    warp_size: int = 32
+    clock_hz: float = 1.4e9
+    compute_cycles: int = 1
+    shared_access_cycles: int = 2
+    global_transaction_cycles: int = 40
+    device_memory_words: int = 4_000_000
+    shared_memory_words: int = 12_288  # 48 KB of 4-byte words
+    pcie_words_per_cycle: float = 0.25
+    steal_check_cycles: int = 16
+
+    @property
+    def total_warps(self) -> int:
+        """Warps resident across the device in one wave."""
+        return self.num_sms * self.warps_per_block
+
+    def with_overrides(self, **kwargs) -> "DeviceParams":
+        """Copy with some fields replaced (frozen dataclass helper)."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_PARAMS = DeviceParams()

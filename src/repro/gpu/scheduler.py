@@ -1,0 +1,162 @@
+"""Block scheduler: interleaves warp coroutines by minimum local clock.
+
+A warp task is a generator function ``task(ctx) -> Generator``; every
+``yield`` is a potential context switch (in hardware: the warp stalls
+on memory and the SM issues another warp). The scheduler always resumes
+the warp with the smallest local clock, which produces a deterministic,
+contention-free parallel trace.
+
+Two hooks implement the paper's §V-A load balancing:
+
+* ``idle_handler(ctx)`` — called when a warp runs out of work; it may
+  return a fresh generator (active stealing: the idle warp raids a
+  sibling's DFS stack through shared memory) or ``None`` to park.
+* parked warps own a *mailbox*; a running warp may push work to an idle
+  sibling (passive stealing). The scheduler revives the parked warp at
+  ``max(parked_clock, donor_clock)`` plus the hand-off cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, Iterable, Optional
+
+from repro.errors import GpuError
+from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.gpu.params import DeviceParams
+from repro.gpu.stats import BlockStats
+from repro.gpu.warp import WarpContext
+
+WarpTask = Callable[[WarpContext], Generator[None, None, None]]
+IdleHandler = Callable[[WarpContext], Optional[Generator[None, None, None]]]
+
+
+class BlockScheduler:
+    """Runs one block's warps to completion and fills a BlockStats."""
+
+    def __init__(
+        self,
+        params: DeviceParams,
+        tasks: Iterable[WarpTask],
+        global_mem: GlobalMemory | None = None,
+        shared: SharedMemory | None = None,
+        idle_handler: IdleHandler | None = None,
+        shared_setup: Callable[[SharedMemory, list[WarpContext]], None] | None = None,
+    ) -> None:
+        self.params = params
+        self.tasks: list[WarpTask] = list(tasks)
+        self.global_mem = global_mem or GlobalMemory(params)
+        self.shared = shared or SharedMemory(params)
+        self.idle_handler = idle_handler
+        self.stats = BlockStats(n_warps=min(params.warps_per_block, max(len(self.tasks), 1)))
+        self.contexts: list[WarpContext] = [
+            WarpContext(w, params, self.shared, self.global_mem, self.stats)
+            for w in range(self.stats.n_warps)
+        ]
+        self._mailboxes: dict[int, list[tuple[Generator, float]]] = {}
+        self._parked: set[int] = set()
+        if shared_setup is not None:
+            shared_setup(self.shared, self.contexts)
+
+    # ------------------------------------------------------------------
+    # passive stealing support
+    # ------------------------------------------------------------------
+    def parked_warps(self) -> set[int]:
+        """Warps currently idle (candidates for a passive-stealing push)."""
+        return set(self._parked)
+
+    def push_work(self, warp_id: int, gen: Generator, donor_clock: float) -> None:
+        """Donate a generator to a parked warp (passive stealing)."""
+        if warp_id not in self._parked:
+            raise GpuError(f"warp {warp_id} is not parked; cannot push work")
+        self._mailboxes.setdefault(warp_id, []).append((gen, donor_clock))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> BlockStats:
+        n_warps = self.stats.n_warps
+        pending = list(range(n_warps, len(self.tasks)))  # task queue beyond first wave
+        generators: dict[int, Generator] = {}
+        heap: list[tuple[float, int]] = []
+
+        for w in range(n_warps):
+            ctx = self.contexts[w]
+            if w < len(self.tasks):
+                generators[w] = self.tasks[w](ctx)
+                heapq.heappush(heap, (ctx.clock, w))
+            else:
+                self._parked.add(w)
+
+        finish_clock = [0.0] * n_warps
+
+        while heap:
+            clock, w = heapq.heappop(heap)
+            ctx = self.contexts[w]
+            if clock < ctx.clock:
+                # stale heap entry; re-push with the true clock
+                heapq.heappush(heap, (ctx.clock, w))
+                continue
+            gen = generators[w]
+            try:
+                next(gen)
+                heapq.heappush(heap, (ctx.clock, w))
+            except StopIteration:
+                self.stats.tasks_completed += 1
+                self._dispatch_next(w, generators, heap, pending, finish_clock)
+            # revive any parked warps that received pushed work
+            self._drain_mailboxes(generators, heap, finish_clock)
+
+        self.stats.makespan_cycles = max(
+            (ctx.clock for ctx in self.contexts), default=0.0
+        )
+        self.stats.busy_cycles = sum(ctx.busy_cycles for ctx in self.contexts)
+        return self.stats
+
+    def _dispatch_next(
+        self,
+        w: int,
+        generators: dict[int, Generator],
+        heap: list[tuple[float, int]],
+        pending: list[int],
+        finish_clock: list[float],
+    ) -> None:
+        """Find more work for warp ``w``: queue first, then steal, then park."""
+        ctx = self.contexts[w]
+        if pending:
+            task_idx = pending.pop(0)
+            generators[w] = self.tasks[task_idx](ctx)
+            heapq.heappush(heap, (ctx.clock, w))
+            return
+        if self.idle_handler is not None:
+            stolen = self.idle_handler(ctx)
+            if stolen is not None:
+                generators[w] = stolen
+                heapq.heappush(heap, (ctx.clock, w))
+                return
+        finish_clock[w] = ctx.clock
+        self._parked.add(w)
+
+    def _drain_mailboxes(
+        self,
+        generators: dict[int, Generator],
+        heap: list[tuple[float, int]],
+        finish_clock: list[float],
+    ) -> None:
+        if not self._mailboxes:
+            return
+        for w in list(self._mailboxes):
+            if w not in self._parked:
+                continue  # delivered once the warp parks again
+            items = self._mailboxes.pop(w)
+            gen, donor_clock = items[0]
+            ctx = self.contexts[w]
+            # hand-off: idle warp resumes no earlier than the donor's now
+            ctx.clock = max(ctx.clock, donor_clock)
+            ctx.clock += self.params.steal_check_cycles
+            self._parked.discard(w)
+            generators[w] = gen
+            heapq.heappush(heap, (ctx.clock, w))
+            extra = items[1:]
+            if extra:
+                self._mailboxes[w] = extra

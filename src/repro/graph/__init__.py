@@ -1,0 +1,43 @@
+"""Graph substrate: labeled graphs, CSR snapshots, generators, updates.
+
+The data model follows the paper's Section II: undirected graphs whose
+vertices (and optionally edges) carry labels from a finite alphabet.
+"""
+
+from repro.graph.labeled_graph import LabeledGraph, Edge
+from repro.graph.csr import CSRGraph
+from repro.graph.updates import (
+    UpdateOp,
+    UpdateBatch,
+    UpdateStream,
+    OpKind,
+    apply_batch,
+    effective_delta,
+)
+from repro.graph.generators import (
+    power_law_graph,
+    uniform_graph,
+    attach_labels,
+)
+from repro.graph.datasets import load_dataset, dataset_summary, DATASET_NAMES
+from repro.graph.kcore import core_numbers, k_core_subgraph
+
+__all__ = [
+    "LabeledGraph",
+    "Edge",
+    "CSRGraph",
+    "UpdateOp",
+    "UpdateBatch",
+    "UpdateStream",
+    "OpKind",
+    "apply_batch",
+    "effective_delta",
+    "power_law_graph",
+    "uniform_graph",
+    "attach_labels",
+    "load_dataset",
+    "dataset_summary",
+    "DATASET_NAMES",
+    "core_numbers",
+    "k_core_subgraph",
+]

@@ -1,0 +1,75 @@
+"""Immutable CSR (compressed sparse row) snapshot of a labeled graph.
+
+The matching kernels read adjacency through CSR-style contiguous
+arrays — the same access pattern the paper's GPU kernels get from the
+GPMA key range of a vertex — so the virtual GPU can account coalesced
+memory transactions per 32-consecutive-word segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class CSRGraph:
+    """CSR view: ``neighbors[offsets[v]:offsets[v+1]]`` sorted ascending.
+
+    ``edge_labels`` is aligned with ``neighbors``; ``vertex_labels[v]``
+    is the label of ``v``.
+    """
+
+    __slots__ = ("offsets", "neighbors", "edge_labels", "vertex_labels")
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        neighbors: np.ndarray,
+        edge_labels: np.ndarray,
+        vertex_labels: np.ndarray,
+    ) -> None:
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.edge_labels = edge_labels
+        self.vertex_labels = vertex_labels
+
+    @classmethod
+    def from_graph(cls, g: LabeledGraph) -> "CSRGraph":
+        n = g.n_vertices
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        for v in g.vertices():
+            offsets[v + 1] = offsets[v] + g.degree(v)
+        neighbors = np.empty(offsets[-1], dtype=np.int64)
+        edge_labels = np.empty(offsets[-1], dtype=np.int64)
+        for v in g.vertices():
+            nbrs = g.neighbors(v)
+            start = offsets[v]
+            neighbors[start : start + len(nbrs)] = nbrs
+            nbr_labels = g.neighbor_dict(v)
+            edge_labels[start : start + len(nbrs)] = [nbr_labels[w] for w in nbrs]
+        return cls(offsets, neighbors, edge_labels, np.asarray(g.vertex_labels, dtype=np.int64))
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.neighbors) // 2
+
+    def degree(self, v: int) -> int:
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def neighbor_slice(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of ``v`` (a view, do not mutate)."""
+        return self.neighbors[self.offsets[v] : self.offsets[v + 1]]
+
+    def edge_label_slice(self, v: int) -> np.ndarray:
+        """Edge labels aligned with :meth:`neighbor_slice`."""
+        return self.edge_labels[self.offsets[v] : self.offsets[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbor_slice(u)
+        i = int(np.searchsorted(nbrs, v))
+        return i < len(nbrs) and nbrs[i] == v

@@ -1,0 +1,146 @@
+"""Scale-down synthetic versions of the paper's six datasets (Table II).
+
+| name | paper |V| / |E|    | |ΣV| | |ΣE| | davg | character            |
+|------|--------------------|------|------|------|----------------------|
+| GH   | 37.7K / 0.3M       | 5    | 1    | 15.3 | social, power-law    |
+| ST   | 1.7M / 11.1M       | 25   | 1    | 13.1 | internet, very skewed|
+| AZ   | 0.4M / 2.4M        | 6    | 1    | 12.2 | co-purchase, mild    |
+| LJ   | 4.9M / 42.9M       | 30   | 1    | 18.1 | social, power-law    |
+| NF   | 3.1M / 2.9M        | 1    | 7    | 2.0  | netflow, skewed ΣE   |
+| LS   | 5.2M / 20.3M       | 1    | 44   | 8.2  | RDF stream           |
+
+The reproduction preserves each dataset's label alphabet sizes, average
+degree, and degree/label skew while scaling vertex counts so the
+pure-Python harness stays tractable (substitution documented in
+DESIGN.md §1). Relative |V| ordering across datasets is kept.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import BenchmarkError
+from repro.graph.generators import attach_labels, power_law_graph, uniform_graph
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one scale-down dataset."""
+
+    name: str
+    full_name: str
+    base_vertices: int
+    avg_degree: float
+    n_vertex_labels: int
+    n_edge_labels: int
+    degree_exponent: float  # power-law tail; <= 0 means uniform graph
+    edge_label_skew: float
+    paper_vertices: str
+    paper_edges: str
+    # dense pockets planted into otherwise-sparse graphs (Netflow hubs:
+    # hosts that talk heavily within small groups) so dense query
+    # extraction succeeds as it does on the real data
+    n_clusters: int = 0
+    cluster_size: int = 0
+    cluster_p: float = 0.0
+
+
+SPECS: dict[str, DatasetSpec] = {
+    "GH": DatasetSpec("GH", "Github", 900, 15.3, 5, 1, 2.3, 0.0, "37.7K", "0.3M"),
+    "ST": DatasetSpec("ST", "Skitter", 2600, 13.1, 25, 1, 2.1, 0.0, "1.7M", "11.1M"),
+    "AZ": DatasetSpec("AZ", "Amazon", 1600, 12.2, 6, 1, 2.8, 0.0, "0.4M", "2.4M"),
+    "LJ": DatasetSpec("LJ", "LiveJournal", 3200, 18.1, 30, 1, 2.3, 0.0, "4.9M", "42.9M"),
+    "NF": DatasetSpec(
+        "NF", "Netflow", 2400, 2.0, 1, 7, -1.0, 1.4, "3.1M", "2.9M",
+        n_clusters=12, cluster_size=8, cluster_p=0.7,
+    ),
+    "LS": DatasetSpec("LS", "LSBench", 3400, 8.2, 1, 44, 2.5, 0.8, "5.2M", "20.3M"),
+}
+
+DATASET_NAMES: tuple[str, ...] = tuple(SPECS)
+
+
+def _scale_from_env() -> float:
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise BenchmarkError(f"REPRO_SCALE must be a float, got {raw!r}") from exc
+    if scale <= 0:
+        raise BenchmarkError(f"REPRO_SCALE must be positive, got {scale}")
+    return scale
+
+
+@lru_cache(maxsize=32)
+def _build(name: str, n_vertices: int, seed: int) -> LabeledGraph:
+    spec = SPECS[name]
+    cluster_edges = 0
+    if spec.n_clusters and n_vertices >= 4 * spec.cluster_size:
+        per = spec.cluster_size * (spec.cluster_size - 1) / 2 * spec.cluster_p
+        cluster_edges = int(spec.n_clusters * per)
+    base_degree = max(0.5, spec.avg_degree - 2.0 * cluster_edges / n_vertices)
+    if spec.degree_exponent > 0:
+        g = power_law_graph(n_vertices, base_degree, spec.degree_exponent, seed=seed)
+    else:
+        g = uniform_graph(n_vertices, base_degree, seed=seed)
+    if cluster_edges:
+        import numpy as np
+
+        rng = np.random.default_rng(seed + 7)
+        for c in range(spec.n_clusters):
+            members = rng.choice(n_vertices, size=spec.cluster_size, replace=False)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    u, v = int(members[i]), int(members[j])
+                    if rng.random() < spec.cluster_p and not g.has_edge(u, v):
+                        g.add_edge(u, v)
+    return attach_labels(
+        g,
+        spec.n_vertex_labels,
+        spec.n_edge_labels,
+        seed=seed + 1,
+        vertex_skew=0.0,
+        edge_skew=spec.edge_label_skew,
+    )
+
+
+def load_dataset(name: str, scale: float | None = None, seed: int = 42) -> LabeledGraph:
+    """Build (and cache) the scale-down dataset ``name``.
+
+    ``scale`` multiplies the base vertex count; defaults to the
+    ``REPRO_SCALE`` environment variable (1.0 if unset). The result is
+    a fresh copy, safe for the caller to mutate.
+    """
+    key = name.upper()
+    if key not in SPECS:
+        raise BenchmarkError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    if scale is None:
+        scale = _scale_from_env()
+    n = max(16, int(round(SPECS[key].base_vertices * scale)))
+    return _build(key, n, seed).copy()
+
+
+def dataset_summary(scale: float | None = None, seed: int = 42) -> list[dict[str, object]]:
+    """Rows mirroring Table II: name, |V|, |E|, |ΣV|, |ΣE|, davg, plus
+    the paper's original sizes for side-by-side comparison."""
+    rows = []
+    for name, spec in SPECS.items():
+        g = load_dataset(name, scale=scale, seed=seed)
+        rows.append(
+            {
+                "name": name,
+                "full_name": spec.full_name,
+                "V": g.n_vertices,
+                "E": g.n_edges,
+                "sigma_v": len(g.label_alphabet()),
+                "sigma_e": len(g.edge_label_alphabet()),
+                "d_avg": round(g.avg_degree(), 1),
+                "paper_V": spec.paper_vertices,
+                "paper_E": spec.paper_edges,
+                "paper_d_avg": spec.avg_degree,
+            }
+        )
+    return rows

@@ -1,0 +1,69 @@
+"""Serialization in the CSM text format used by the paper's baselines
+(TurboFlux / RapidFlow release format).
+
+Format::
+
+    t <n_vertices> <n_edges>
+    v <id> <label> <degree>
+    ...
+    e <u> <v> <edge_label>
+    ...
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def dumps(g: LabeledGraph) -> str:
+    """Serialize a graph to CSM text."""
+    out = _io.StringIO()
+    out.write(f"t {g.n_vertices} {g.n_edges}\n")
+    for v in g.vertices():
+        out.write(f"v {v} {g.vertex_label(v)} {g.degree(v)}\n")
+    for u, v, lbl in g.labeled_edges():
+        out.write(f"e {u} {v} {lbl}\n")
+    return out.getvalue()
+
+
+def loads(text: str) -> LabeledGraph:
+    """Parse CSM text into a graph."""
+    n_vertices = n_edges = None
+    labels: dict[int, int] = {}
+    edges: list[tuple[int, int, int]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        tag = parts[0]
+        if tag == "t":
+            n_vertices, n_edges = int(parts[1]), int(parts[2])
+        elif tag == "v":
+            labels[int(parts[1])] = int(parts[2])
+        elif tag == "e":
+            lbl = int(parts[3]) if len(parts) > 3 else 0
+            edges.append((int(parts[1]), int(parts[2]), lbl))
+        else:
+            raise GraphError(f"line {lineno}: unknown record tag {tag!r}")
+    if n_vertices is None:
+        raise GraphError("missing 't' header line")
+    if len(labels) != n_vertices:
+        raise GraphError(f"header says {n_vertices} vertices, found {len(labels)} 'v' lines")
+    vertex_labels = [labels[i] for i in range(n_vertices)]
+    g = LabeledGraph.from_edges(vertex_labels, edges)
+    if n_edges is not None and g.n_edges != n_edges:
+        raise GraphError(f"header says {n_edges} edges, found {g.n_edges}")
+    return g
+
+
+def save(g: LabeledGraph, path: str | Path) -> None:
+    Path(path).write_text(dumps(g))
+
+
+def load(path: str | Path) -> LabeledGraph:
+    return loads(Path(path).read_text())

@@ -1,0 +1,60 @@
+"""k-core decomposition (peeling), used by the Figure 10 workload that
+samples update edges from regions of increasing density."""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def core_numbers(g: LabeledGraph) -> list[int]:
+    """Core number of every vertex via the linear-time peeling
+    algorithm (Batagelj–Zaveršnik)."""
+    n = g.n_vertices
+    degree = [g.degree(v) for v in range(n)]
+    max_deg = max(degree, default=0)
+    # bucket sort vertices by degree
+    bins = [0] * (max_deg + 1)
+    for d in degree:
+        bins[d] += 1
+    start = 0
+    for d in range(max_deg + 1):
+        bins[d], start = start, start + bins[d]
+    order = [0] * n
+    pos = [0] * n
+    for v in range(n):
+        pos[v] = bins[degree[v]]
+        order[pos[v]] = v
+        bins[degree[v]] += 1
+    for d in range(max_deg, 0, -1):
+        bins[d] = bins[d - 1]
+    if bins:
+        bins[0] = 0
+
+    core = degree[:]
+    for i in range(n):
+        v = order[i]
+        for w in g.neighbors(v):
+            if core[w] > core[v]:
+                # move w one bucket down (swap with first vertex of its bin)
+                dw = core[w]
+                first = bins[dw]
+                u = order[first]
+                if u != w:
+                    order[first], order[pos[w]] = w, u
+                    pos[u], pos[w] = pos[w], first
+                bins[dw] += 1
+                core[w] -= 1
+    return core
+
+
+def k_core_subgraph(g: LabeledGraph, k: int) -> list[int]:
+    """Vertices whose core number is at least ``k``."""
+    cores = core_numbers(g)
+    return [v for v in range(g.n_vertices) if cores[v] >= k]
+
+
+def edges_within_core(g: LabeledGraph, k: int) -> list[tuple[int, int]]:
+    """Edges with both endpoints inside the k-core (the paper samples
+    insertion edges from such regions to vary update density)."""
+    cores = core_numbers(g)
+    return [(u, v) for u, v in g.edges() if cores[u] >= k and cores[v] >= k]

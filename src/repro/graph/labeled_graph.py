@@ -1,0 +1,269 @@
+"""Undirected labeled graph: the shared data model for queries and data.
+
+Vertices are dense integer ids ``0..n-1``. Every vertex carries an
+integer label; every edge carries an integer label (``0`` when the
+dataset has a single edge label, mirroring the paper's Table II where
+four of six datasets have ``|ΣE| = 1``).
+
+The structure is mutable — edge insertions and deletions are the whole
+point of the batch-dynamic problem — and keeps per-vertex adjacency as
+``dict[neighbor] -> edge label`` for O(1) membership plus a lazily
+cached sorted neighbor tuple for the matching kernels, which scan
+adjacency in key order (the PMA layout does the same on "device").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import GraphError
+
+Edge = tuple[int, int]
+
+
+def canonical(u: int, v: int) -> Edge:
+    """Return the canonical (min, max) form of an undirected edge."""
+    return (u, v) if u <= v else (v, u)
+
+
+class LabeledGraph:
+    """Undirected graph with vertex and edge labels.
+
+    Parameters
+    ----------
+    vertex_labels:
+        Label of vertex ``i`` at position ``i``. The vertex count is
+        ``len(vertex_labels)``.
+    """
+
+    __slots__ = ("_labels", "_adj", "_n_edges", "_sorted_cache")
+
+    def __init__(self, vertex_labels: Sequence[int] = ()) -> None:
+        self._labels: list[int] = list(vertex_labels)
+        self._adj: list[dict[int, int]] = [{} for _ in self._labels]
+        self._n_edges = 0
+        self._sorted_cache: dict[int, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        vertex_labels: Sequence[int],
+        edges: Iterable[tuple[int, int] | tuple[int, int, int]],
+    ) -> "LabeledGraph":
+        """Build a graph from vertex labels and an edge list.
+
+        Each edge is ``(u, v)`` or ``(u, v, edge_label)``.
+        """
+        g = cls(vertex_labels)
+        for e in edges:
+            if len(e) == 2:
+                u, v = e  # type: ignore[misc]
+                g.add_edge(u, v)
+            else:
+                u, v, lbl = e  # type: ignore[misc]
+                g.add_edge(u, v, lbl)
+        return g
+
+    def copy(self) -> "LabeledGraph":
+        """Deep copy (labels and adjacency)."""
+        g = LabeledGraph(self._labels)
+        g._adj = [dict(nbrs) for nbrs in self._adj]
+        g._n_edges = self._n_edges
+        return g
+
+    # ------------------------------------------------------------------
+    # vertices
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def n_edges(self) -> int:
+        return self._n_edges
+
+    def vertices(self) -> range:
+        return range(len(self._labels))
+
+    def add_vertex(self, label: int) -> int:
+        """Append a vertex with ``label``; return its id."""
+        self._labels.append(label)
+        self._adj.append({})
+        return len(self._labels) - 1
+
+    def vertex_label(self, v: int) -> int:
+        self._check_vertex(v)
+        return self._labels[v]
+
+    @property
+    def vertex_labels(self) -> list[int]:
+        """Labels indexed by vertex id (do not mutate)."""
+        return self._labels
+
+    def label_alphabet(self) -> set[int]:
+        """Distinct vertex labels present in the graph."""
+        return set(self._labels)
+
+    def edge_label_alphabet(self) -> set[int]:
+        """Distinct edge labels present in the graph."""
+        out: set[int] = set()
+        for u in self.vertices():
+            for v, lbl in self._adj[u].items():
+                if u <= v:
+                    out.add(lbl)
+        return out
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adj[u]
+
+    def edge_label(self, u: int, v: int) -> int:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"edge ({u}, {v}) does not exist") from None
+
+    def add_edge(self, u: int, v: int, label: int = 0) -> None:
+        """Insert the undirected edge ``(u, v)`` with an edge label.
+
+        Raises :class:`GraphError` on self loops or duplicates — the
+        update machinery relies on exact semantics here.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self loop ({u}, {u}) not allowed")
+        if v in self._adj[u]:
+            raise GraphError(f"edge ({u}, {v}) already exists")
+        self._adj[u][v] = label
+        self._adj[v][u] = label
+        self._n_edges += 1
+        self._sorted_cache.pop(u, None)
+        self._sorted_cache.pop(v, None)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge ``(u, v)``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._n_edges -= 1
+        self._sorted_cache.pop(u, None)
+        self._sorted_cache.pop(v, None)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate canonical ``(u, v)`` pairs with ``u < v``."""
+        for u in self.vertices():
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def labeled_edges(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate ``(u, v, edge_label)`` with ``u < v``."""
+        for u in self.vertices():
+            for v, lbl in self._adj[u].items():
+                if u < v:
+                    yield (u, v, lbl)
+
+    # ------------------------------------------------------------------
+    # neighborhoods
+    # ------------------------------------------------------------------
+    def degree(self, v: int) -> int:
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """Sorted neighbor tuple (cached until the vertex mutates)."""
+        self._check_vertex(v)
+        cached = self._sorted_cache.get(v)
+        if cached is None:
+            cached = tuple(sorted(self._adj[v]))
+            self._sorted_cache[v] = cached
+        return cached
+
+    def neighbor_dict(self, v: int) -> dict[int, int]:
+        """Neighbor -> edge-label mapping (do not mutate)."""
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def neighbors_with_label(self, v: int, label: int) -> list[int]:
+        """Neighbors of ``v`` whose *vertex* label is ``label`` (paper's
+        ``N^l(v)``)."""
+        labels = self._labels
+        return [w for w in self.neighbors(v) if labels[w] == label]
+
+    def nlf(self, v: int) -> Counter:
+        """Neighborhood label frequency: Counter(label -> count)."""
+        labels = self._labels
+        return Counter(labels[w] for w in self._adj[v])
+
+    def avg_degree(self) -> float:
+        if not self._labels:
+            return 0.0
+        return 2.0 * self._n_edges / len(self._labels)
+
+    def max_degree(self) -> int:
+        if not self._labels:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, keep: Iterable[int]) -> tuple["LabeledGraph", dict[int, int]]:
+        """Induced subgraph on ``keep``.
+
+        Returns the new graph plus the mapping ``old id -> new id``.
+        """
+        keep_sorted = sorted(set(keep))
+        remap = {old: new for new, old in enumerate(keep_sorted)}
+        sub = LabeledGraph([self._labels[v] for v in keep_sorted])
+        for old_u in keep_sorted:
+            for old_v, lbl in self._adj[old_u].items():
+                if old_u < old_v and old_v in remap:
+                    sub.add_edge(remap[old_u], remap[old_v], lbl)
+        return sub, remap
+
+    def to_networkx(self):
+        """Convert to a networkx.Graph (oracle cross-checks in tests)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for v in self.vertices():
+            g.add_node(v, label=self._labels[v])
+        for u, v, lbl in self.labeled_edges():
+            g.add_edge(u, v, label=lbl)
+        return g
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._labels):
+            raise GraphError(f"vertex {v} out of range [0, {len(self._labels)})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        return self._labels == other._labels and self._adj == other._adj
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("LabeledGraph is unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"LabeledGraph(|V|={self.n_vertices}, |E|={self.n_edges}, "
+            f"|ΣV|={len(self.label_alphabet())})"
+        )

@@ -1,0 +1,227 @@
+"""Update operations, batches, and streams (paper Definition 1).
+
+A *graph update stream* is a sequence of batches; each batch is a list
+of edge insertions / deletions applied together. The batch-dynamic
+semantics (paper Example 1) only cares about the **net** difference
+between the graph before and after the batch — an edge inserted and
+deleted inside the same batch contributes nothing. ``effective_delta``
+computes that net difference without mutating the graph; every engine
+(GAMMA and baselines run in batch mode) builds its positive/negative
+match sets from it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import UpdateError
+from repro.graph.labeled_graph import LabeledGraph, canonical
+
+
+class OpKind(enum.Enum):
+    """Insertion (+) or deletion (−) of an edge."""
+
+    INSERT = "+"
+    DELETE = "-"
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """A single edge update ``(⊕, e)``.
+
+    ``label`` is the edge label for insertions (ignored for deletions).
+    """
+
+    kind: OpKind
+    u: int
+    v: int
+    label: int = 0
+
+    @property
+    def edge(self) -> tuple[int, int]:
+        """Canonical (min, max) endpoints."""
+        return canonical(self.u, self.v)
+
+    @classmethod
+    def insert(cls, u: int, v: int, label: int = 0) -> "UpdateOp":
+        return cls(OpKind.INSERT, u, v, label)
+
+    @classmethod
+    def delete(cls, u: int, v: int) -> "UpdateOp":
+        return cls(OpKind.DELETE, u, v)
+
+    def __str__(self) -> str:
+        return f"({self.kind.value}, ({self.u}, {self.v}))"
+
+
+@dataclass
+class UpdateBatch:
+    """An ordered set of update operations applied as one batch."""
+
+    ops: list[UpdateOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[UpdateOp]:
+        return iter(self.ops)
+
+    def __getitem__(self, i: int) -> UpdateOp:
+        return self.ops[i]
+
+    def append(self, op: UpdateOp) -> None:
+        self.ops.append(op)
+
+    def insertions(self) -> list[UpdateOp]:
+        return [op for op in self.ops if op.kind is OpKind.INSERT]
+
+    def deletions(self) -> list[UpdateOp]:
+        return [op for op in self.ops if op.kind is OpKind.DELETE]
+
+    @property
+    def is_batch_dynamic(self) -> bool:
+        """The paper requires ``|ΔB| > 1`` for the batch-dynamic setting."""
+        return len(self.ops) > 1
+
+
+@dataclass
+class UpdateStream:
+    """A sequence of update batches ``(ΔB₁, ΔB₂, ...)``."""
+
+    batches: list[UpdateBatch] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __iter__(self) -> Iterator[UpdateBatch]:
+        return iter(self.batches)
+
+    def __getitem__(self, i: int) -> UpdateBatch:
+        return self.batches[i]
+
+    def total_ops(self) -> int:
+        return sum(len(b) for b in self.batches)
+
+
+@dataclass(frozen=True)
+class EffectiveDelta:
+    """Net difference a batch makes to a graph.
+
+    ``inserted``: edges (with labels) present after but not before.
+    ``deleted``: edges (with labels) present before but not after.
+    An in-batch label change appears in both lists (old label deleted,
+    new label inserted). Edge order assigns the paper's *total order*
+    used for duplicate elimination: rank = position in the list.
+    """
+
+    inserted: tuple[tuple[int, int, int], ...]
+    deleted: tuple[tuple[int, int, int], ...]
+
+    @property
+    def inserted_edges(self) -> tuple[tuple[int, int], ...]:
+        return tuple((u, v) for u, v, _ in self.inserted)
+
+    @property
+    def deleted_edges(self) -> tuple[tuple[int, int], ...]:
+        return tuple((u, v) for u, v, _ in self.deleted)
+
+    def __bool__(self) -> bool:
+        return bool(self.inserted or self.deleted)
+
+
+def apply_batch(graph: LabeledGraph, batch: UpdateBatch, strict: bool = True) -> None:
+    """Apply every op of ``batch`` to ``graph`` in order, in place.
+
+    In strict mode an insertion of an existing edge or a deletion of a
+    missing one raises :class:`UpdateError`; otherwise such ops are
+    skipped (useful when replaying randomly generated streams).
+    """
+    for op in batch:
+        u, v = op.edge
+        if op.kind is OpKind.INSERT:
+            if graph.has_edge(u, v):
+                if strict:
+                    raise UpdateError(f"insert of existing edge ({u}, {v})")
+                continue
+            graph.add_edge(u, v, op.label)
+        else:
+            if not graph.has_edge(u, v):
+                if strict:
+                    raise UpdateError(f"delete of missing edge ({u}, {v})")
+                continue
+            graph.remove_edge(u, v)
+
+
+def effective_delta(graph: LabeledGraph, batch: UpdateBatch) -> EffectiveDelta:
+    """Compute the net insert/delete sets of ``batch`` w.r.t. ``graph``
+    without mutating the graph.
+
+    Ops are replayed over an overlay keyed by canonical edge; the final
+    overlay state is compared against the original graph state.
+    Invalid intermediate ops (insert-existing / delete-missing, judged
+    against the overlayed state) raise :class:`UpdateError` so that
+    semantics match :func:`apply_batch` in strict mode.
+    """
+    # overlay: edge -> (exists, label); absent key = untouched by batch
+    overlay: dict[tuple[int, int], tuple[bool, int]] = {}
+    touched_order: list[tuple[int, int]] = []
+
+    for op in batch:
+        e = op.edge
+        state = overlay.get(e)
+        if state is None:
+            exists = graph.has_edge(*e)
+            label = graph.edge_label(*e) if exists else 0
+        else:
+            exists, label = state
+        if op.kind is OpKind.INSERT:
+            if exists:
+                raise UpdateError(f"insert of existing edge {e}")
+            exists, label = True, op.label
+        else:
+            if not exists:
+                raise UpdateError(f"delete of missing edge {e}")
+            exists, label = False, 0
+        if e not in overlay:
+            touched_order.append(e)
+        overlay[e] = (exists, label)
+
+    inserted: list[tuple[int, int, int]] = []
+    deleted: list[tuple[int, int, int]] = []
+    for e in touched_order:
+        final_exists, final_label = overlay[e]
+        orig_exists = graph.has_edge(*e)
+        orig_label = graph.edge_label(*e) if orig_exists else 0
+        if final_exists and not orig_exists:
+            inserted.append((e[0], e[1], final_label))
+        elif orig_exists and not final_exists:
+            deleted.append((e[0], e[1], orig_label))
+        elif final_exists and orig_exists and final_label != orig_label:
+            deleted.append((e[0], e[1], orig_label))
+            inserted.append((e[0], e[1], final_label))
+    return EffectiveDelta(tuple(inserted), tuple(deleted))
+
+
+def make_batch(
+    ops: Iterable[UpdateOp] | Sequence[tuple[str, int, int]],
+) -> UpdateBatch:
+    """Convenience constructor.
+
+    Accepts ``UpdateOp`` items or ``("+"/"-", u, v)`` tuples.
+    """
+    batch = UpdateBatch()
+    for item in ops:
+        if isinstance(item, UpdateOp):
+            batch.append(item)
+        else:
+            sign, u, v = item[0], item[1], item[2]
+            label = item[3] if len(item) > 3 else 0  # type: ignore[misc]
+            if sign == "+":
+                batch.append(UpdateOp.insert(u, v, label))
+            elif sign == "-":
+                batch.append(UpdateOp.delete(u, v))
+            else:
+                raise UpdateError(f"unknown op sign {sign!r}")
+    return batch

@@ -1,0 +1,46 @@
+"""Matching engines: the static oracle, Algorithm 1 (WBM), the BFS
+variant, work stealing, and coalesced search."""
+
+from repro.matching.static_match import find_matches, count_matches, oracle_delta
+from repro.matching.matching_order import matching_order_for_pair, order_with_prefix
+from repro.matching.automorphism import (
+    automorphisms,
+    ordered_pair_orbits,
+    is_automorphic,
+)
+from repro.matching.coalesced import (
+    CoalescedPlan,
+    CoalescedGroup,
+    build_coalesced_plan,
+    trivial_plan,
+)
+from repro.matching.wbm import (
+    WBMEngine,
+    WBMConfig,
+    MatchRecord,
+    BatchResult,
+    KernelOutput,
+)
+from repro.matching.bfs_kernel import BFSEngine, BFSResult
+
+__all__ = [
+    "find_matches",
+    "count_matches",
+    "oracle_delta",
+    "matching_order_for_pair",
+    "order_with_prefix",
+    "automorphisms",
+    "ordered_pair_orbits",
+    "is_automorphic",
+    "CoalescedPlan",
+    "CoalescedGroup",
+    "build_coalesced_plan",
+    "trivial_plan",
+    "WBMEngine",
+    "WBMConfig",
+    "MatchRecord",
+    "BatchResult",
+    "KernelOutput",
+    "BFSEngine",
+    "BFSResult",
+]

@@ -1,0 +1,120 @@
+"""Automorphism machinery for coalesced search (paper §V-B).
+
+An automorphism of a labeled graph is a label- and edge-preserving
+vertex permutation. Query graphs are small (|V| ≤ 12 in the paper's
+evaluation), so a pruned backtracking enumeration is exact and cheap.
+
+``ordered_pair_orbits`` groups *ordered* adjacent pairs into orbits
+under the automorphism group: two ordered query edges in one orbit are
+exactly the paper's "equivalent edges" (Definition 3), and covering
+both orientations lets the kernel derive swapped mappings of symmetric
+edges by permutation too.
+"""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import LabeledGraph
+
+Permutation = tuple[int, ...]  # sigma[u] = image of vertex u
+
+
+def automorphisms(g: LabeledGraph, cap: int | None = None) -> list[Permutation]:
+    """All automorphisms of ``g`` (including identity).
+
+    ``cap`` optionally aborts enumeration once more than ``cap``
+    automorphisms are found (returns the ones found so far) — the
+    coalesced-search planner skips pathologically symmetric cores.
+    """
+    n = g.n_vertices
+    out: list[Permutation] = []
+    if n == 0:
+        return [()]
+    # candidate images must preserve label, degree and NLF
+    profiles = [
+        (g.vertex_label(v), g.degree(v), tuple(sorted(g.nlf(v).items())))
+        for v in g.vertices()
+    ]
+    image = [-1] * n
+    used = [False] * n
+
+    def backtrack(u: int) -> bool:
+        """Returns False to abort (cap hit)."""
+        if u == n:
+            out.append(tuple(image))
+            return cap is None or len(out) <= cap
+        for v in range(n):
+            if used[v] or profiles[u] != profiles[v]:
+                continue
+            ok = True
+            for w in g.neighbors(u):
+                if w < u:  # mapped already: edge must be preserved
+                    if not g.has_edge(image[w], v):
+                        ok = False
+                        break
+                    if g.edge_label(image[w], v) != g.edge_label(w, u):
+                        ok = False
+                        break
+            if not ok:
+                continue
+            # non-edges must also be preserved (induced isomorphism)
+            for w in range(u):
+                if not g.has_edge(w, u) and g.has_edge(image[w], v):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            image[u] = v
+            used[v] = True
+            if not backtrack(u + 1):
+                return False
+            used[v] = False
+            image[u] = -1
+        return True
+
+    backtrack(0)
+    return out
+
+
+def is_automorphic(g: LabeledGraph) -> bool:
+    """Does ``g`` admit a non-identity automorphism? (the paper's
+    criterion for a k-degenerated *automorphic* subgraph)."""
+    auts = automorphisms(g, cap=2)
+    return len(auts) > 1
+
+
+def ordered_pair_orbits(
+    g: LabeledGraph,
+    auts: list[Permutation] | None = None,
+) -> list[list[tuple[int, int]]]:
+    """Orbits of ordered adjacent pairs under the automorphism group.
+
+    Each orbit is sorted; orbit lists are sorted by their first member,
+    so output is deterministic.
+    """
+    if auts is None:
+        auts = automorphisms(g)
+    pairs = []
+    for u, v in g.edges():
+        pairs.append((u, v))
+        pairs.append((v, u))
+    seen: set[tuple[int, int]] = set()
+    orbits: list[list[tuple[int, int]]] = []
+    for pair in sorted(pairs):
+        if pair in seen:
+            continue
+        orbit = {(sigma[pair[0]], sigma[pair[1]]) for sigma in auts}
+        seen |= orbit
+        orbits.append(sorted(orbit))
+    return orbits
+
+
+def compose(sigma: Permutation, tau: Permutation) -> Permutation:
+    """(sigma ∘ tau)(u) = sigma(tau(u))."""
+    return tuple(sigma[t] for t in tau)
+
+
+def invert(sigma: Permutation) -> Permutation:
+    inv = [0] * len(sigma)
+    for u, v in enumerate(sigma):
+        inv[v] = u
+    return tuple(inv)

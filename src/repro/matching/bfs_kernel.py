@@ -1,0 +1,153 @@
+"""BFS-expansion matching kernel: the Figure 5 counterpoint to WBM.
+
+Level-synchronous frontier expansion materializes *every* partial match
+of a level before moving on — the classic GPU pattern-mining layout the
+paper argues against: intermediate results grow exponentially, device
+memory fills, and host↔device spilling (Comm) dominates total time,
+while DFS (WBM) keeps only per-warp stacks resident.
+
+The engine produces the same incremental matches as WBM (validated in
+tests); its purpose here is the memory-growth timeline and the
+Comm/Comp breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.filtering import CandidateTable, EncodingSchema, EncodingTable
+from repro.graph.labeled_graph import LabeledGraph, canonical
+from repro.graph.updates import UpdateBatch, apply_batch, effective_delta
+from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
+from repro.gpu.stats import BlockStats
+from repro.gpu.warp import WarpContext
+from repro.matching.coalesced import trivial_plan
+from repro.matching.wbm import Match, WBMConfig, _Env, _gen_candidates, KernelOutput
+
+
+@dataclass
+class BFSResult:
+    """Output + the Figure 5 instrumentation."""
+
+    positives: set[Match] = field(default_factory=set)
+    negatives: set[Match] = field(default_factory=set)
+    comp_cycles: float = 0.0
+    comm_cycles: float = 0.0
+    peak_frontier_words: int = 0
+    spill_events: int = 0
+    # (phase, level, device-memory fraction) samples over "time"
+    memory_timeline: list[tuple[str, int, float]] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.comp_cycles + self.comm_cycles
+
+
+class BFSEngine:
+    """Batch-dynamic matcher with level-synchronous BFS expansion."""
+
+    def __init__(
+        self,
+        query: LabeledGraph,
+        graph: LabeledGraph,
+        params: DeviceParams = DEFAULT_PARAMS,
+        bits_per_label: int = 2,
+        barrier_cycles: float = 64.0,
+    ) -> None:
+        self.query = query
+        self.graph = graph.copy()
+        self.params = params
+        self.barrier_cycles = barrier_cycles
+        schema = EncodingSchema.for_query(query, bits_per_label)
+        self.encodings = EncodingTable(schema, self.graph)
+        self.table = CandidateTable(query, self.graph, self.encodings)
+        self.plan = trivial_plan(query)
+
+    # ------------------------------------------------------------------
+    def process_batch(self, batch: UpdateBatch) -> BFSResult:
+        result = BFSResult()
+        delta = effective_delta(self.graph, batch)
+        if delta.deleted:
+            result.negatives = self._expand_phase(list(delta.deleted), "del", result)
+        apply_batch(self.graph, batch)
+        changed = self.encodings.apply_delta(self.graph, delta)
+        self.table.refresh_rows(changed)
+        if delta.inserted:
+            result.positives = self._expand_phase(list(delta.inserted), "ins", result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _expand_phase(
+        self,
+        edges: list[tuple[int, int, int]],
+        phase: str,
+        result: BFSResult,
+    ) -> set[Match]:
+        """Expand all updates of one sign together, level-synchronously."""
+        params = self.params
+        n = self.query.n_vertices
+        rank_map = {canonical(u, v): i for i, (u, v, _) in enumerate(edges)}
+        out = KernelOutput()
+        env = _Env(self.query, self.graph, self.table, self.plan, rank_map, WBMConfig(), out)
+        ctx = WarpContext(0, params, SharedMemory(params), GlobalMemory(params), BlockStats(n_warps=1))
+        mem = GlobalMemory(params)
+
+        # level 0/1: seed partials from update-edge mappings
+        frontier: list[tuple[object, dict[int, int], int]] = []
+        for rank, (u, v, lbl) in enumerate(edges):
+            x, y = canonical(u, v)
+            for group in self.plan.groups:
+                a, b = group.representative
+                if self.query.edge_label(a, b) != lbl:
+                    continue
+                if (
+                    self.query.vertex_label(a) != self.graph.vertex_label(x)
+                    or self.query.vertex_label(b) != self.graph.vertex_label(y)
+                ):
+                    continue
+                if not (self.table.is_candidate(a, x) and self.table.is_candidate(b, y)):
+                    continue
+                frontier.append((group, {a: x, b: y}, rank))
+        self._account_frontier(mem, frontier, phase, 1, result)
+
+        matches: set[Match] = set()
+        for level in range(2, n):
+            start_clock = ctx.clock
+            nxt: list[tuple[object, dict[int, int], int]] = []
+            for group, assign, rank in frontier:
+                cands = _gen_candidates(ctx, env, group, group.full_order, assign, level, rank)
+                qv = group.full_order[level]
+                for c in cands:
+                    child = dict(assign)
+                    child[qv] = c
+                    if level == n - 1:
+                        matches.add(tuple(child[u] for u in range(n)))
+                    else:
+                        nxt.append((group, child, rank))
+            level_cycles = ctx.clock - start_clock
+            # level work spreads across the whole device; barrier syncs it
+            result.comp_cycles += level_cycles / max(params.total_warps, 1) + self.barrier_cycles
+            frontier = nxt
+            self._account_frontier(mem, frontier, phase, level, result)
+        result.comp_cycles += len(matches) * n / max(params.total_warps, 1)
+        return matches
+
+    def _account_frontier(
+        self,
+        mem: GlobalMemory,
+        frontier: list,
+        phase: str,
+        level: int,
+        result: BFSResult,
+    ) -> None:
+        """Charge frontier materialization; spill to host past capacity."""
+        words = sum(len(assign) for _, assign, _ in frontier)
+        result.peak_frontier_words = max(result.peak_frontier_words, words)
+        resident = min(words, mem.capacity_words)
+        overflow = words - resident
+        if overflow > 0:
+            # round-trip: evict to host now, fetch back next level
+            result.spill_events += 1
+            result.comm_cycles += 2 * overflow / self.params.pcie_words_per_cycle
+        result.memory_timeline.append((phase, level, resident / mem.capacity_words))

@@ -1,0 +1,116 @@
+"""Matching-order generation (paper §IV-C).
+
+WBM maps each updated data edge onto a query edge and then extends the
+partial match level by level following a *matching order* π generated
+offline per ordered query edge. The order prioritizes selective query
+vertices — many matched neighbors (tighter intersections), higher
+degree, fewer estimated candidates — and always keeps a connected
+prefix so Gen-Candidates can intersect with at least one matched
+neighbor's adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MatchingError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def _validate_pair(query: LabeledGraph, pair: tuple[int, int]) -> None:
+    a, b = pair
+    if not query.has_edge(a, b):
+        raise MatchingError(f"({a}, {b}) is not a query edge")
+
+
+def order_with_prefix(
+    query: LabeledGraph,
+    prefix: Sequence[int],
+    restrict_to: Sequence[int] | None = None,
+    candidate_counts: dict[int, int] | None = None,
+) -> list[int]:
+    """Greedy connected order extending ``prefix``.
+
+    ``restrict_to`` limits the order to a vertex subset (used by the
+    coalesced search to order the automorphic core V^k first).
+    ``candidate_counts`` breaks ties toward fewer candidates.
+    """
+    universe = set(restrict_to) if restrict_to is not None else set(query.vertices())
+    order = list(prefix)
+    seen = set(order)
+    if not seen <= universe:
+        raise MatchingError("prefix not contained in the vertex universe")
+
+    def score(u: int) -> tuple[int, int, int]:
+        backward = sum(w in seen for w in query.neighbors(u))
+        cand = -(candidate_counts or {}).get(u, 0)
+        return (backward, query.degree(u), cand)
+
+    while len(order) < len(universe):
+        frontier = [
+            u
+            for u in universe
+            if u not in seen and any(w in seen for w in query.neighbors(u))
+        ]
+        if not frontier:
+            # disconnected remainder (possible for induced cores): pick
+            # the best-scoring unseen vertex to restart
+            frontier = [u for u in universe if u not in seen]
+        nxt = max(frontier, key=score)
+        order.append(nxt)
+        seen.add(nxt)
+    return order
+
+
+def matching_order_for_pair(
+    query: LabeledGraph,
+    pair: tuple[int, int],
+    candidate_counts: dict[int, int] | None = None,
+) -> list[int]:
+    """Matching order starting with the two endpoints of a query edge
+    (the first two vertices are fixed by the update-edge mapping)."""
+    _validate_pair(query, pair)
+    return order_with_prefix(query, list(pair), candidate_counts=candidate_counts)
+
+
+def all_pair_orders(
+    query: LabeledGraph,
+    candidate_counts: dict[int, int] | None = None,
+) -> dict[tuple[int, int], list[int]]:
+    """Offline table: ordered query edge -> matching order (both
+    orientations of every edge, as the update edge maps either way)."""
+    orders: dict[tuple[int, int], list[int]] = {}
+    for u, v in query.edges():
+        orders[(u, v)] = matching_order_for_pair(query, (u, v), candidate_counts)
+        orders[(v, u)] = matching_order_for_pair(query, (v, u), candidate_counts)
+    return orders
+
+
+def validate_order(query: LabeledGraph, order: Sequence[int]) -> None:
+    """Raise unless ``order`` is a permutation with connected prefixes
+    (after the first vertex). Vertices of other components — possible
+    only in disconnected queries — are exempt."""
+    if sorted(order) != list(query.vertices()):
+        raise MatchingError("order is not a permutation of the query vertices")
+    # component of each vertex (disconnected queries only get exemption
+    # for genuinely unreachable vertices)
+    component = {}
+    for start in query.vertices():
+        if start in component:
+            continue
+        stack = [start]
+        component[start] = start
+        while stack:
+            u = stack.pop()
+            for w in query.neighbors(u):
+                if w not in component:
+                    component[w] = start
+                    stack.append(w)
+    seen = {order[0]}
+    seen_components = {component[order[0]]}
+    for u in order[1:]:
+        if not any(w in seen for w in query.neighbors(u)):
+            if component[u] in seen_components:
+                raise MatchingError(f"vertex {u} breaks the connected prefix")
+        seen.add(u)
+        seen_components.add(component[u])

@@ -1,0 +1,171 @@
+"""Static subgraph matching: the reproduction's correctness oracle.
+
+A straightforward Ullmann-style backtracking enumerator with NLF
+candidate filtering. Every incremental engine (WBM and the CSM
+baselines) is validated against set differences of this enumerator's
+output: ``ΔM = matches(G') − matches(G)`` (Definition 2 + Example 1).
+
+Matches are tuples ``m`` with ``m[u] = data vertex matched to query
+vertex u`` — a canonical form shared across the whole code base.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import MatchingError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.updates import UpdateBatch, apply_batch
+
+Match = tuple[int, ...]
+
+
+def _static_order(query: LabeledGraph) -> list[int]:
+    """Connected, selectivity-greedy vertex order (degree-descending)."""
+    n = query.n_vertices
+    if n == 0:
+        return []
+    start = max(query.vertices(), key=query.degree)
+    order = [start]
+    seen = {start}
+    while len(order) < n:
+        frontier = [
+            u
+            for u in query.vertices()
+            if u not in seen and any(w in seen for w in query.neighbors(u))
+        ]
+        if not frontier:  # disconnected query: start a new component
+            frontier = [u for u in query.vertices() if u not in seen]
+        nxt = max(
+            frontier,
+            key=lambda u: (sum(w in seen for w in query.neighbors(u)), query.degree(u)),
+        )
+        order.append(nxt)
+        seen.add(nxt)
+    return order
+
+
+def _nlf_ok(query: LabeledGraph, u: int, graph: LabeledGraph, v: int) -> bool:
+    """Label + degree + neighborhood-label-frequency necessary filter."""
+    if graph.vertex_label(v) != query.vertex_label(u):
+        return False
+    if graph.degree(v) < query.degree(u):
+        return False
+    vq = query.nlf(u)
+    vg = graph.nlf(v)
+    return all(vg.get(lbl, 0) >= cnt for lbl, cnt in vq.items())
+
+
+def iter_matches(
+    query: LabeledGraph,
+    graph: LabeledGraph,
+    limit: Optional[int] = None,
+) -> Iterator[Match]:
+    """Enumerate all subgraph isomorphisms of ``query`` in ``graph``.
+
+    Respects vertex labels, edge labels, and injectivity. ``limit``
+    caps the number of yielded matches.
+    """
+    n = query.n_vertices
+    if n == 0:
+        return
+    if graph.n_vertices < n:
+        return
+    order = _static_order(query)
+    assignment: dict[int, int] = {}
+    used: set[int] = set()
+    yielded = 0
+
+    def candidates(u: int) -> list[int]:
+        matched_nbrs = [w for w in query.neighbors(u) if w in assignment]
+        if not matched_nbrs:
+            return [v for v in graph.vertices() if _nlf_ok(query, u, graph, v)]
+        # expand from the matched neighbor with the smallest adjacency
+        anchor = min(matched_nbrs, key=lambda w: graph.degree(assignment[w]))
+        base = graph.neighbors(assignment[anchor])
+        out = []
+        for v in base:
+            if v in used or not _nlf_ok(query, u, graph, v):
+                continue
+            ok = True
+            for w in matched_nbrs:
+                dv = assignment[w]
+                if not graph.has_edge(v, dv):
+                    ok = False
+                    break
+                if graph.edge_label(v, dv) != query.edge_label(u, w):
+                    ok = False
+                    break
+            if ok:
+                out.append(v)
+        return out
+
+    def dfs(depth: int) -> Iterator[Match]:
+        nonlocal yielded
+        if depth == n:
+            yield tuple(assignment[u] for u in range(n))
+            yielded += 1
+            return
+        u = order[depth]
+        for v in candidates(u):
+            if v in used:
+                continue
+            assignment[u] = v
+            used.add(v)
+            yield from dfs(depth + 1)
+            used.discard(v)
+            del assignment[u]
+            if limit is not None and yielded >= limit:
+                return
+
+    yield from dfs(0)
+
+
+def find_matches(
+    query: LabeledGraph,
+    graph: LabeledGraph,
+    limit: Optional[int] = None,
+) -> set[Match]:
+    """All matches of ``query`` in ``graph`` as a set of tuples."""
+    return set(iter_matches(query, graph, limit))
+
+
+def count_matches(query: LabeledGraph, graph: LabeledGraph) -> int:
+    return sum(1 for _ in iter_matches(query, graph))
+
+
+def oracle_delta(
+    query: LabeledGraph,
+    graph: LabeledGraph,
+    batch: UpdateBatch,
+) -> tuple[set[Match], set[Match]]:
+    """Ground-truth incremental matches of a batch.
+
+    Returns ``(positives, negatives)`` = ``(M(G') − M(G), M(G) − M(G'))``.
+    ``graph`` is not mutated.
+    """
+    if query.n_vertices == 0:
+        raise MatchingError("empty query")
+    before = find_matches(query, graph)
+    g2 = graph.copy()
+    apply_batch(g2, batch)
+    after = find_matches(query, g2)
+    return after - before, before - after
+
+
+def verify_match(query: LabeledGraph, graph: LabeledGraph, match: Match) -> bool:
+    """Check one match tuple against Definition 2 (labels, edges,
+    edge labels, injectivity)."""
+    if len(match) != query.n_vertices:
+        return False
+    if len(set(match)) != len(match):
+        return False
+    for u in query.vertices():
+        if graph.vertex_label(match[u]) != query.vertex_label(u):
+            return False
+    for u, w in query.edges():
+        if not graph.has_edge(match[u], match[w]):
+            return False
+        if graph.edge_label(match[u], match[w]) != query.edge_label(u, w):
+            return False
+    return True

@@ -1,0 +1,739 @@
+"""WBM: the warp-centric batch-dynamic subgraph matching kernel
+(paper Algorithm 1 + the §V optimizations).
+
+One warp task per updated edge. The task maps its edge onto the
+representative query edge of every coalesced group (all ordered query
+edges when coalescing is off), then runs a DFS whose per-level
+candidate arrays and cursors (``csize``/``p`` in the paper) live in
+block shared memory — which is precisely what lets sibling warps steal:
+
+* **active stealing** — an idle warp scans sibling states, picks the
+  victim with the most remaining work, and takes either half its
+  pending work-item queue or the back half of the shallowest DFS
+  frame's unexplored candidates (Example 3);
+* **passive stealing** — a busy warp periodically checks for parked
+  siblings and pushes half of its own work to one.
+
+Duplicate elimination across a batch uses the total-order rule: the
+task of update rank ``r`` refuses to map any net-update edge of rank
+``< r``, so every incremental match is attributed to the minimum-rank
+update edge among its query-edge images exactly once.
+
+Coalesced search runs the automorphic core ``V^k`` first under an
+orbit-invariant candidate filter, emits permuted partials at the
+phase boundary (screened against the full candidate table), and
+extends each through ``R^k``.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.errors import BudgetExceeded, MatchingError
+from repro.filtering import CandidateTable, EncodingSchema, EncodingTable
+from repro.graph.labeled_graph import LabeledGraph, canonical
+from repro.graph.updates import UpdateBatch, apply_batch, effective_delta
+from repro.gpu.device import VirtualGPU
+from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
+from repro.gpu.scheduler import BlockScheduler
+from repro.gpu.stats import KernelStats
+from repro.gpu.warp import WarpContext
+from repro.matching.coalesced import CoalescedGroup, CoalescedPlan, build_coalesced_plan, trivial_plan
+from repro.pma.gpma import GPMAGraph, GpmaUpdateStats
+
+Match = tuple[int, ...]
+
+_QUEUE_ITEM_WEIGHT = 4  # steal-estimate weight of one pending work item
+
+
+@dataclass(frozen=True)
+class WBMConfig:
+    """Knobs for the kernel (the paper's ablation arms)."""
+
+    work_stealing: str = "active"  # "active" | "passive" | "off"
+    coalesced: bool = True
+    max_k: int = 2
+    bits_per_label: int = 2
+    # engine-wide busy-cycle allowance per launch (the timeout analogue;
+    # exceeded -> BudgetExceeded -> the query counts as unsolved)
+    cycle_budget: Optional[float] = None
+    # hard wall-clock guard (seconds) against degenerate result
+    # explosions; None disables
+    wall_limit: Optional[float] = None
+    steal_period: int = 8  # passive: parked-warp check frequency (steps)
+
+    def __post_init__(self) -> None:
+        if self.work_stealing not in ("active", "passive", "off"):
+            raise MatchingError(f"unknown work_stealing mode {self.work_stealing!r}")
+
+
+@dataclass(frozen=True)
+class MatchRecord:
+    """One incremental match with its sign (+ insert-born, − delete-born)."""
+
+    sign: int
+    match: Match
+
+
+@dataclass
+class KernelOutput:
+    """Result of one kernel launch (one sign phase of a batch)."""
+
+    matches: list[Match] = field(default_factory=list)
+    stats: KernelStats = field(default_factory=KernelStats)
+    peak_stack_words: int = 0
+    aborted: bool = False
+
+
+@dataclass
+class BatchResult:
+    """Everything one processed batch produced."""
+
+    positives: set[Match] = field(default_factory=set)
+    negatives: set[Match] = field(default_factory=set)
+    kernel_stats: KernelStats = field(default_factory=KernelStats)
+    gpma_stats: GpmaUpdateStats = field(default_factory=GpmaUpdateStats)
+    reencoded_vertices: int = 0
+    transfer_words: int = 0
+    aborted: bool = False
+
+    @property
+    def records(self) -> list[MatchRecord]:
+        return [MatchRecord(1, m) for m in sorted(self.positives)] + [
+            MatchRecord(-1, m) for m in sorted(self.negatives)
+        ]
+
+    def total_cycles(self) -> float:
+        return self.kernel_stats.total_cycles + self.gpma_stats.total_cycles
+
+    def model_seconds(self, clock_hz: float) -> float:
+        return self.total_cycles() / clock_hz
+
+
+class _MemoryGauge:
+    """Tracks the DFS stacks' device-word footprint (Figure 5's claim
+    that DFS memory stays flat)."""
+
+    def __init__(self) -> None:
+        self.current = 0
+        self.peak = 0
+
+    def alloc(self, words: int) -> None:
+        self.current += words
+        if self.current > self.peak:
+            self.peak = self.current
+
+    def free(self, words: int) -> None:
+        self.current -= words
+
+
+class _Env:
+    """Per-launch read-mostly context shared by all warp tasks."""
+
+    def __init__(
+        self,
+        query: LabeledGraph,
+        graph: LabeledGraph,
+        table: CandidateTable,
+        plan: CoalescedPlan,
+        rank_map: dict[tuple[int, int], int],
+        config: WBMConfig,
+        out: KernelOutput,
+    ) -> None:
+        self.query = query
+        self.graph = graph
+        self.table = table
+        self.plan = plan
+        self.rank_map = rank_map
+        self.config = config
+        self.out = out
+        self.gauge = _MemoryGauge()
+        self.n = query.n_vertices
+        # phase-A filter columns: per (group, query vertex), the union of
+        # candidate-table columns over the vertex's automorphism orbit,
+        # materialized once per launch (for whole-query automorphisms the
+        # table is orbit-invariant and the union equals the exact column)
+        self._orbit_cols: dict[tuple[int, int], object] = {}
+        self.spent_cycles = 0.0  # engine-wide busy cycles this launch
+        self._deadline = (
+            None
+            if config.wall_limit is None
+            else _time.perf_counter() + config.wall_limit
+        )
+
+    def orbit_column(self, group: CoalescedGroup, qv: int):
+        """Boolean candidacy column for phase-A filtering at ``qv``."""
+        key = (id(group), qv)
+        col = self._orbit_cols.get(key)
+        if col is None:
+            orbit = group.vertex_orbits.get(qv, (qv,))
+            bitmap = self.table.bitmap
+            col = bitmap[:, orbit[0]]
+            for w in orbit[1:]:
+                col = col | bitmap[:, w]
+            self._orbit_cols[key] = col
+        return col
+
+    def passes_filter(self, group: CoalescedGroup, qv: int, dv: int, in_core: bool) -> bool:
+        """Candidate check: orbit-invariant union inside the core,
+        exact column outside (and for singleton orbits they coincide)."""
+        if in_core:
+            col = self.orbit_column(group, qv)
+            return dv < len(col) and bool(col[dv])
+        return self.table.is_candidate(qv, dv)
+
+    def emit(self, ctx: WarpContext, assign: dict[int, int]) -> None:
+        match = tuple(assign[u] for u in range(self.n))
+        ctx.write_global_consecutive(self.n)
+        self.out.matches.append(match)
+
+    def check_budget(self, ctx: WarpContext) -> None:
+        """Accumulate this warp's new busy cycles into the launch-wide
+        total and abort once the work allowance (or wall guard) is hit."""
+        last = getattr(ctx, "_env_seen_busy", 0.0)
+        self.spent_cycles += ctx.busy_cycles - last
+        ctx._env_seen_busy = ctx.busy_cycles
+        budget = self.config.cycle_budget
+        if budget is not None and self.spent_cycles > budget:
+            self.out.aborted = True
+            raise BudgetExceeded(self.spent_cycles, budget)
+        if self._deadline is not None and _time.perf_counter() > self._deadline:
+            self.out.aborted = True
+            raise BudgetExceeded(self.spent_cycles, budget or 0.0)
+
+
+# ---------------------------------------------------------------------------
+# candidate generation (Algorithm 1's GenCandidates)
+# ---------------------------------------------------------------------------
+def _gen_candidates(
+    ctx: WarpContext,
+    env: _Env,
+    group: CoalescedGroup,
+    order: tuple[int, ...],
+    assign: dict[int, int],
+    level: int,
+    rank: int,
+) -> list[int]:
+    """Candidates for ``order[level]`` given the current partial match.
+
+    Phase A (core levels) filters with the orbit-invariant union of
+    candidate columns; phase B uses the exact column. Enforces vertex
+    label, adjacency + edge labels to all matched query neighbors,
+    injectivity, and the total-order rank rule.
+    """
+    query, graph, table = env.query, env.graph, env.table
+    qv = order[level]
+    boundary = len(group.core)
+    matched = [w for w in query.neighbors(qv) if w in assign]
+    if not matched:
+        raise MatchingError(f"matching order broke connectivity at {qv}")
+    anchor = min(matched, key=lambda w: graph.degree(assign[w]))
+    base = graph.neighbors(assign[anchor])
+    anchor_label = query.edge_label(qv, anchor)
+    others = [w for w in matched if w != anchor]
+    want_label = query.vertex_label(qv)
+    used = set(assign.values())
+    in_core = level < boundary
+    rank_map = env.rank_map
+    labels = graph.vertex_labels
+    anchor_adj = graph.neighbor_dict(assign[anchor])
+    if in_core:
+        col = env.orbit_column(group, qv)
+        n_col = len(col)
+    else:
+        col = table.bitmap[:, qv]
+        n_col = len(col)
+
+    out: list[int] = []
+    for c in base:
+        if labels[c] != want_label or c in used:
+            continue
+        if anchor_adj[c] != anchor_label:
+            continue
+        if c >= n_col or not col[c]:
+            continue
+        if rank_map:
+            r = rank_map.get(canonical(c, assign[anchor]))
+            if r is not None and r < rank:
+                continue
+        ok = True
+        for w in others:
+            dv = assign[w]
+            elbl = graph.neighbor_dict(dv).get(c)
+            if elbl is None or elbl != query.edge_label(qv, w):
+                ok = False
+                break
+            if rank_map:
+                r = rank_map.get(canonical(c, dv))
+                if r is not None and r < rank:
+                    ok = False
+                    break
+        if ok:
+            out.append(c)
+
+    # --- cost accounting (warp-cooperative execution) -----------------
+    ctx.read_adjacency(base)
+    ctx.charge_lanes(len(base) * (1 + len(others)))
+    if others:
+        deg_sum = sum(graph.degree(assign[w]) for w in others)
+        steps = max(1, (deg_sum // max(len(others), 1)).bit_length())
+        rounds = (len(base) + ctx.params.warp_size - 1) // ctx.params.warp_size
+        ctx.read_global_scattered(rounds * steps * len(others))
+    # candidate-table probes: one scattered transaction per probed row group
+    ctx.read_global_scattered(max(1, len(base) // ctx.params.warp_size))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# boundary permutation (coalesced search §V-B)
+# ---------------------------------------------------------------------------
+def _boundary_items(
+    ctx: WarpContext,
+    env: _Env,
+    group: CoalescedGroup,
+    assign: dict[int, int],
+    dedup: set,
+    rank: int,
+) -> list[dict]:
+    """Permute a completed core assignment through the group's
+    automorphisms, screen against the full candidate table, and return
+    phase-B work items."""
+    items: list[dict] = []
+    table = env.table
+    boundary = len(group.core)
+    for sigma in group.core_maps:
+        permuted = {sigma[u]: assign[u] for u in group.core}
+        key = tuple(permuted[u] for u in group.core)
+        if key in dedup:
+            continue
+        dedup.add(key)
+        if all(table.is_candidate(qv, dv) for qv, dv in permuted.items()):
+            items.append(
+                {
+                    "group": group,
+                    "assign": permuted,
+                    "level": boundary,
+                    "dedup": dedup,
+                    "rank": rank,
+                    "permuted": True,
+                }
+            )
+    ctx.charge_lanes(len(group.core_maps) * len(group.core))
+    return items
+
+
+# ---------------------------------------------------------------------------
+# the DFS worker (one warp's main loop)
+# ---------------------------------------------------------------------------
+def _state_name(warp_id: int) -> str:
+    return f"wstate_{warp_id}"
+
+
+def _ensure_state(ctx: WarpContext) -> dict:
+    name = _state_name(ctx.warp_id)
+    if name not in ctx.shared:
+        state = {"queue": [], "frames": [], "assign": {}, "order": (), "active": False}
+        ctx.shared_alloc(name, state, words=64)
+    state, _ = ctx.shared.read(name)
+    return state
+
+
+def _worker(ctx: WarpContext, env: _Env, items: list[dict]) -> Generator[None, None, None]:
+    """Process work items (initial mappings, boundary partials, or
+    stolen slices) until the local queue drains."""
+    state = _ensure_state(ctx)
+    state["queue"].extend(items)
+    state["active"] = True
+    steps = 0
+    try:
+        while state["queue"]:
+            item = state["queue"].pop()
+            yield from _dfs(ctx, env, state, item)
+            steps += 1
+    finally:
+        state["active"] = False
+        state["frames"] = []
+        state["assign"] = {}
+
+
+def _dfs(ctx: WarpContext, env: _Env, state: dict, item: dict) -> Generator[None, None, None]:
+    group: CoalescedGroup = item["group"]
+    order = group.full_order
+    n = env.n
+    boundary = len(group.core)
+    rank = item["rank"]
+    dedup: set = item["dedup"]
+    assign = dict(item["assign"])
+    state["assign"] = assign
+    state["order"] = order
+    state["current_group"] = group
+    state["current_dedup"] = dedup
+    state["current_rank"] = rank
+    level = item["level"]
+
+    # items landing at or past the end are complete matches (k=0 groups)
+    if level >= n:
+        env.emit(ctx, assign)
+        return
+    # unpermuted item sitting exactly on the boundary: permute first
+    if level == boundary and not item.get("permuted", False) and not group.is_singleton:
+        state["queue"].extend(_boundary_items(ctx, env, group, assign, dedup, rank))
+        return
+
+    frames: list[dict] = state["frames"]
+    base_depth = len(frames)
+
+    cands = item.get("cands")
+    if cands is None:
+        cands = _gen_candidates(ctx, env, group, order, assign, level, rank)
+        yield
+    env.gauge.alloc(len(cands))
+    frames.append({"level": level, "cands": cands, "p": 0})
+    passive = env.config.work_stealing == "passive"
+    step = 0
+
+    while len(frames) > base_depth:
+        env.check_budget(ctx)
+        fr = frames[-1]
+        lv = fr["level"]
+        qv = order[lv]
+        # csize is re-read each iteration: an active thief may have
+        # truncated the candidate list through shared memory
+        if fr["p"] >= len(fr["cands"]):
+            frames.pop()
+            env.gauge.free(len(fr["cands"]))
+            assign.pop(qv, None)
+            ctx.charge_compute(1)
+            continue
+        c = fr["cands"][fr["p"]]
+        fr["p"] += 1
+        assign[qv] = c
+        nxt = lv + 1
+        step += 1
+        if passive and step % env.config.steal_period == 0:
+            _passive_donate(ctx, env, state)
+        # boundary first: a whole-query automorphic group (boundary == n)
+        # must still emit the permuted members, not just the found one
+        if nxt == boundary and not group.is_singleton:
+            state["queue"].extend(_boundary_items(ctx, env, group, assign, dedup, rank))
+            del assign[qv]
+            continue
+        if nxt == n:
+            env.emit(ctx, assign)
+            del assign[qv]
+            continue
+        nxt_cands = _gen_candidates(ctx, env, group, order, assign, nxt, rank)
+        yield
+        if nxt_cands:
+            env.gauge.alloc(len(nxt_cands))
+            frames.append({"level": nxt, "cands": nxt_cands, "p": 0})
+        else:
+            del assign[qv]
+    # leftover assignment of the entry level is cleared by frame pop
+
+
+# ---------------------------------------------------------------------------
+# work stealing
+# ---------------------------------------------------------------------------
+def _estimate_remaining(state: dict) -> int:
+    est = len(state["queue"]) * _QUEUE_ITEM_WEIGHT
+    for fr in state["frames"]:
+        est += max(0, len(fr["cands"]) - fr["p"])
+    return est
+
+
+def _steal_from(victim: dict, env: _Env) -> Optional[dict]:
+    """Take half the victim's pending queue, else split the shallowest
+    frame with at least two unexplored candidates."""
+    queue = victim["queue"]
+    if len(queue) >= 2:
+        take = len(queue) // 2
+        stolen = queue[:take]
+        del queue[:take]
+        return {"items": stolen}
+    order = victim["order"]
+    assign = victim["assign"]
+    for fr in victim["frames"]:
+        remaining = len(fr["cands"]) - fr["p"]
+        if remaining >= 2:
+            mid = fr["p"] + remaining // 2
+            stolen_cands = fr["cands"][mid:]
+            del fr["cands"][mid:]  # in-place: victim sees the truncation
+            lv = fr["level"]
+            prefix = {order[i]: assign[order[i]] for i in range(lv)}
+            # find group/dedup/rank through the queue-free path: the
+            # victim's current item context lives in its frames' shared
+            # state, captured below by the caller
+            return {
+                "frame_steal": True,
+                "level": lv,
+                "cands": stolen_cands,
+                "assign": prefix,
+            }
+    return None
+
+
+_POLL_CYCLES = 64.0  # persistent idle warp re-checks at this cadence
+
+
+def _active_idle_handler(sched: BlockScheduler, env: _Env):
+    """Idle hook: scan sibling warp states, raid the most loaded one.
+
+    A warp that finds active siblings but nothing stealable *right now*
+    spin-waits (idle cycles, not busy) and retries — persistent-warp
+    style — instead of retiring while work remains.
+    """
+
+    def handler(ctx: WarpContext) -> Optional[Generator]:
+        ctx.stats.steal_attempts += 1
+        ctx._charge(ctx.params.steal_check_cycles)
+        best_state: Optional[dict] = None
+        best_est = 0
+        any_active = False
+        for w in range(sched.stats.n_warps):
+            if w == ctx.warp_id:
+                continue
+            name = _state_name(w)
+            if name not in sched.shared:
+                continue
+            st = ctx.shared_read(name)
+            if not st["active"]:
+                continue
+            any_active = True
+            est = _estimate_remaining(st)
+            if est > best_est:
+                best_est, best_state = est, st
+        loot = _steal_from(best_state, env) if best_state is not None else None
+        if loot is None:
+            if not any_active:
+                return None
+
+            def poll(c: WarpContext = ctx) -> Generator[None, None, None]:
+                c.advance_idle(_POLL_CYCLES)
+                yield
+
+            return poll()
+        ctx.stats.steals += 1
+        if "items" in loot:
+            return _worker(ctx, env, loot["items"])
+        item = {
+            "group": best_state["current_group"],
+            "assign": loot["assign"],
+            "level": loot["level"],
+            "cands": loot["cands"],
+            "dedup": best_state["current_dedup"],
+            "rank": best_state["current_rank"],
+            "permuted": loot["level"] >= len(best_state["current_group"].core),
+        }
+        return _worker(ctx, env, [item])
+
+    return handler
+
+
+def _passive_donate(ctx: WarpContext, env: _Env, state: dict) -> None:
+    """Busy warp pushes work to a parked sibling (passive stealing)."""
+    if "_sched" not in ctx.shared:
+        return
+    sched: BlockScheduler = ctx.shared_read("_sched")
+    parked = sched.parked_warps()
+    if not parked:
+        return
+    ctx._charge(ctx.params.steal_check_cycles)
+    loot = _steal_from(state, env)
+    if loot is None:
+        return
+    target = min(parked)
+    if "items" in loot:
+        items = loot["items"]
+    else:
+        items = [
+            {
+                "group": state["current_group"],
+                "assign": loot["assign"],
+                "level": loot["level"],
+                "cands": loot["cands"],
+                "dedup": state["current_dedup"],
+                "rank": state["current_rank"],
+                "permuted": loot["level"] >= len(state["current_group"].core),
+            }
+        ]
+    ctx.stats.steals += 1
+    target_ctx = sched.contexts[target]
+    sched.push_work(target, _worker(target_ctx, env, items), ctx.clock)
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+class WBMEngine:
+    """GAMMA's computational kernel bound to one (query, data graph).
+
+    Owns the host mirror graph, the GPMA device container, the encoding
+    table and candidate table, and the per-query coalesced plan. Batches
+    stream through :meth:`process_batch`.
+    """
+
+    def __init__(
+        self,
+        query: LabeledGraph,
+        graph: LabeledGraph,
+        params: DeviceParams = DEFAULT_PARAMS,
+        config: WBMConfig = WBMConfig(),
+    ) -> None:
+        if query.n_vertices < 2:
+            raise MatchingError("query needs at least one edge")
+        self.query = query
+        self.graph = graph.copy()
+        self.params = params
+        self.config = config
+        self.gpu = VirtualGPU(params)
+        self.gpma = GPMAGraph.from_graph(self.graph, params)
+        schema = EncodingSchema.for_query(query, config.bits_per_label)
+        self.encodings = EncodingTable(schema, self.graph)
+        self.table = CandidateTable(query, self.graph, self.encodings)
+        self.plan = (
+            self._gate_plan(build_coalesced_plan(query, max_k=config.max_k))
+            if config.coalesced
+            else trivial_plan(query)
+        )
+
+    # a k>=1 group trades duplicate searches for a relaxed core filter
+    # (paper §V-B Remark: removed-vertex constraints are lost). The
+    # relaxation compounds multiplicatively over core levels, so only
+    # near-exact unions are worth it; anything looser is demoted to
+    # singleton searches.
+    _RELAX_GATE = 1.05
+
+    def _gate_plan(self, plan: CoalescedPlan) -> CoalescedPlan:
+        """Demote coalesced groups whose orbit-union filter would expand
+        the core candidate space more than the shared search saves.
+
+        Whole-query groups (k = 0) have an automorphism-invariant table,
+        so their union equals the exact columns and they always pass.
+        """
+        from repro.matching.coalesced import trivial_plan as _trivial
+
+        gated = CoalescedPlan()
+        singles = _trivial(self.query)
+        bitmap = self.table.bitmap
+        for group in plan.groups:
+            keep = True
+            if not group.is_singleton and group.k > 0:
+                exact = union = 0
+                for u, orbit in group.vertex_orbits.items():
+                    cnt_exact = int(bitmap[:, u].sum())
+                    col = bitmap[:, orbit[0]]
+                    for w in orbit[1:]:
+                        col = col | bitmap[:, w]
+                    exact += cnt_exact
+                    union += int(col.sum())
+                inflation = union / max(exact, 1)
+                keep = inflation <= self._RELAX_GATE
+            if keep:
+                gated.groups.append(group)
+                for e in group.members:
+                    gated.by_edge[e] = group
+            else:
+                for e in group.members:
+                    single = singles.by_edge[e]
+                    gated.groups.append(single)
+                    gated.by_edge[e] = single
+        return gated
+
+    # ------------------------------------------------------------------
+    def process_batch(self, batch: UpdateBatch) -> BatchResult:
+        """Negative matches on the pre-update graph, GPMA update, then
+        positive matches on the post-update graph."""
+        result = BatchResult()
+        delta = effective_delta(self.graph, batch)
+
+        if delta.deleted:
+            neg = self._run_kernel(list(delta.deleted), sign=-1)
+            result.negatives = set(neg.matches)
+            result.kernel_stats.merge(neg.stats)
+            result.aborted |= neg.aborted
+
+        result.gpma_stats = self.gpma.apply_delta(delta)
+        apply_batch(self.graph, batch)
+        changed = self.encodings.apply_delta(self.graph, delta)
+        self.table.refresh_rows(changed)
+        result.reencoded_vertices = len(changed)
+        # host->device: update edges + re-encoded vertex rows
+        words = 2 * (len(delta.inserted) + len(delta.deleted)) + 2 * len(changed)
+        result.transfer_words = words
+        self.gpu.transfer_to_device(words, result.kernel_stats)
+
+        if delta.inserted:
+            pos = self._run_kernel(list(delta.inserted), sign=+1)
+            result.positives = set(pos.matches)
+            result.kernel_stats.merge(pos.stats)
+            result.aborted |= pos.aborted
+        return result
+
+    # ------------------------------------------------------------------
+    def _initial_items(self, env: _Env, x: int, y: int, elabel: int, rank: int) -> list[dict]:
+        """Map update edge (x, y) onto every group representative, both
+        assignment directions (ordered pairs cover orientation)."""
+        query = self.query
+        items: list[dict] = []
+        lx = self.graph.vertex_label(x) if x < self.graph.n_vertices else None
+        ly = self.graph.vertex_label(y) if y < self.graph.n_vertices else None
+        for group in self.plan.groups:
+            a, b = group.representative
+            if query.edge_label(a, b) != elabel:
+                continue
+            if query.vertex_label(a) != lx or query.vertex_label(b) != ly:
+                continue
+            if not env.passes_filter(group, a, x, in_core=True):
+                continue
+            if not env.passes_filter(group, b, y, in_core=True):
+                continue
+            items.append(
+                {
+                    "group": group,
+                    "assign": {a: x, b: y},
+                    "level": 2,
+                    "dedup": set(),
+                    "rank": rank,
+                    "permuted": False,
+                }
+            )
+        return items
+
+    def _run_kernel(self, edges: list[tuple[int, int, int]], sign: int) -> KernelOutput:
+        """Launch one sign phase: one warp task per net update edge."""
+        out = KernelOutput()
+        rank_map = {canonical(u, v): i for i, (u, v, _) in enumerate(edges)}
+        env = _Env(self.query, self.graph, self.table, self.plan, rank_map, self.config, out)
+
+        tasks = []
+        for i, (u, v, lbl) in enumerate(edges):
+            cu, cv = canonical(u, v)
+            items = self._initial_items(env, cu, cv, lbl, i)
+            tasks.append(self._make_task(env, items))
+
+        def block_hook(sched: BlockScheduler):
+            sched.shared.alloc("_sched", sched, words=0)
+            if self.config.work_stealing == "active":
+                return _active_idle_handler(sched, env)
+            return None
+
+        try:
+            launch = self.gpu.launch(tasks, block_hook=block_hook)
+            out.stats.merge(launch.stats)
+        except BudgetExceeded:
+            out.aborted = True
+        out.peak_stack_words = env.gauge.peak
+        return out
+
+    def _make_task(self, env: _Env, items: list[dict]):
+        def task(ctx: WarpContext) -> Generator[None, None, None]:
+            if not items:
+                ctx.charge_compute(1)
+                yield
+                return
+            yield from _worker(ctx, env, items)
+
+        return task

@@ -1,0 +1,15 @@
+"""The GAMMA system facade and its asynchronous execution model."""
+
+from repro.pipeline.async_exec import PipelineModel, StageTiming, PipelineReport
+from repro.pipeline.postprocess import MatchCollector, ThroughputMeter
+from repro.pipeline.gamma import GammaSystem, GammaBatchReport
+
+__all__ = [
+    "PipelineModel",
+    "StageTiming",
+    "PipelineReport",
+    "MatchCollector",
+    "ThroughputMeter",
+    "GammaSystem",
+    "GammaBatchReport",
+]

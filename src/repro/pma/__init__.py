@@ -1,0 +1,15 @@
+"""Packed Memory Array substrate and the GPMA dynamic graph container.
+
+GPMA (Sha et al., PVLDB 2017) keeps the edge list of a dynamic graph
+sorted inside a PMA so GPU threads can update and scan it with
+coalesced accesses. The paper adopts GPMA as its graph container and
+adds two practical optimizations (§V-C): caching the top-k levels of
+the segment-location tree in shared memory, and cooperative-group
+sub-warp allocation for small segments. Both are modeled here.
+"""
+
+from repro.pma.pma import PMA
+from repro.pma.segment_index import SegmentIndex, LocateCost
+from repro.pma.gpma import GPMAGraph, GpmaUpdateStats
+
+__all__ = ["PMA", "SegmentIndex", "LocateCost", "GPMAGraph", "GpmaUpdateStats"]

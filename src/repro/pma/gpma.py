@@ -1,0 +1,220 @@
+"""GPMA: the dynamic graph container on the virtual GPU.
+
+Edges live in one PMA keyed ``(src << 32) | dst`` (both directions of
+every undirected edge), so a vertex's adjacency is the contiguous key
+range ``[src << 32, (src+1) << 32)`` — exactly the layout GPMA uses so
+warps scan neighbors coalescedly.
+
+``apply_delta`` performs the real structural update *and* prices it
+with the paper's batch-update algorithm in mind: per-update leaf
+location through the segment tree (top-k levels optionally cached in
+shared memory), per-segment-group materialization with warp / block /
+device strategies chosen by segment size, and cooperative-group
+sub-warps for segments smaller than a warp (§V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.errors import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.updates import EffectiveDelta
+from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
+from repro.pma.pma import PMA
+from repro.pma.segment_index import SegmentIndex
+
+_SHIFT = 32
+
+
+def edge_key(u: int, v: int) -> int:
+    return (u << _SHIFT) | v
+
+
+@dataclass
+class GpmaUpdateStats:
+    """Simulated cost of one batch update."""
+
+    n_inserted: int = 0
+    n_deleted: int = 0
+    locate_cycles: float = 0.0
+    materialize_cycles: float = 0.0
+    rebalance_cycles: float = 0.0
+    escalations: int = 0
+    segments_touched: int = 0
+    shared_probes: int = 0
+    global_probes: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        return self.locate_cycles + self.materialize_cycles + self.rebalance_cycles
+
+    def seconds(self, clock_hz: float) -> float:
+        return self.total_cycles / clock_hz
+
+
+class GPMAGraph:
+    """Dynamic undirected labeled graph stored in a PMA.
+
+    Parameters
+    ----------
+    top_k_cached:
+        Levels of the segment tree cached in shared memory (0 disables
+        the paper's first optimization).
+    cooperative_groups:
+        Enable sub-warp groups for small segments (the paper's second
+        optimization); disabling models plain GPMA warp allocation.
+    """
+
+    def __init__(
+        self,
+        params: DeviceParams = DEFAULT_PARAMS,
+        top_k_cached: int = 3,
+        cooperative_groups: bool = True,
+    ) -> None:
+        self.params = params
+        self.top_k_cached = top_k_cached
+        self.cooperative_groups = cooperative_groups
+        self._pma = PMA.bulk_load([])
+        self._n_vertices = 0
+
+    @classmethod
+    def from_graph(
+        cls,
+        g: LabeledGraph,
+        params: DeviceParams = DEFAULT_PARAMS,
+        top_k_cached: int = 3,
+        cooperative_groups: bool = True,
+    ) -> "GPMAGraph":
+        gpma = cls(params, top_k_cached, cooperative_groups)
+        items = []
+        for u, v, lbl in g.labeled_edges():
+            items.append((edge_key(u, v), lbl))
+            items.append((edge_key(v, u), lbl))
+        gpma._pma = PMA.bulk_load(items)
+        gpma._n_vertices = g.n_vertices
+        return gpma
+
+    # ------------------------------------------------------------------
+    # graph reads
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return self._n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._pma) // 2
+
+    def neighbors(self, v: int) -> list[int]:
+        """Sorted neighbor list of ``v`` (a coalesced PMA range scan)."""
+        lo, hi = edge_key(v, 0), edge_key(v + 1, 0)
+        return [k & ((1 << _SHIFT) - 1) for k, _ in self._pma.range_items(lo, hi)]
+
+    def neighbor_items(self, v: int) -> list[tuple[int, int]]:
+        """Sorted ``(neighbor, edge_label)`` pairs."""
+        lo, hi = edge_key(v, 0), edge_key(v + 1, 0)
+        return [(k & ((1 << _SHIFT) - 1), lbl) for k, lbl in self._pma.range_items(lo, hi)]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return edge_key(u, v) in self._pma
+
+    def edge_label(self, u: int, v: int) -> int:
+        value = self._pma.lookup(edge_key(u, v))
+        if value is None:
+            raise GraphError(f"edge ({u}, {v}) not in GPMA")
+        return value
+
+    def check_invariants(self) -> None:
+        self._pma.check_invariants()
+
+    # ------------------------------------------------------------------
+    # batch update (the Update stage of the GAMMA pipeline)
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: EffectiveDelta) -> GpmaUpdateStats:
+        """Apply a net batch delta; returns the simulated device cost."""
+        stats = GpmaUpdateStats(
+            n_inserted=len(delta.inserted), n_deleted=len(delta.deleted)
+        )
+        params = self.params
+        self._n_vertices = max(
+            [self._n_vertices]
+            + [max(u, v) + 1 for u, v, _ in delta.inserted]
+            + [max(u, v) + 1 for u, v, _ in delta.deleted]
+        )
+
+        # --- leaf location: one tree walk per directed update key ------
+        index = SegmentIndex(self._pma, cached_levels=self.top_k_cached)
+        keys: list[int] = []
+        for u, v, _ in delta.inserted + delta.deleted:
+            keys.append(edge_key(u, v))
+            keys.append(edge_key(v, u))
+        touched_leaves: dict[int, int] = {}
+        for key in keys:
+            leaf, cost = index.locate(key)
+            stats.shared_probes += cost.shared_probes
+            stats.global_probes += cost.global_probes
+            touched_leaves[leaf] = touched_leaves.get(leaf, 0) + 1
+        stats.locate_cycles += (
+            stats.shared_probes * params.shared_access_cycles
+            + stats.global_probes * params.global_transaction_cycles
+        )
+
+        # --- materialization: per touched segment, strategy by size ----
+        seg_size = self._pma.segment_size
+        warp = params.warp_size
+        for _leaf, group_n in touched_leaves.items():
+            work = seg_size + group_n  # shift existing + place new entries
+            if seg_size <= warp:
+                if self.cooperative_groups:
+                    # sub-warp groups sized to the segment let one warp
+                    # process warp/group segments concurrently
+                    group = _pow2_at_least(seg_size, warp)
+                    concurrency = warp // group
+                    rounds = ceil(work / group) / concurrency
+                else:
+                    rounds = ceil(work / warp) * 1.0  # idle lanes wasted
+                cycles = rounds * params.compute_cycles
+                cycles += ceil(work / warp) * params.global_transaction_cycles
+            elif work <= params.shared_memory_words:
+                # block strategy: stage the segment in shared memory
+                cycles = (
+                    ceil(work / warp) * params.global_transaction_cycles
+                    + work * params.shared_access_cycles / warp
+                )
+            else:
+                # device strategy: global-memory scratch, pay full price
+                cycles = 2 * ceil(work / warp) * params.global_transaction_cycles
+            stats.materialize_cycles += cycles
+        stats.segments_touched = len(touched_leaves)
+
+        # --- structural mutation (real) + rebalance pricing -------------
+        self._pma.opstats.reset()
+        delete_keys: list[int] = []
+        for u, v, _ in delta.deleted:
+            delete_keys.extend((edge_key(u, v), edge_key(v, u)))
+        insert_items: list[tuple[int, int]] = []
+        for u, v, lbl in delta.inserted:
+            insert_items.extend(((edge_key(u, v), lbl), (edge_key(v, u), lbl)))
+        esc = 0
+        if delete_keys:
+            esc += self._pma.batch_delete(delete_keys)
+        if insert_items:
+            esc += self._pma.batch_insert(insert_items)
+        ops = self._pma.opstats
+        stats.escalations = esc
+        stats.segments_touched += ops.segments_touched
+        moves_tx = ceil(max(ops.element_moves, 1) / warp)
+        stats.rebalance_cycles += moves_tx * params.global_transaction_cycles
+        stats.rebalance_cycles += ops.rebalances * params.compute_cycles * warp
+        stats.rebalance_cycles += ops.grows * 4 * moves_tx * params.global_transaction_cycles
+        return stats
+
+
+def _pow2_at_least(n: int, cap: int) -> int:
+    """Smallest power of two >= n, clamped to cap."""
+    p = 1
+    while p < n and p < cap:
+        p <<= 1
+    return min(p, cap)

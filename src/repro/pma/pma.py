@@ -1,0 +1,441 @@
+"""Packed Memory Array: sorted keys with gaps, O(log² n) amortized updates.
+
+The classic Bender/Hu structure: a power-of-two array split into
+Θ(log n)-sized segments; an implicit binary tree of *windows* (aligned
+runs of segments) enforces density bounds that loosen toward the leaves
+for inserts (root 0.75 → leaf 1.0) and tighten for deletes (root 0.50 →
+leaf 0.25). A violated window is rebalanced by spreading its elements
+evenly; a violated root grows/shrinks the array.
+
+Elements are ``(key, value)`` pairs left-packed inside each segment, so
+the global key order is the concatenation of segment prefixes — the
+layout GPMA uses so GPU warps can scan ranges coalescedly.
+
+Rebalance/location work is recorded in ``opstats`` so the GPMA layer
+can translate structural effort into simulated GPU cycles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import PmaError
+
+_NEG_INF = -1  # sentinel first-key for leading empty segments (keys are >= 0)
+
+
+@dataclass
+class PmaOpStats:
+    """Structural work counters, reset at the caller's discretion."""
+
+    locates: int = 0
+    element_moves: int = 0
+    rebalances: int = 0
+    max_rebalance_level: int = 0
+    grows: int = 0
+    shrinks: int = 0
+    segments_touched: int = 0
+
+    def reset(self) -> None:
+        self.locates = 0
+        self.element_moves = 0
+        self.rebalances = 0
+        self.max_rebalance_level = 0
+        self.grows = 0
+        self.shrinks = 0
+        self.segments_touched = 0
+
+
+class PMA:
+    """Packed memory array of ``(int key, int value)`` with unique keys."""
+
+    MIN_CAPACITY = 8
+
+    # density bounds: tau (upper) interpolates root->leaf, rho (lower) likewise
+    TAU_ROOT = 0.75
+    TAU_LEAF = 1.00
+    RHO_ROOT = 0.50
+    RHO_LEAF = 0.25
+
+    def __init__(self, capacity: int = MIN_CAPACITY) -> None:
+        capacity = max(self.MIN_CAPACITY, _next_pow2(capacity))
+        self._capacity = capacity
+        self._segment_size = _segment_size_for(capacity)
+        self._segments: list[list[tuple[int, int]]] = [
+            [] for _ in range(capacity // self._segment_size)
+        ]
+        self._seg_first: list[int] = [_NEG_INF] * len(self._segments)
+        self._n = 0
+        self.opstats = PmaOpStats()
+
+    @classmethod
+    def bulk_load(cls, items: list[tuple[int, int]]) -> "PMA":
+        """Build a PMA from sorted-or-not ``(key, value)`` pairs at ~60%
+        density (the initialization path: the data graph is loaded once,
+        then evolves through batch updates)."""
+        elems = sorted(items)
+        for a, b in zip(elems, elems[1:]):
+            if a[0] == b[0]:
+                raise PmaError(f"duplicate key {a[0]} in bulk load")
+        capacity = _next_pow2(max(cls.MIN_CAPACITY, int(len(elems) / 0.6) + 1))
+        pma = cls(capacity)
+        n_segs = pma.n_segments
+        base, extra = divmod(len(elems), n_segs)
+        pos = 0
+        for s in range(n_segs):
+            take = base + (1 if s < extra else 0)
+            pma._segments[s] = elems[pos : pos + take]
+            pos += take
+        pma._n = len(elems)
+        pma._refresh_first_range(0, n_segs)
+        return pma
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def segment_size(self) -> int:
+        return self._segment_size
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def height(self) -> int:
+        """Levels of the window tree (0 = leaf ... height = root)."""
+        return max(0, (self.n_segments - 1).bit_length())
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _tau(self, level: int) -> float:
+        """Upper density bound at window ``level`` (0 = leaf)."""
+        h = self.height
+        if h == 0:
+            return self.TAU_LEAF
+        return self.TAU_LEAF + (self.TAU_ROOT - self.TAU_LEAF) * level / h
+
+    def _rho(self, level: int) -> float:
+        """Lower density bound at window ``level`` (0 = leaf)."""
+        h = self.height
+        if h == 0:
+            return 0.0
+        return self.RHO_LEAF + (self.RHO_ROOT - self.RHO_LEAF) * level / h
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def _locate_segment(self, key: int) -> int:
+        """Index of the segment whose key range covers ``key``.
+
+        Fill-forward first keys make empty segments inherit their left
+        neighbor's first, so the bisect can land inside an empty run;
+        the owning segment is the nearest non-empty one to the left.
+        """
+        self.opstats.locates += 1
+        i = bisect_left(self._seg_first, key + 1) - 1
+        i = max(0, i)
+        while i > 0 and not self._segments[i]:
+            i -= 1
+        return i
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Value stored under ``key`` or None."""
+        seg = self._segments[self._locate_segment(key)]
+        i = bisect_left(seg, (key, _NEG_INF))
+        if i < len(seg) and seg[i][0] == key:
+            return seg[i][1]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key) is not None
+
+    def keys(self) -> Iterator[int]:
+        for seg in self._segments:
+            for k, _ in seg:
+                yield k
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        for seg in self._segments:
+            yield from seg
+
+    def range_items(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        """All ``(key, value)`` with ``lo <= key < hi`` in key order."""
+        out: list[tuple[int, int]] = []
+        s = self._locate_segment(lo)
+        for seg_idx in range(s, self.n_segments):
+            seg = self._segments[seg_idx]
+            if not seg:
+                continue
+            if seg[0][0] >= hi:
+                break
+            start = bisect_left(seg, (lo, _NEG_INF))
+            for k, v in seg[start:]:
+                if k >= hi:
+                    return out
+                out.append((k, v))
+        return out
+
+    # ------------------------------------------------------------------
+    # single-element updates
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int = 0) -> None:
+        """Insert a new key (raises :class:`PmaError` if present)."""
+        if self._n + 1 > self._tau(self.height) * self._capacity:
+            self._grow()
+        seg_idx = self._locate_segment(key)
+        seg = self._segments[seg_idx]
+        i = bisect_left(seg, (key, _NEG_INF))
+        if i < len(seg) and seg[i][0] == key:
+            raise PmaError(f"key {key} already present")
+        if len(seg) + 1 <= self._segment_size:
+            seg.insert(i, (key, value))
+            self._n += 1
+            self.opstats.element_moves += len(seg) - i
+            self._refresh_first(seg_idx)
+            # leaf density may now violate tau(0) only when seg full; the
+            # check below escalates if the leaf exceeded its bound
+            if len(seg) > self._tau(0) * self._segment_size:
+                self._rebalance_up(seg_idx, for_insert=True)
+            return
+        # leaf physically full: escalate, then retry (a slot must exist now)
+        self._rebalance_up(seg_idx, for_insert=True)
+        self.insert(key, value)
+
+    def delete(self, key: int) -> int:
+        """Remove ``key``; returns its value. Raises if missing."""
+        seg_idx = self._locate_segment(key)
+        seg = self._segments[seg_idx]
+        i = bisect_left(seg, (key, _NEG_INF))
+        if i >= len(seg) or seg[i][0] != key:
+            raise PmaError(f"key {key} not present")
+        _, value = seg.pop(i)
+        self._n -= 1
+        self.opstats.element_moves += len(seg) - i
+        self._refresh_first(seg_idx)
+        if len(seg) < self._rho(0) * self._segment_size:
+            self._rebalance_up(seg_idx, for_insert=False)
+        return value
+
+    # ------------------------------------------------------------------
+    # batch updates (GPMA-style: group by leaf segment, escalate windows)
+    # ------------------------------------------------------------------
+    def batch_insert(self, items: list[tuple[int, int]]) -> int:
+        """Insert many ``(key, value)`` pairs; returns window-escalation
+        count (the GPMA layer prices escalations).
+
+        Duplicate keys (already present or repeated in ``items``) raise
+        :class:`PmaError`. Items are processed sorted, one leaf-group at
+        a time, re-locating after structural changes.
+        """
+        pend = sorted(items)
+        for a, b in zip(pend, pend[1:]):
+            if a[0] == b[0]:
+                raise PmaError(f"duplicate key {a[0]} in batch")
+        escalations = 0
+        idx = 0
+        while idx < len(pend):
+            while self._n + 1 > self._tau(self.height) * self._capacity:
+                self._grow()
+            seg_idx = self._locate_segment(pend[idx][0])
+            # the group = consecutive items landing in this segment
+            j = idx
+            seg = self._segments[seg_idx]
+            while j < len(pend):
+                target = self._locate_segment_cached(pend[j][0], seg_idx)
+                if target != seg_idx:
+                    break
+                j += 1
+            group = pend[idx:j]
+            room = int(self._tau(0) * self._segment_size) - len(seg)
+            if len(group) <= room:
+                for k, v in group:
+                    i = bisect_left(seg, (k, _NEG_INF))
+                    if i < len(seg) and seg[i][0] == k:
+                        raise PmaError(f"key {k} already present")
+                    seg.insert(i, (k, v))
+                    self.opstats.element_moves += len(seg) - i
+                self._n += len(group)
+                self._refresh_first(seg_idx)
+                self.opstats.segments_touched += 1
+                idx = j
+            else:
+                # escalate: rebalance a window wide enough for part of the
+                # group, then retry the remaining items (leaf map changed)
+                take = min(len(group), max(room, 1))
+                for k, v in group[:take]:
+                    i = bisect_left(seg, (k, _NEG_INF))
+                    if i < len(seg) and seg[i][0] == k:
+                        raise PmaError(f"key {k} already present")
+                    seg.insert(i, (k, v))
+                self._n += take
+                self._refresh_first(seg_idx)
+                self._rebalance_up(seg_idx, for_insert=True)
+                escalations += 1
+                idx += take
+        return escalations
+
+    def batch_delete(self, keys: list[int]) -> int:
+        """Delete many keys; returns escalation count. Missing keys raise."""
+        escalations = 0
+        for key in sorted(keys, reverse=True):
+            before = self.opstats.rebalances
+            self.delete(key)
+            escalations += self.opstats.rebalances - before
+        return escalations
+
+    def _locate_segment_cached(self, key: int, hint: int) -> int:
+        """Locate with a cheap check against a hinted segment first."""
+        firsts = self._seg_first
+        if firsts[hint] <= key and (
+            hint + 1 >= len(firsts) or key < self._next_first(hint)
+        ):
+            return hint
+        return self._locate_segment(key)
+
+    def _next_first(self, seg_idx: int) -> int:
+        for j in range(seg_idx + 1, self.n_segments):
+            if self._segments[j]:
+                return self._segments[j][0][0]
+        return 1 << 62
+
+    # ------------------------------------------------------------------
+    # rebalancing machinery
+    # ------------------------------------------------------------------
+    def _window_bounds(self, seg_idx: int, level: int) -> tuple[int, int]:
+        width = 1 << level
+        start = (seg_idx // width) * width
+        return start, min(start + width, self.n_segments)
+
+    def _window_count(self, start: int, end: int) -> int:
+        return sum(len(self._segments[s]) for s in range(start, end))
+
+    def _rebalance_up(self, seg_idx: int, for_insert: bool) -> None:
+        """Walk up from the leaf to the smallest window within bounds,
+        then spread its elements evenly; grow/shrink at the root."""
+        for level in range(1, self.height + 1):
+            start, end = self._window_bounds(seg_idx, level)
+            count = self._window_count(start, end)
+            n_segs = end - start
+            cap = n_segs * self._segment_size
+            if for_insert:
+                # the second guard ensures an even spread leaves a free
+                # slot in every segment, so the retried insert succeeds
+                if count <= self._tau(level) * cap and count <= cap - n_segs:
+                    self._spread(start, end, level)
+                    return
+            else:
+                if count >= self._rho(level) * cap:
+                    self._spread(start, end, level)
+                    return
+        if for_insert:
+            self._grow()
+        else:
+            self._shrink()
+
+    def _spread(self, start: int, end: int, level: int) -> None:
+        """Evenly redistribute the window's elements over its segments."""
+        elems: list[tuple[int, int]] = []
+        for s in range(start, end):
+            elems.extend(self._segments[s])
+        n_segs = end - start
+        base, extra = divmod(len(elems), n_segs)
+        pos = 0
+        for s in range(n_segs):
+            take = base + (1 if s < extra else 0)
+            self._segments[start + s] = elems[pos : pos + take]
+            pos += take
+        self.opstats.element_moves += len(elems)
+        self.opstats.rebalances += 1
+        self.opstats.max_rebalance_level = max(self.opstats.max_rebalance_level, level)
+        self.opstats.segments_touched += n_segs
+        self._refresh_first_range(start, end)
+
+    def _grow(self) -> None:
+        self._resize(self._capacity * 2)
+        self.opstats.grows += 1
+
+    def _shrink(self) -> None:
+        if self._capacity <= self.MIN_CAPACITY:
+            # nothing to do; allow sparse root at minimum size
+            return
+        self._resize(self._capacity // 2)
+        self.opstats.shrinks += 1
+
+    def _resize(self, new_capacity: int) -> None:
+        elems = list(self.items())
+        if len(elems) > new_capacity:
+            raise PmaError(f"cannot resize to {new_capacity} with {len(elems)} elements")
+        self._capacity = max(self.MIN_CAPACITY, new_capacity)
+        self._segment_size = _segment_size_for(self._capacity)
+        n_segs = self._capacity // self._segment_size
+        self._segments = [[] for _ in range(n_segs)]
+        base, extra = divmod(len(elems), n_segs)
+        pos = 0
+        for s in range(n_segs):
+            take = base + (1 if s < extra else 0)
+            self._segments[s] = elems[pos : pos + take]
+            pos += take
+        self.opstats.element_moves += len(elems)
+        self._seg_first = [_NEG_INF] * n_segs
+        self._refresh_first_range(0, n_segs)
+
+    def _refresh_first(self, seg_idx: int) -> None:
+        self._refresh_first_range(seg_idx, seg_idx + 1)
+
+    def _refresh_first_range(self, start: int, end: int) -> None:
+        """Recompute fill-forward first keys for ``[start, end)`` and any
+        trailing empty segments whose inherited value may have changed."""
+        prev = self._seg_first[start - 1] if start > 0 else _NEG_INF
+        for s in range(start, self.n_segments):
+            seg = self._segments[s]
+            if seg:
+                if s >= end:
+                    # untouched non-empty segment: everything after is stable
+                    break
+                prev = seg[0][0]
+            self._seg_first[s] = prev
+
+    # ------------------------------------------------------------------
+    # validation (used heavily by property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise :class:`PmaError` on any structural violation."""
+        last = _NEG_INF
+        count = 0
+        for s, seg in enumerate(self._segments):
+            if len(seg) > self._segment_size:
+                raise PmaError(f"segment {s} overflows: {len(seg)} > {self._segment_size}")
+            for k, _ in seg:
+                if k <= last:
+                    raise PmaError(f"key order violated at segment {s}: {k} <= {last}")
+                last = k
+            count += len(seg)
+        if count != self._n:
+            raise PmaError(f"element count mismatch: {count} != {self._n}")
+        if self._capacity != self.n_segments * self._segment_size:
+            raise PmaError("capacity != n_segments * segment_size")
+        # fill-forward firsts must match actual firsts
+        prev = _NEG_INF
+        for s, seg in enumerate(self._segments):
+            expect = seg[0][0] if seg else prev
+            if self._seg_first[s] != expect:
+                raise PmaError(f"seg_first[{s}] = {self._seg_first[s]}, expected {expect}")
+            prev = expect
+
+
+def _next_pow2(n: int) -> int:
+    return 1 << max(0, (n - 1).bit_length())
+
+
+def _segment_size_for(capacity: int) -> int:
+    """Θ(log capacity) rounded to a power of two, at least 4."""
+    log = max(4, capacity.bit_length())
+    return min(_next_pow2(log), capacity)

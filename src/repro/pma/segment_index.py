@@ -1,0 +1,72 @@
+"""Implicit segment-location tree with top-k shared-memory caching.
+
+Locating the leaf segment of an update key walks an implicit binary
+tree over segment first-keys. GPMA keeps the whole tree in global
+memory; the paper's optimization (§V-C) loads the top-k levels into
+shared memory, converting the first k probes of every location into
+cheap shared-memory reads. :class:`SegmentIndex` performs the actual
+tree walk (validated against the PMA's bisect) and reports the cost
+split for the chosen ``cached_levels``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pma.pma import PMA
+
+
+@dataclass(frozen=True)
+class LocateCost:
+    """Probe counts for one leaf location."""
+
+    shared_probes: int
+    global_probes: int
+
+
+class SegmentIndex:
+    """Binary tree over a PMA's per-segment first keys.
+
+    ``tree[level][i]`` is the minimum key of the i-th window at that
+    level (level 0 = leaves = segments). Rebuild after PMA structural
+    changes (the GPMA layer rebuilds once per batch, which is also how
+    the real system amortizes it).
+    """
+
+    def __init__(self, pma: PMA, cached_levels: int = 3) -> None:
+        self.cached_levels = cached_levels
+        firsts = list(pma._seg_first)
+        self.levels: list[list[int]] = [firsts]
+        while len(self.levels[-1]) > 1:
+            below = self.levels[-1]
+            above = [below[i] for i in range(0, len(below), 2)]
+            self.levels.append(above)
+        self.height = len(self.levels) - 1
+
+    def locate(self, key: int) -> tuple[int, LocateCost]:
+        """Leaf segment index for ``key`` plus the probe cost split.
+
+        The walk starts at the root and at each level decides between
+        the two children by probing the right child's minimum key.
+        """
+        idx = 0
+        shared = global_ = 0
+        for level in range(self.height, 0, -1):
+            below = self.levels[level - 1]
+            right = idx * 2 + 1
+            # one probe of the right child's min key
+            depth_from_root = self.height - level
+            if depth_from_root < self.cached_levels:
+                shared += 1
+            else:
+                global_ += 1
+            # fill-forward sentinels compare like real keys so the walk
+            # lands on exactly the segment PMA's bisect would choose
+            if right < len(below) and key >= below[right]:
+                idx = right
+            else:
+                idx = idx * 2
+        return idx, LocateCost(shared, global_)
+
+    def locate_leaf(self, key: int) -> int:
+        return self.locate(key)[0]

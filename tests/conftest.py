@@ -1,0 +1,13 @@
+"""Shared test configuration.
+
+Ensures ``src`` is importable even when the editable install is absent
+(the offline environment lacks ``wheel``, so a ``.pth`` shim or this
+fallback stands in for ``pip install -e .``).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,158 @@
+"""Automorphism enumeration and coalesced-plan tests (paper §V-B)."""
+
+import pytest
+
+from repro.graph import LabeledGraph
+from repro.matching import (
+    automorphisms,
+    build_coalesced_plan,
+    is_automorphic,
+    ordered_pair_orbits,
+    trivial_plan,
+)
+from repro.matching.automorphism import compose, invert
+from repro.matching.matching_order import validate_order
+
+
+@pytest.fixture
+def paper_query():
+    """Figure 1 Q: triangle u0(A), u1(B), u2(B) + pendant u3(C) on u1."""
+    return LabeledGraph.from_edges([0, 1, 1, 2], [(0, 1), (0, 2), (1, 2), (1, 3)])
+
+
+class TestAutomorphisms:
+    def test_identity_always_present(self, paper_query):
+        auts = automorphisms(paper_query)
+        assert tuple(range(4)) in auts
+
+    def test_paper_query_is_rigid(self, paper_query):
+        """The pendant C on u1 breaks the u1<->u2 symmetry of full Q."""
+        assert automorphisms(paper_query) == [(0, 1, 2, 3)]
+        assert not is_automorphic(paper_query)
+
+    def test_triangle_same_labels(self):
+        g = LabeledGraph.from_edges([0, 0, 0], [(0, 1), (0, 2), (1, 2)])
+        assert len(automorphisms(g)) == 6  # S3
+
+    def test_triangle_two_labels(self):
+        g = LabeledGraph.from_edges([0, 1, 1], [(0, 1), (0, 2), (1, 2)])
+        auts = automorphisms(g)
+        assert set(auts) == {(0, 1, 2), (0, 2, 1)}
+
+    def test_labels_block_symmetry(self):
+        g = LabeledGraph.from_edges([0, 1], [(0, 1)])
+        assert automorphisms(g) == [(0, 1)]
+
+    def test_edge_labels_block_symmetry(self):
+        # path a-b-c where both ends have label 0 but edge labels differ
+        g = LabeledGraph.from_edges([0, 1, 0], [(0, 1, 3), (1, 2, 4)])
+        assert automorphisms(g) == [(0, 1, 2)]
+
+    def test_square_cycle(self):
+        g = LabeledGraph.from_edges([0, 0, 0, 0], [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert len(automorphisms(g)) == 8  # dihedral D4
+
+    def test_cap(self):
+        g = LabeledGraph.from_edges(
+            [0] * 4, [(u, v) for u in range(4) for v in range(u + 1, 4)]
+        )
+        auts = automorphisms(g, cap=5)
+        assert len(auts) <= 6
+
+    def test_compose_invert(self):
+        sigma, tau = (1, 2, 0), (2, 0, 1)
+        assert compose(sigma, invert(sigma)) == (0, 1, 2)
+        assert compose(sigma, tau) == (0, 1, 2)
+
+
+class TestOrbits:
+    def test_paper_core_orbit(self, paper_query):
+        """Q^1 = triangle {u0,u1,u2}: e(u0,u1) ~ e(u0,u2) (Example 4)."""
+        core, _ = paper_query.induced_subgraph([0, 1, 2])
+        orbits = ordered_pair_orbits(core)
+        flat = {frozenset(map(tuple, o)) for o in orbits}
+        # ordered pairs: (0,1)~(0,2), (1,0)~(2,0), (1,2)~(2,1)
+        assert sorted(map(len, orbits)) == [2, 2, 2]
+
+    def test_rigid_graph_singleton_orbits(self, paper_query):
+        orbits = ordered_pair_orbits(paper_query)
+        assert all(len(o) == 1 for o in orbits)
+
+    def test_orbits_cover_all_ordered_edges(self):
+        g = LabeledGraph.from_edges([0, 0, 0], [(0, 1), (0, 2), (1, 2)])
+        orbits = ordered_pair_orbits(g)
+        covered = {p for o in orbits for p in o}
+        assert covered == {(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)}
+
+
+class TestCoalescedPlan:
+    def test_paper_query_plan_finds_k1_group(self, paper_query):
+        plan = build_coalesced_plan(paper_query, max_k=1)
+        k1 = [g for g in plan.groups if g.k == 1 and not g.is_singleton]
+        assert k1, "the 1-degenerated triangle core must be found"
+        cores = {g.core for g in k1}
+        assert (0, 1, 2) in cores
+
+    def test_every_ordered_edge_assigned_once(self, paper_query):
+        plan = build_coalesced_plan(paper_query)
+        seen = []
+        for g in plan.groups:
+            seen.extend(g.members)
+        assert len(seen) == len(set(seen)) == 2 * paper_query.n_edges
+
+    def test_representative_is_member(self, paper_query):
+        plan = build_coalesced_plan(paper_query)
+        for g in plan.groups:
+            assert g.representative in g.members
+
+    def test_core_order_starts_with_rep(self, paper_query):
+        plan = build_coalesced_plan(paper_query)
+        for g in plan.groups:
+            assert g.core_order[0] == g.representative[0]
+            assert g.core_order[1] == g.representative[1]
+            assert g.full_order[: len(g.core_order)] == g.core_order
+
+    def test_full_order_valid(self, paper_query):
+        plan = build_coalesced_plan(paper_query)
+        for g in plan.groups:
+            validate_order(paper_query, g.full_order)
+
+    def test_rule1_prefers_smaller_k(self):
+        """A square (4-cycle, all labels equal) is automorphic at k=0;
+        its edges must be claimed by a k=0 group, not a k>=1 group."""
+        g = LabeledGraph.from_edges([0, 0, 0, 0], [(0, 1), (1, 2), (2, 3), (3, 0)])
+        plan = build_coalesced_plan(g, max_k=2)
+        for grp in plan.groups:
+            if not grp.is_singleton:
+                assert grp.k == 0
+
+    def test_symmetric_triangle_coalesces_whole_query(self):
+        g = LabeledGraph.from_edges([0, 1, 1], [(0, 1), (0, 2), (1, 2)])
+        plan = build_coalesced_plan(g, max_k=0)
+        big = [grp for grp in plan.groups if not grp.is_singleton]
+        assert big
+        assert plan.coalesced_edge_count >= 4
+
+    def test_maps_land_rep_on_members(self, paper_query):
+        plan = build_coalesced_plan(paper_query)
+        for g in plan.groups:
+            for m in g.core_maps:
+                image = (m[g.representative[0]], m[g.representative[1]])
+                assert image in g.members
+
+    def test_vertex_orbits_are_automorphism_closed(self, paper_query):
+        plan = build_coalesced_plan(paper_query)
+        for g in plan.groups:
+            for u, orbit in g.vertex_orbits.items():
+                assert u in orbit
+
+    def test_trivial_plan_all_singletons(self, paper_query):
+        plan = trivial_plan(paper_query)
+        assert all(g.is_singleton for g in plan.groups)
+        assert len(plan.groups) == 2 * paper_query.n_edges
+        assert plan.coalesced_edge_count == 0
+
+    def test_gain_bound(self, paper_query):
+        plan = build_coalesced_plan(paper_query)
+        for g in plan.groups:
+            assert 1 <= g.gain <= 2 * paper_query.n_edges

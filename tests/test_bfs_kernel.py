@@ -1,0 +1,92 @@
+"""BFS kernel tests: correctness parity with WBM/oracle and the
+Figure 5 memory/Comm instrumentation."""
+
+import random
+
+import pytest
+
+from repro.graph import LabeledGraph
+from repro.graph.generators import attach_labels, power_law_graph
+from repro.graph.updates import make_batch
+from repro.gpu import DeviceParams
+from repro.matching import BFSEngine, oracle_delta
+
+PARAMS = DeviceParams(num_sms=2, warps_per_block=4)
+PAPER_Q = LabeledGraph.from_edges([0, 1, 1, 2], [(0, 1), (0, 2), (1, 2), (1, 3)])
+
+
+def random_case(seed, n=20):
+    g = attach_labels(power_law_graph(n, 3.2, seed=seed), 3, 1, seed=seed + 77)
+    rng = random.Random(seed)
+    edges = list(g.edges())
+    rng.shuffle(edges)
+    non = [(u, v) for u in range(n) for v in range(u + 1, n) if not g.has_edge(u, v)]
+    rng.shuffle(non)
+    ops = [("+", u, v) for u, v in non[:4]] + [("-", u, v) for u, v in edges[:3]]
+    rng.shuffle(ops)
+    return g, make_batch(ops)
+
+
+class TestBFSCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_oracle(self, seed):
+        g, batch = random_case(seed)
+        pos, neg = oracle_delta(PAPER_Q, g, batch)
+        res = BFSEngine(PAPER_Q, g, PARAMS).process_batch(batch)
+        assert res.positives == pos
+        assert res.negatives == neg
+
+    def test_sequential_batches(self):
+        g, batch = random_case(50)
+        eng = BFSEngine(PAPER_Q, g, PARAMS)
+        eng.process_batch(batch)
+        g2 = eng.graph.copy()
+        rng = random.Random(3)
+        non = [
+            (u, v)
+            for u in range(g2.n_vertices)
+            for v in range(u + 1, g2.n_vertices)
+            if not g2.has_edge(u, v)
+        ]
+        rng.shuffle(non)
+        batch2 = make_batch([("+", u, v) for u, v in non[:3]])
+        pos, neg = oracle_delta(PAPER_Q, g2, batch2)
+        res = eng.process_batch(batch2)
+        assert res.positives == pos
+
+
+class TestBFSInstrumentation:
+    def test_memory_timeline_recorded(self):
+        g, batch = random_case(2)
+        res = BFSEngine(PAPER_Q, g, PARAMS).process_batch(batch)
+        assert res.memory_timeline
+        assert all(0.0 <= frac <= 1.0 for _, _, frac in res.memory_timeline)
+
+    def test_comp_cycles_positive(self):
+        g, batch = random_case(3)
+        res = BFSEngine(PAPER_Q, g, PARAMS).process_batch(batch)
+        assert res.comp_cycles > 0
+
+    def test_spill_on_tiny_device(self):
+        """With a tiny device memory, frontier materialization must
+        spill and pay Comm cycles (Figure 5's story)."""
+        tiny = DeviceParams(num_sms=2, warps_per_block=4, device_memory_words=8)
+        g = attach_labels(power_law_graph(40, 6.0, seed=4), 2, 1, seed=5)
+        rng = random.Random(4)
+        non = [(u, v) for u in range(40) for v in range(u + 1, 40) if not g.has_edge(u, v)]
+        rng.shuffle(non)
+        batch = make_batch([("+", u, v) for u, v in non[:15]])
+        res = BFSEngine(PAPER_Q, g, tiny).process_batch(batch)
+        assert res.spill_events > 0
+        assert res.comm_cycles > 0
+
+    def test_no_spill_on_big_device(self):
+        g, batch = random_case(6)
+        res = BFSEngine(PAPER_Q, g, PARAMS).process_batch(batch)
+        assert res.spill_events == 0
+        assert res.comm_cycles == 0.0
+
+    def test_peak_frontier_tracked(self):
+        g, batch = random_case(7)
+        res = BFSEngine(PAPER_Q, g, PARAMS).process_batch(batch)
+        assert res.peak_frontier_words >= 0

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion and prints the
+expected landmarks."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "positive matches" in out
+    assert "kernel" in out
+
+
+def test_fraud_rings():
+    out = run_example("fraud_rings.py")
+    assert "ring embeddings" in out
+    assert "live rings" in out
+
+
+def test_social_trends():
+    out = run_example("social_trends.py")
+    assert "identical for both engines" in out
+    assert "GAMMA wins" in out  # the work-heavy query must favor GAMMA
+
+
+def test_network_monitoring():
+    out = run_example("network_monitoring.py")
+    assert "alerts" in out
+
+
+def test_gpu_tour():
+    out = run_example("gpu_tour.py")
+    assert "coalesced" in out
+    assert "with stealing" in out
+    assert "plain GPMA" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart.py", "fraud_rings.py", "social_trends.py", "network_monitoring.py", "gpu_tour.py"],
+)
+def test_examples_exist(name):
+    assert (EXAMPLES / name).exists()

@@ -1,0 +1,161 @@
+"""GPMA dynamic graph container tests: correctness vs LabeledGraph and
+cost-model behaviour of the paper's two §V-C optimizations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import LabeledGraph, apply_batch, effective_delta
+from repro.graph.generators import power_law_graph
+from repro.graph.updates import make_batch
+from repro.pma import GPMAGraph, SegmentIndex
+from repro.pma.pma import PMA
+
+
+@pytest.fixture
+def small_graph():
+    return LabeledGraph.from_edges(
+        [0, 1, 1, 2, 0], [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4, 5)]
+    )
+
+
+class TestSegmentIndex:
+    def test_locate_matches_pma_bisect(self):
+        p = PMA.bulk_load([(k * 7, k) for k in range(64)])
+        index = SegmentIndex(p, cached_levels=2)
+        for key in [0, 1, 7, 100, 300, 441, 500]:
+            leaf, _cost = index.locate(key)
+            from bisect import bisect_left
+
+            expect = max(0, bisect_left(p._seg_first, key + 1) - 1)
+            assert leaf == expect, key
+
+    def test_cached_levels_shift_probe_split(self):
+        p = PMA.bulk_load([(k, 0) for k in range(512)])
+        cold = SegmentIndex(p, cached_levels=0)
+        warm = SegmentIndex(p, cached_levels=4)
+        _, c0 = cold.locate(100)
+        _, c4 = warm.locate(100)
+        assert c0.global_probes == c4.global_probes + c4.shared_probes - c0.shared_probes
+        assert c4.shared_probes == min(4, cold.height)
+        assert c0.shared_probes == 0
+
+    def test_total_probes_equal_height(self):
+        p = PMA.bulk_load([(k, 0) for k in range(256)])
+        index = SegmentIndex(p, cached_levels=2)
+        _, cost = index.locate(7)
+        assert cost.shared_probes + cost.global_probes == index.height
+
+
+class TestGPMAConstruction:
+    def test_from_graph_neighbors(self, small_graph):
+        gpma = GPMAGraph.from_graph(small_graph)
+        for v in small_graph.vertices():
+            assert gpma.neighbors(v) == list(small_graph.neighbors(v))
+
+    def test_counts(self, small_graph):
+        gpma = GPMAGraph.from_graph(small_graph)
+        assert gpma.n_vertices == 5
+        assert gpma.n_edges == 5
+
+    def test_edge_labels(self, small_graph):
+        gpma = GPMAGraph.from_graph(small_graph)
+        assert gpma.edge_label(2, 4) == 5
+        assert gpma.edge_label(4, 2) == 5
+        assert gpma.edge_label(0, 1) == 0
+
+    def test_missing_edge_label_raises(self, small_graph):
+        from repro.errors import GraphError
+
+        gpma = GPMAGraph.from_graph(small_graph)
+        with pytest.raises(GraphError):
+            gpma.edge_label(0, 4)
+
+    def test_neighbor_items(self, small_graph):
+        gpma = GPMAGraph.from_graph(small_graph)
+        assert gpma.neighbor_items(2) == [(0, 0), (1, 0), (4, 5)]
+
+
+class TestGPMAUpdates:
+    def test_apply_delta_insert(self, small_graph):
+        gpma = GPMAGraph.from_graph(small_graph)
+        delta = effective_delta(small_graph, make_batch([("+", 0, 3), ("+", 3, 4)]))
+        stats = gpma.apply_delta(delta)
+        assert gpma.has_edge(0, 3)
+        assert gpma.has_edge(3, 4)
+        assert stats.n_inserted == 2
+        assert stats.total_cycles > 0
+        gpma.check_invariants()
+
+    def test_apply_delta_delete(self, small_graph):
+        gpma = GPMAGraph.from_graph(small_graph)
+        delta = effective_delta(small_graph, make_batch([("-", 0, 1)]))
+        gpma.apply_delta(delta)
+        assert not gpma.has_edge(0, 1)
+        assert not gpma.has_edge(1, 0)
+        gpma.check_invariants()
+
+    def test_mixed_delta_matches_labeled_graph(self, small_graph):
+        gpma = GPMAGraph.from_graph(small_graph)
+        batch = make_batch([("+", 0, 3), ("-", 1, 2), ("+", 3, 4)])
+        delta = effective_delta(small_graph, batch)
+        gpma.apply_delta(delta)
+        apply_batch(small_graph, batch)
+        for v in small_graph.vertices():
+            assert gpma.neighbors(v) == list(small_graph.neighbors(v))
+
+    def test_top_k_caching_reduces_global_probes(self):
+        g = power_law_graph(300, 8.0, seed=1)
+        delta = effective_delta(g, make_batch([("+", 0, 299), ("+", 1, 298), ("+", 2, 297)]))
+        cold = GPMAGraph.from_graph(g, top_k_cached=0)
+        warm = GPMAGraph.from_graph(g, top_k_cached=4)
+        s_cold = cold.apply_delta(delta)
+        s_warm = warm.apply_delta(delta)
+        assert s_warm.global_probes < s_cold.global_probes
+        assert s_warm.locate_cycles < s_cold.locate_cycles
+
+    def test_cooperative_groups_reduce_materialize_cycles(self):
+        g = power_law_graph(300, 8.0, seed=2)
+        batch = make_batch([("+", i, 299 - i) for i in range(0, 40, 2) if not g.has_edge(i, 299 - i)])
+        delta = effective_delta(g, batch)
+        with_cg = GPMAGraph.from_graph(g, cooperative_groups=True)
+        without = GPMAGraph.from_graph(g, cooperative_groups=False)
+        s_cg = with_cg.apply_delta(delta)
+        s_plain = without.apply_delta(delta)
+        assert s_cg.materialize_cycles <= s_plain.materialize_cycles
+
+    def test_update_cost_scales_with_batch_size(self):
+        g = power_law_graph(400, 6.0, seed=3)
+        non_edges = [(u, v) for u in range(0, 40) for v in range(350, 399)
+                     if not g.has_edge(u, v)][:200]
+        small = make_batch([("+", u, v) for u, v in non_edges[:20]])
+        large = make_batch([("+", u, v) for u, v in non_edges])
+        g1 = GPMAGraph.from_graph(g)
+        g2 = GPMAGraph.from_graph(g)
+        s_small = g1.apply_delta(effective_delta(g, small))
+        s_large = g2.apply_delta(effective_delta(g, large))
+        assert s_large.total_cycles > s_small.total_cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_gpma_random_batches_match_labeled_graph(data):
+    """Property: GPMA after a random batch equals LabeledGraph after the
+    same batch, adjacency-for-adjacency."""
+    n = data.draw(st.integers(6, 30))
+    g = power_law_graph(n, 3.0, seed=data.draw(st.integers(0, 100)))
+    gpma = GPMAGraph.from_graph(g)
+    edges = list(g.edges())
+    non_edges = [(u, v) for u in range(n) for v in range(u + 1, n) if not g.has_edge(u, v)]
+    dels = data.draw(st.lists(st.sampled_from(edges), max_size=5, unique=True)) if edges else []
+    inss = (
+        data.draw(st.lists(st.sampled_from(non_edges), max_size=5, unique=True))
+        if non_edges
+        else []
+    )
+    batch = make_batch([("-", u, v) for u, v in dels] + [("+", u, v) for u, v in inss])
+    delta = effective_delta(g, batch)
+    gpma.apply_delta(delta)
+    apply_batch(g, batch)
+    gpma.check_invariants()
+    for v in g.vertices():
+        assert gpma.neighbors(v) == list(g.neighbors(v))

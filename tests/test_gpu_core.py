@@ -1,0 +1,293 @@
+"""Tests for the virtual GPU: memory, warp primitives, scheduler, launch."""
+
+import pytest
+
+from repro.errors import DeviceMemoryError, GpuError, SharedMemoryError
+from repro.gpu import (
+    BlockScheduler,
+    DeviceParams,
+    GlobalMemory,
+    HostDeviceLink,
+    SharedMemory,
+    VirtualGPU,
+)
+from repro.gpu.cooperative_groups import best_group_size, tiled_partition
+from repro.gpu.stats import BlockStats
+from repro.gpu.warp import WarpContext
+
+PARAMS = DeviceParams(num_sms=2, warps_per_block=4)
+
+
+def make_ctx(params=PARAMS):
+    return WarpContext(0, params, SharedMemory(params), GlobalMemory(params), BlockStats(n_warps=1))
+
+
+class TestGlobalMemory:
+    def test_alloc_free(self):
+        m = GlobalMemory(PARAMS)
+        m.alloc(100)
+        assert m.used_words == 100
+        m.free(40)
+        assert m.used_words == 60
+        assert m.peak_used == 100
+
+    def test_capacity_exceeded(self):
+        m = GlobalMemory(PARAMS)
+        with pytest.raises(DeviceMemoryError):
+            m.alloc(PARAMS.device_memory_words + 1)
+
+    def test_invalid_free(self):
+        m = GlobalMemory(PARAMS)
+        with pytest.raises(DeviceMemoryError):
+            m.free(1)
+
+
+class TestSharedMemory:
+    def test_alloc_read_write(self):
+        s = SharedMemory(PARAMS)
+        s.alloc("x", [1, 2], words=2)
+        val, cost = s.read("x")
+        assert val == [1, 2]
+        assert cost == PARAMS.shared_access_cycles
+        s.write("x", [3])
+        assert s.read("x")[0] == [3]
+
+    def test_duplicate_alloc(self):
+        s = SharedMemory(PARAMS)
+        s.alloc("x", 0, words=1)
+        with pytest.raises(SharedMemoryError):
+            s.alloc("x", 0, words=1)
+
+    def test_capacity(self):
+        s = SharedMemory(PARAMS)
+        with pytest.raises(SharedMemoryError):
+            s.alloc("big", None, words=PARAMS.shared_memory_words + 1)
+
+    def test_unknown_name(self):
+        s = SharedMemory(PARAMS)
+        with pytest.raises(SharedMemoryError):
+            s.read("nope")
+
+
+class TestWarpPrimitives:
+    def test_intersect_sorted_result(self):
+        ctx = make_ctx()
+        assert ctx.intersect_sorted([1, 3, 5, 7], [3, 4, 5, 9]) == [3, 5]
+
+    def test_intersect_empty(self):
+        ctx = make_ctx()
+        assert ctx.intersect_sorted([], [1]) == []
+        assert ctx.intersect_sorted([1], []) == []
+
+    def test_intersect_charges_cycles(self):
+        ctx = make_ctx()
+        before = ctx.clock
+        ctx.intersect_sorted(list(range(100)), list(range(0, 200, 2)))
+        assert ctx.clock > before
+        assert ctx.stats.global_transactions > 0
+
+    def test_coalesced_vs_scattered_pricing(self):
+        c1, c2 = make_ctx(), make_ctx()
+        c1.read_global_consecutive(64)  # 2 transactions
+        c2.read_global_scattered(64)  # 64 transactions
+        assert c2.clock > c1.clock
+        assert c1.stats.coalesced_transactions == 2
+        assert c2.stats.scattered_transactions == 64
+
+    def test_contains_sorted(self):
+        ctx = make_ctx()
+        assert ctx.contains_sorted([2, 4, 6], 4)
+        assert not ctx.contains_sorted([2, 4, 6], 5)
+        assert not ctx.contains_sorted([], 1)
+
+    def test_filter_with_predicate(self):
+        ctx = make_ctx()
+        out = ctx.filter_with_predicate([10, 11, 12], [True, False, True])
+        assert out == [10, 12]
+
+    def test_busy_cycles_track_charges(self):
+        ctx = make_ctx()
+        ctx.charge_lanes(64)  # 2 rounds
+        assert ctx.busy_cycles == 2 * PARAMS.compute_cycles
+
+
+class TestScheduler:
+    def test_min_clock_interleaving_makespan(self):
+        """Two warps with unequal work: makespan = max local clock."""
+
+        def light(ctx):
+            ctx.charge_compute(10)
+            yield
+
+        def heavy(ctx):
+            for _ in range(10):
+                ctx.charge_compute(10)
+                yield
+
+        sched = BlockScheduler(PARAMS, [light, heavy])
+        stats = sched.run()
+        assert stats.makespan_cycles == pytest.approx(100)
+        assert stats.busy_cycles == pytest.approx(110)
+        assert stats.tasks_completed == 2
+
+    def test_utilization_reflects_imbalance(self):
+        def make(n):
+            def task(ctx):
+                for _ in range(n):
+                    ctx.charge_compute(1)
+                    yield
+
+            return task
+
+        sched = BlockScheduler(PARAMS, [make(100), make(1), make(1), make(1)])
+        stats = sched.run()
+        assert stats.utilization < 0.5
+
+    def test_task_queue_beyond_warps(self):
+        """More tasks than warps run in waves on the same warps."""
+        done = []
+
+        def task(ctx):
+            ctx.charge_compute(5)
+            done.append(ctx.warp_id)
+            yield
+
+        sched = BlockScheduler(PARAMS, [task] * 10)
+        stats = sched.run()
+        assert stats.tasks_completed == 10
+        assert len(done) == 10
+
+    def test_idle_handler_provides_more_work(self):
+        picked = []
+
+        def quick(ctx):
+            ctx.charge_compute(1)
+            yield
+
+        handed = {"n": 0}
+
+        def idle_handler(ctx):
+            if handed["n"] >= 3:
+                return None
+            handed["n"] += 1
+
+            def extra(c=ctx):
+                c.charge_compute(2)
+                picked.append(c.warp_id)
+                yield
+
+            return extra()
+
+        sched = BlockScheduler(PARAMS, [quick, quick], idle_handler=idle_handler)
+        sched.run()
+        assert len(picked) == 3
+
+    def test_push_work_to_parked_warp(self):
+        """Passive stealing: a running warp donates to a parked one."""
+        order = []
+
+        def short(ctx):
+            ctx.charge_compute(1)
+            order.append("short-done")
+            yield
+
+        def donor_gen(ctx):
+            ctx.charge_compute(1)
+            order.append("donated-ran")
+            yield
+
+        holder = {}
+
+        def long_task(ctx):
+            ctx.charge_compute(50)
+            yield
+            sched = holder["sched"]
+            parked = sched.parked_warps() - {ctx.warp_id}
+            if parked:
+                target = min(parked)
+                sched.push_work(target, donor_gen(sched.contexts[target]), ctx.clock)
+            ctx.charge_compute(50)
+            yield
+
+        holder["sched"] = BlockScheduler(PARAMS, [short, long_task])
+        stats = holder["sched"].run()
+        assert "donated-ran" in order
+        assert stats.tasks_completed >= 2
+
+    def test_push_to_running_warp_rejected(self):
+        sched = BlockScheduler(PARAMS, [lambda ctx: iter(())])
+        with pytest.raises(GpuError):
+            sched.push_work(0, iter(()), 0.0)
+
+
+class TestDeviceLaunch:
+    def test_launch_partitions_blocks(self):
+        gpu = VirtualGPU(PARAMS)
+
+        def task(ctx):
+            ctx.charge_compute(3)
+            yield
+
+        res = gpu.launch([task] * 9)  # 4 warps/block -> 3 blocks
+        assert res.n_blocks == 3
+        assert res.stats.tasks_completed == 9
+
+    def test_kernel_cycles_max_over_sms(self):
+        gpu = VirtualGPU(PARAMS)
+
+        def task(ctx):
+            ctx.charge_compute(10)
+            yield
+
+        res = gpu.launch([task] * 8)  # 2 blocks over 2 SMs, one each
+        assert res.stats.kernel_cycles == pytest.approx(10)
+
+    def test_empty_launch(self):
+        gpu = VirtualGPU(PARAMS)
+        res = gpu.launch([])
+        assert res.stats.total_cycles == 0
+
+    def test_transfer_accounting(self):
+        gpu = VirtualGPU(PARAMS)
+        from repro.gpu.stats import KernelStats
+
+        stats = KernelStats()
+        gpu.transfer_to_device(1000, stats)
+        assert stats.transfer_cycles == pytest.approx(1000 / PARAMS.pcie_words_per_cycle)
+        assert gpu.link.transfers == 1
+
+
+class TestCooperativeGroups:
+    def test_tiled_partition_sizes(self):
+        ctx = make_ctx()
+        groups = tiled_partition(ctx, 8)
+        assert len(groups) == 4
+        assert all(g.size == 8 for g in groups)
+
+    def test_invalid_partition(self):
+        ctx = make_ctx()
+        with pytest.raises(GpuError):
+            tiled_partition(ctx, 5)
+
+    def test_group_charges_fewer_lanes(self):
+        ctx = make_ctx()
+        group = tiled_partition(ctx, 4)[0]
+        before = ctx.clock
+        group.charge_lanes(8)  # 2 rounds of 4 lanes
+        assert ctx.clock - before == pytest.approx(2 * PARAMS.compute_cycles)
+
+    def test_best_group_size(self):
+        ctx = make_ctx()
+        assert best_group_size(ctx, 32) == 32
+        assert best_group_size(ctx, 10) == 16
+        assert best_group_size(ctx, 3) == 4
+        assert best_group_size(ctx, 1) == 1
+
+
+class TestHostDeviceLink:
+    def test_transfer_cost(self):
+        link = HostDeviceLink(PARAMS)
+        cycles = link.transfer_cycles(100)
+        assert cycles == pytest.approx(100 / PARAMS.pcie_words_per_cycle)
+        with pytest.raises(DeviceMemoryError):
+            link.transfer_cycles(-1)

@@ -1,0 +1,184 @@
+"""Tests for generators, datasets, k-core, CSR, and serialization."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import BenchmarkError, GraphError
+from repro.graph import (
+    CSRGraph,
+    LabeledGraph,
+    attach_labels,
+    core_numbers,
+    dataset_summary,
+    k_core_subgraph,
+    load_dataset,
+    power_law_graph,
+    uniform_graph,
+)
+from repro.graph import io as graph_io
+from repro.graph.datasets import DATASET_NAMES, SPECS
+from repro.graph.kcore import edges_within_core
+
+
+class TestGenerators:
+    def test_power_law_sizes(self):
+        g = power_law_graph(500, 10.0, seed=7)
+        assert g.n_vertices == 500
+        assert abs(g.avg_degree() - 10.0) / 10.0 < 0.15
+
+    def test_power_law_deterministic(self):
+        a = power_law_graph(100, 5.0, seed=3)
+        b = power_law_graph(100, 5.0, seed=3)
+        assert a == b
+
+    def test_power_law_skew(self):
+        """Power-law graphs must have a much larger max degree than
+        uniform ones at the same average."""
+        pl = power_law_graph(800, 8.0, exponent=2.1, seed=1)
+        un = uniform_graph(800, 8.0, seed=1)
+        assert pl.max_degree() > 2 * un.max_degree()
+
+    def test_uniform_no_self_loops_or_dups(self):
+        g = uniform_graph(60, 4.0, seed=2)
+        seen = set()
+        for u, v in g.edges():
+            assert u != v
+            assert (u, v) not in seen
+            seen.add((u, v))
+
+    def test_too_small_raises(self):
+        with pytest.raises(GraphError):
+            power_law_graph(1, 2.0)
+        with pytest.raises(GraphError):
+            uniform_graph(0, 2.0)
+
+    def test_attach_labels_alphabets(self):
+        g = uniform_graph(200, 6.0, seed=5)
+        labeled = attach_labels(g, 4, 3, seed=6)
+        assert labeled.label_alphabet() <= set(range(4))
+        assert labeled.edge_label_alphabet() <= set(range(3))
+        assert labeled.n_edges == g.n_edges
+
+    def test_attach_labels_skew(self):
+        g = uniform_graph(400, 6.0, seed=8)
+        skewed = attach_labels(g, 10, 1, seed=9, vertex_skew=2.0)
+        counts = sorted(
+            (sum(1 for v in skewed.vertices() if skewed.vertex_label(v) == l) for l in range(10)),
+            reverse=True,
+        )
+        assert counts[0] > 5 * max(counts[-1], 1)
+
+
+class TestDatasets:
+    def test_all_datasets_load(self):
+        for name in DATASET_NAMES:
+            g = load_dataset(name, scale=0.2)
+            assert g.n_vertices > 0
+            assert g.n_edges > 0
+
+    def test_davg_close_to_spec(self):
+        for name in ("GH", "LJ", "NF"):
+            g = load_dataset(name)
+            spec = SPECS[name]
+            assert abs(g.avg_degree() - spec.avg_degree) / spec.avg_degree < 0.1, name
+
+    def test_label_alphabets_match_table2(self):
+        gh = load_dataset("GH")
+        nf = load_dataset("NF")
+        ls = load_dataset("LS")
+        assert len(gh.label_alphabet()) == 5
+        assert len(gh.edge_label_alphabet()) == 1
+        assert len(nf.label_alphabet()) == 1
+        assert len(nf.edge_label_alphabet()) == 7
+        assert len(ls.edge_label_alphabet()) == 44
+
+    def test_unknown_dataset(self):
+        with pytest.raises(BenchmarkError):
+            load_dataset("nope")
+
+    def test_load_returns_fresh_copy(self):
+        a = load_dataset("GH", scale=0.2)
+        b = load_dataset("GH", scale=0.2)
+        edge = next(iter(a.edges()))
+        a.remove_edge(*edge)
+        assert b.has_edge(*edge)
+
+    def test_summary_rows(self):
+        rows = dataset_summary(scale=0.2)
+        assert len(rows) == 6
+        assert {r["name"] for r in rows} == set(DATASET_NAMES)
+        for r in rows:
+            assert r["E"] > 0 and r["V"] > 0
+
+
+class TestKCore:
+    def test_matches_networkx(self):
+        g = power_law_graph(150, 6.0, seed=11)
+        ours = core_numbers(g)
+        theirs = nx.core_number(g.to_networkx())
+        assert {v: ours[v] for v in range(g.n_vertices)} == theirs
+
+    def test_k_core_subgraph(self):
+        g = power_law_graph(150, 6.0, seed=12)
+        nodes = set(k_core_subgraph(g, 4))
+        expect = set(nx.k_core(g.to_networkx(), 4).nodes())
+        assert nodes == expect
+
+    def test_edges_within_core_endpoints(self):
+        g = power_law_graph(150, 6.0, seed=13)
+        cores = core_numbers(g)
+        for u, v in edges_within_core(g, 3):
+            assert cores[u] >= 3 and cores[v] >= 3
+
+    def test_triangle_core(self):
+        g = LabeledGraph.from_edges([0, 0, 0, 0], [(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert core_numbers(g) == [2, 2, 2, 1]
+
+
+class TestCSR:
+    def test_round_trip_adjacency(self):
+        g = power_law_graph(80, 5.0, seed=20)
+        labeled = attach_labels(g, 3, 2, seed=21)
+        csr = CSRGraph.from_graph(labeled)
+        assert csr.n_vertices == labeled.n_vertices
+        assert csr.n_edges == labeled.n_edges
+        for v in labeled.vertices():
+            assert list(csr.neighbor_slice(v)) == list(labeled.neighbors(v))
+            assert csr.degree(v) == labeled.degree(v)
+
+    def test_edge_labels_aligned(self):
+        g = LabeledGraph.from_edges([0, 0, 0], [(0, 1, 4), (0, 2, 9)])
+        csr = CSRGraph.from_graph(g)
+        assert list(csr.edge_label_slice(0)) == [4, 9]
+
+    def test_has_edge(self):
+        g = LabeledGraph.from_edges([0, 0, 0], [(0, 1), (1, 2)])
+        csr = CSRGraph.from_graph(g)
+        assert csr.has_edge(0, 1) and csr.has_edge(2, 1)
+        assert not csr.has_edge(0, 2)
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path):
+        g = attach_labels(power_law_graph(60, 4.0, seed=30), 4, 3, seed=31)
+        path = tmp_path / "g.graph"
+        graph_io.save(g, path)
+        g2 = graph_io.load(path)
+        assert g == g2
+
+    def test_loads_rejects_bad_tag(self):
+        with pytest.raises(GraphError):
+            graph_io.loads("t 1 0\nv 0 0 0\nx 1 2\n")
+
+    def test_loads_rejects_count_mismatch(self):
+        with pytest.raises(GraphError):
+            graph_io.loads("t 2 1\nv 0 0 0\nv 1 0 0\n")
+
+    def test_loads_missing_header(self):
+        with pytest.raises(GraphError):
+            graph_io.loads("v 0 0 0\n")
+
+    def test_comments_and_blanks_ignored(self):
+        g = graph_io.loads("# hi\n\nt 2 1\nv 0 3 1\nv 1 4 1\ne 0 1 2\n")
+        assert g.vertex_label(0) == 3
+        assert g.edge_label(0, 1) == 2

@@ -1,0 +1,144 @@
+"""Unit tests for the core labeled-graph model."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import LabeledGraph
+
+
+@pytest.fixture
+def paper_query():
+    """Figure 1's query graph Q: triangle u0(A)-u1(B)-u2(B) plus pendant
+    u3(C) attached to u1. Labels: A=0, B=1, C=2."""
+    return LabeledGraph.from_edges([0, 1, 1, 2], [(0, 1), (0, 2), (1, 2), (1, 3)])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = LabeledGraph()
+        assert g.n_vertices == 0
+        assert g.n_edges == 0
+        assert list(g.edges()) == []
+
+    def test_from_edges_counts(self, paper_query):
+        assert paper_query.n_vertices == 4
+        assert paper_query.n_edges == 4
+
+    def test_vertex_labels(self, paper_query):
+        assert paper_query.vertex_label(0) == 0
+        assert paper_query.vertex_label(1) == 1
+        assert paper_query.vertex_label(3) == 2
+
+    def test_label_alphabet(self, paper_query):
+        assert paper_query.label_alphabet() == {0, 1, 2}
+
+    def test_add_vertex_returns_new_id(self):
+        g = LabeledGraph([5])
+        assert g.add_vertex(7) == 1
+        assert g.vertex_label(1) == 7
+
+    def test_from_edges_with_edge_labels(self):
+        g = LabeledGraph.from_edges([0, 0], [(0, 1, 9)])
+        assert g.edge_label(0, 1) == 9
+        assert g.edge_label_alphabet() == {9}
+
+
+class TestEdges:
+    def test_undirected_symmetry(self, paper_query):
+        assert paper_query.has_edge(0, 1)
+        assert paper_query.has_edge(1, 0)
+
+    def test_missing_edge(self, paper_query):
+        assert not paper_query.has_edge(0, 3)
+
+    def test_self_loop_rejected(self):
+        g = LabeledGraph([0, 0])
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_duplicate_edge_rejected(self, paper_query):
+        with pytest.raises(GraphError):
+            paper_query.add_edge(0, 1)
+
+    def test_remove_edge(self, paper_query):
+        paper_query.remove_edge(1, 0)
+        assert not paper_query.has_edge(0, 1)
+        assert paper_query.n_edges == 3
+
+    def test_remove_missing_edge_raises(self, paper_query):
+        with pytest.raises(GraphError):
+            paper_query.remove_edge(0, 3)
+
+    def test_edge_label_of_missing_edge_raises(self, paper_query):
+        with pytest.raises(GraphError):
+            paper_query.edge_label(0, 3)
+
+    def test_edges_canonical(self, paper_query):
+        edges = list(paper_query.edges())
+        assert all(u < v for u, v in edges)
+        assert set(edges) == {(0, 1), (0, 2), (1, 2), (1, 3)}
+
+    def test_out_of_range_vertex(self, paper_query):
+        with pytest.raises(GraphError):
+            paper_query.has_edge(0, 99)
+
+
+class TestNeighborhoods:
+    def test_degree(self, paper_query):
+        assert [paper_query.degree(v) for v in range(4)] == [2, 3, 2, 1]
+
+    def test_neighbors_sorted(self, paper_query):
+        assert paper_query.neighbors(1) == (0, 2, 3)
+
+    def test_neighbors_cache_invalidation(self, paper_query):
+        assert paper_query.neighbors(0) == (1, 2)
+        paper_query.remove_edge(0, 1)
+        assert paper_query.neighbors(0) == (2,)
+        paper_query.add_edge(0, 3)
+        assert paper_query.neighbors(0) == (2, 3)
+
+    def test_neighbors_with_label(self, paper_query):
+        assert paper_query.neighbors_with_label(0, 1) == [1, 2]
+        assert paper_query.neighbors_with_label(0, 2) == []
+
+    def test_nlf(self, paper_query):
+        nlf = paper_query.nlf(1)
+        assert nlf == {0: 1, 1: 1, 2: 1}
+
+    def test_avg_and_max_degree(self, paper_query):
+        assert paper_query.avg_degree() == pytest.approx(2.0)
+        assert paper_query.max_degree() == 3
+
+
+class TestDerived:
+    def test_copy_independent(self, paper_query):
+        c = paper_query.copy()
+        c.remove_edge(0, 1)
+        assert paper_query.has_edge(0, 1)
+        assert not c.has_edge(0, 1)
+
+    def test_equality(self, paper_query):
+        assert paper_query == paper_query.copy()
+        other = paper_query.copy()
+        other.remove_edge(0, 1)
+        assert paper_query != other
+
+    def test_induced_subgraph(self, paper_query):
+        sub, remap = paper_query.induced_subgraph([0, 1, 2])
+        assert sub.n_vertices == 3
+        assert sub.n_edges == 3  # the triangle
+        assert sub.vertex_label(remap[0]) == 0
+
+    def test_induced_subgraph_drops_external_edges(self, paper_query):
+        sub, _ = paper_query.induced_subgraph([1, 3])
+        assert sub.n_edges == 1
+
+    def test_to_networkx_roundtrip_structure(self, paper_query):
+        nxg = paper_query.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 4
+        assert nxg.nodes[3]["label"] == 2
+
+    def test_unhashable(self, paper_query):
+        with pytest.raises(TypeError):
+            hash(paper_query)

@@ -1,0 +1,80 @@
+"""Tests for matching-order generation."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.graph import LabeledGraph
+from repro.matching.matching_order import (
+    all_pair_orders,
+    matching_order_for_pair,
+    order_with_prefix,
+    validate_order,
+)
+
+PAPER_Q = LabeledGraph.from_edges([0, 1, 1, 2], [(0, 1), (0, 2), (1, 2), (1, 3)])
+
+
+class TestOrderForPair:
+    def test_starts_with_pair(self):
+        order = matching_order_for_pair(PAPER_Q, (0, 1))
+        assert order[:2] == [0, 1]
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_reversed_pair(self):
+        order = matching_order_for_pair(PAPER_Q, (1, 0))
+        assert order[:2] == [1, 0]
+
+    def test_non_edge_rejected(self):
+        with pytest.raises(MatchingError):
+            matching_order_for_pair(PAPER_Q, (0, 3))
+
+    def test_connected_prefix(self):
+        for pair in [(0, 1), (1, 2), (1, 3)]:
+            order = matching_order_for_pair(PAPER_Q, pair)
+            validate_order(PAPER_Q, order)
+
+    def test_selectivity_priority(self):
+        """From edge (0, 2): u1 (deg 3, closes the triangle) must come
+        before the pendant u3 (deg 1)."""
+        order = matching_order_for_pair(PAPER_Q, (0, 2))
+        assert order.index(1) < order.index(3)
+
+    def test_candidate_counts_break_ties(self):
+        # path with two symmetric extensions; counts steer the pick
+        q = LabeledGraph.from_edges([0, 0, 1, 1], [(0, 1), (0, 2), (1, 3)])
+        a = matching_order_for_pair(q, (0, 1), candidate_counts={2: 100, 3: 1})
+        assert a.index(3) < a.index(2)
+
+
+class TestAllPairOrders:
+    def test_covers_both_orientations(self):
+        orders = all_pair_orders(PAPER_Q)
+        assert len(orders) == 2 * PAPER_Q.n_edges
+        assert (0, 1) in orders and (1, 0) in orders
+
+    def test_every_order_valid(self):
+        for pair, order in all_pair_orders(PAPER_Q).items():
+            assert tuple(order[:2]) == pair
+            validate_order(PAPER_Q, order)
+
+
+class TestOrderWithPrefix:
+    def test_restricted_universe(self):
+        order = order_with_prefix(PAPER_Q, [0, 1], restrict_to=[0, 1, 2])
+        assert sorted(order) == [0, 1, 2]
+
+    def test_prefix_outside_universe_rejected(self):
+        with pytest.raises(MatchingError):
+            order_with_prefix(PAPER_Q, [3], restrict_to=[0, 1, 2])
+
+
+class TestValidateOrder:
+    def test_not_permutation(self):
+        with pytest.raises(MatchingError):
+            validate_order(PAPER_Q, [0, 1, 2])
+
+    def test_disconnected_prefix_rejected(self):
+        # 3 is only adjacent to 1; placing it after {0, 2} breaks the
+        # connected-prefix requirement
+        with pytest.raises(MatchingError):
+            validate_order(PAPER_Q, [0, 2, 3, 1])

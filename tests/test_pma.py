@@ -1,0 +1,194 @@
+"""PMA unit + property tests: sortedness, density management, batches."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PmaError
+from repro.pma import PMA
+
+
+class TestBasics:
+    def test_empty(self):
+        p = PMA()
+        assert len(p) == 0
+        assert list(p.keys()) == []
+        assert p.lookup(3) is None
+
+    def test_insert_lookup(self):
+        p = PMA()
+        p.insert(5, 50)
+        p.insert(3, 30)
+        assert p.lookup(5) == 50
+        assert p.lookup(3) == 30
+        assert list(p.keys()) == [3, 5]
+
+    def test_duplicate_insert_raises(self):
+        p = PMA()
+        p.insert(1)
+        with pytest.raises(PmaError):
+            p.insert(1)
+
+    def test_delete_returns_value(self):
+        p = PMA()
+        p.insert(7, 70)
+        assert p.delete(7) == 70
+        assert 7 not in p
+
+    def test_delete_missing_raises(self):
+        p = PMA()
+        with pytest.raises(PmaError):
+            p.delete(9)
+
+    def test_contains(self):
+        p = PMA()
+        p.insert(4)
+        assert 4 in p
+        assert 5 not in p
+
+    def test_grow_keeps_order(self):
+        p = PMA(capacity=8)
+        for k in range(100):
+            p.insert(k * 3, k)
+        assert list(p.keys()) == [k * 3 for k in range(100)]
+        assert p.capacity >= 100
+        p.check_invariants()
+
+    def test_reverse_insert_order(self):
+        p = PMA()
+        for k in range(200, 0, -1):
+            p.insert(k)
+        assert list(p.keys()) == list(range(1, 201))
+        p.check_invariants()
+
+    def test_shrink_on_mass_delete(self):
+        p = PMA()
+        for k in range(256):
+            p.insert(k)
+        cap_full = p.capacity
+        for k in range(250):
+            p.delete(k)
+        p.check_invariants()
+        assert p.capacity <= cap_full
+        assert list(p.keys()) == list(range(250, 256))
+
+
+class TestRangeQueries:
+    def test_range_items(self):
+        p = PMA()
+        for k in range(0, 50, 5):
+            p.insert(k, k * 10)
+        assert p.range_items(10, 30) == [(10, 100), (15, 150), (20, 200), (25, 250)]
+
+    def test_range_empty(self):
+        p = PMA()
+        p.insert(5)
+        assert p.range_items(6, 100) == []
+
+    def test_range_whole(self):
+        p = PMA()
+        for k in [9, 1, 5]:
+            p.insert(k)
+        assert [k for k, _ in p.range_items(0, 100)] == [1, 5, 9]
+
+
+class TestBulkLoad:
+    def test_bulk_load_sorted_output(self):
+        p = PMA.bulk_load([(k, k) for k in range(500, 0, -7)])
+        keys = list(p.keys())
+        assert keys == sorted(keys)
+        p.check_invariants()
+
+    def test_bulk_load_duplicate_raises(self):
+        with pytest.raises(PmaError):
+            PMA.bulk_load([(1, 0), (1, 1)])
+
+    def test_bulk_load_then_mutate(self):
+        p = PMA.bulk_load([(k, 0) for k in range(0, 100, 2)])
+        p.insert(51)
+        p.delete(50)
+        assert 51 in p and 50 not in p
+        p.check_invariants()
+
+
+class TestBatchOps:
+    def test_batch_insert(self):
+        p = PMA.bulk_load([(k, 0) for k in range(0, 60, 3)])
+        p.batch_insert([(k, 1) for k in range(1, 60, 3)])
+        assert len(p) == 40
+        p.check_invariants()
+        assert p.lookup(4) == 1
+
+    def test_batch_insert_duplicate_in_batch_raises(self):
+        p = PMA()
+        with pytest.raises(PmaError):
+            p.batch_insert([(3, 0), (3, 1)])
+
+    def test_batch_insert_existing_raises(self):
+        p = PMA()
+        p.insert(3)
+        with pytest.raises(PmaError):
+            p.batch_insert([(3, 0)])
+
+    def test_batch_delete(self):
+        p = PMA.bulk_load([(k, 0) for k in range(40)])
+        p.batch_delete(list(range(0, 40, 2)))
+        assert list(p.keys()) == list(range(1, 40, 2))
+        p.check_invariants()
+
+    def test_batch_clustered_keys(self):
+        """All updates hitting one segment must escalate correctly."""
+        p = PMA.bulk_load([(k * 100, 0) for k in range(50)])
+        p.batch_insert([(k, 1) for k in range(1, 60)])  # all land at the left
+        assert len(p) == 50 + 59
+        p.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["i", "d"]), st.integers(0, 300)),
+        max_size=300,
+    )
+)
+def test_pma_matches_reference_dict(ops):
+    """Property: PMA behaves exactly like a sorted dict under a random
+    op sequence, and invariants hold after every operation."""
+    p = PMA()
+    ref: dict[int, int] = {}
+    for i, (kind, key) in enumerate(ops):
+        if kind == "i" and key not in ref:
+            p.insert(key, i)
+            ref[key] = i
+        elif kind == "d" and key in ref:
+            assert p.delete(key) == ref.pop(key)
+    p.check_invariants()
+    assert list(p.items()) == sorted(ref.items())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    initial=st.sets(st.integers(0, 500), max_size=150),
+    to_insert=st.sets(st.integers(501, 900), max_size=80),
+)
+def test_batch_insert_equals_loop_insert(initial, to_insert):
+    """Property: batch_insert produces the same content as sequential
+    inserts (escalation must not lose or duplicate elements)."""
+    base = [(k, 0) for k in sorted(initial)]
+    p_batch = PMA.bulk_load(base)
+    p_batch.batch_insert([(k, 1) for k in to_insert])
+    p_loop = PMA.bulk_load(base)
+    for k in to_insert:
+        p_loop.insert(k, 1)
+    assert list(p_batch.items()) == list(p_loop.items())
+    p_batch.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_batch_delete_equals_loop_delete(data):
+    keys = data.draw(st.sets(st.integers(0, 400), min_size=10, max_size=120))
+    victims = data.draw(st.sets(st.sampled_from(sorted(keys)), max_size=60))
+    p = PMA.bulk_load([(k, 0) for k in keys])
+    p.batch_delete(list(victims))
+    assert set(p.keys()) == keys - victims
+    p.check_invariants()

@@ -1,0 +1,126 @@
+"""Tests for update ops, batches, and net-delta semantics (Example 1)."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.graph import LabeledGraph, OpKind, UpdateBatch, UpdateOp, apply_batch, effective_delta
+from repro.graph.updates import UpdateStream, make_batch
+
+
+@pytest.fixture
+def g():
+    # path 0-1-2-3 with labels all 0
+    return LabeledGraph.from_edges([0, 0, 0, 0], [(0, 1), (1, 2), (2, 3)])
+
+
+class TestUpdateOp:
+    def test_canonical_edge(self):
+        assert UpdateOp.insert(5, 2).edge == (2, 5)
+
+    def test_kinds(self):
+        assert UpdateOp.insert(0, 1).kind is OpKind.INSERT
+        assert UpdateOp.delete(0, 1).kind is OpKind.DELETE
+
+    def test_str(self):
+        assert str(UpdateOp.insert(0, 1)) == "(+, (0, 1))"
+
+    def test_make_batch_from_tuples(self):
+        b = make_batch([("+", 0, 3), ("-", 1, 2)])
+        assert len(b) == 2
+        assert b[0].kind is OpKind.INSERT
+        assert b[1].kind is OpKind.DELETE
+
+    def test_make_batch_bad_sign(self):
+        with pytest.raises(UpdateError):
+            make_batch([("?", 0, 1)])
+
+    def test_batch_dynamic_flag(self):
+        assert not make_batch([("+", 0, 3)]).is_batch_dynamic
+        assert make_batch([("+", 0, 3), ("-", 1, 2)]).is_batch_dynamic
+
+
+class TestApplyBatch:
+    def test_apply_insert_and_delete(self, g):
+        apply_batch(g, make_batch([("+", 0, 2), ("-", 2, 3)]))
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(2, 3)
+
+    def test_strict_insert_existing_raises(self, g):
+        with pytest.raises(UpdateError):
+            apply_batch(g, make_batch([("+", 0, 1)]))
+
+    def test_strict_delete_missing_raises(self, g):
+        with pytest.raises(UpdateError):
+            apply_batch(g, make_batch([("-", 0, 3)]))
+
+    def test_non_strict_skips_invalid(self, g):
+        apply_batch(g, make_batch([("+", 0, 1), ("+", 0, 2)]), strict=False)
+        assert g.has_edge(0, 2)
+
+    def test_ops_applied_in_order(self, g):
+        # delete then re-insert the same edge is valid sequentially
+        apply_batch(g, make_batch([("-", 0, 1), ("+", 0, 1)]))
+        assert g.has_edge(0, 1)
+
+
+class TestEffectiveDelta:
+    def test_plain_insert(self, g):
+        d = effective_delta(g, make_batch([("+", 0, 2)]))
+        assert d.inserted_edges == ((0, 2),)
+        assert d.deleted == ()
+
+    def test_plain_delete(self, g):
+        d = effective_delta(g, make_batch([("-", 1, 2)]))
+        assert d.deleted_edges == ((1, 2),)
+        assert d.inserted == ()
+
+    def test_insert_then_delete_cancels(self, g):
+        d = effective_delta(g, make_batch([("+", 0, 2), ("-", 0, 2)]))
+        assert not d
+
+    def test_delete_then_reinsert_cancels(self, g):
+        d = effective_delta(g, make_batch([("-", 0, 1), ("+", 0, 1)]))
+        assert not d
+
+    def test_label_change_is_delete_plus_insert(self):
+        g = LabeledGraph.from_edges([0, 0], [(0, 1, 3)])
+        batch = UpdateBatch([UpdateOp.delete(0, 1), UpdateOp.insert(0, 1, 7)])
+        d = effective_delta(g, batch)
+        assert d.deleted == ((0, 1, 3),)
+        assert d.inserted == ((0, 1, 7),)
+
+    def test_does_not_mutate_graph(self, g):
+        effective_delta(g, make_batch([("+", 0, 2), ("-", 1, 2)]))
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(0, 2)
+
+    def test_invalid_intermediate_raises(self, g):
+        with pytest.raises(UpdateError):
+            effective_delta(g, make_batch([("+", 0, 2), ("+", 0, 2)]))
+        with pytest.raises(UpdateError):
+            effective_delta(g, make_batch([("-", 0, 2)]))
+
+    def test_matches_apply_batch(self, g):
+        """The net delta must equal the before/after edge-set diff."""
+        batch = make_batch([("+", 0, 2), ("-", 1, 2), ("+", 1, 3), ("-", 1, 3)])
+        d = effective_delta(g, batch)
+        before = set(g.edges())
+        g2 = g.copy()
+        apply_batch(g2, batch)
+        after = set(g2.edges())
+        assert set(d.inserted_edges) == after - before
+        assert set(d.deleted_edges) == before - after
+
+    def test_rank_order_preserved(self, g):
+        """Net inserted edges keep first-touch order (the total order
+        used for duplicate elimination)."""
+        d = effective_delta(g, make_batch([("+", 0, 3), ("+", 0, 2)]))
+        assert d.inserted_edges == ((0, 3), (0, 2))
+
+
+class TestUpdateStream:
+    def test_stream_iteration(self):
+        s = UpdateStream([make_batch([("+", 0, 1)]), make_batch([("-", 0, 1), ("+", 1, 2)])])
+        assert len(s) == 2
+        assert s.total_ops() == 3
+        assert len(s[1]) == 2
