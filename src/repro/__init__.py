@@ -1,11 +1,17 @@
 """GAMMA: GPU-Accelerated Batch-Dynamic Subgraph Matching (ICDE 2024).
 
-A complete reproduction of the paper's system on a simulated SIMT GPU:
+A complete reproduction of the paper's system on a simulated SIMT GPU,
+grown into a multi-query serving stack:
 
-* :class:`~repro.pipeline.gamma.GammaSystem` — the end-to-end system
-  (preprocess → GPMA update → WBM kernel → postprocess);
+* :class:`~repro.service.MatchingService` — N concurrent queries over
+  one shared :class:`~repro.service.DynamicGraphStore` (one graph, one
+  GPMA, one encoding table; each batch applied exactly once);
+* :class:`~repro.pipeline.gamma.GammaSystem` — the single-query
+  end-to-end system (preprocess → GPMA update → WBM kernel →
+  postprocess), a thin wrapper over the service;
 * :class:`~repro.matching.wbm.WBMEngine` — the warp-centric DFS kernel
-  with work stealing and coalesced search;
+  with work stealing and coalesced search, split into a shared store
+  plus a per-query :class:`~repro.matching.wbm.QueryRuntime`;
 * :mod:`repro.baselines` — TurboFlux / SymBi / RapidFlow / CaLiG
   reimplementations;
 * :mod:`repro.gpu` — the virtual GPU substrate;
@@ -13,7 +19,7 @@ A complete reproduction of the paper's system on a simulated SIMT GPU:
 * :mod:`repro.bench` — workloads, harness, and reporting for every
   table and figure in the paper's evaluation.
 
-Quickstart::
+Single-query quickstart::
 
     from repro import GammaSystem, LabeledGraph, make_batch
 
@@ -22,6 +28,16 @@ Quickstart::
     system = GammaSystem(query, data)
     report = system.process_batch(make_batch([("+", 0, 2)]))
     print(report.result.positives)
+
+Multi-query serving::
+
+    from repro import MatchingService
+
+    service = MatchingService(data)
+    service.register_query(query_a, name="fraud-ring")
+    service.register_query(query_b, name="fanout")
+    report = service.process_batch(make_batch([("+", 0, 2)]))
+    print(report.queries["fraud-ring"].result.positives)
 """
 
 from repro.errors import (
@@ -50,6 +66,7 @@ from repro.pma import GPMAGraph, PMA
 from repro.filtering import CandidateTable, EncodingSchema, EncodingTable
 from repro.matching import (
     BFSEngine,
+    QueryRuntime,
     WBMConfig,
     WBMEngine,
     build_coalesced_plan,
@@ -58,6 +75,12 @@ from repro.matching import (
 )
 from repro.baselines import BASELINES, CaLiG, Graphflow, IncIsoMat, RapidFlow, SymBi, TurboFlux
 from repro.pipeline import GammaSystem, MatchCollector, PipelineModel
+from repro.service import (
+    DynamicGraphStore,
+    MatchingService,
+    ServiceBatchReport,
+    StoreCommit,
+)
 
 __version__ = "1.0.0"
 
@@ -110,5 +133,11 @@ __all__ = [
     "GammaSystem",
     "MatchCollector",
     "PipelineModel",
+    # multi-query service
+    "DynamicGraphStore",
+    "StoreCommit",
+    "QueryRuntime",
+    "MatchingService",
+    "ServiceBatchReport",
     "__version__",
 ]

@@ -35,9 +35,25 @@ class EncodingSchema:
 
     @classmethod
     def for_query(cls, query: LabeledGraph, bits_per_label: int = 2) -> "EncodingSchema":
+        return cls.for_labels(query.label_alphabet(), bits_per_label)
+
+    @classmethod
+    def for_labels(cls, labels, bits_per_label: int = 2) -> "EncodingSchema":
+        """Schema over an explicit label alphabet.
+
+        For any query whose labels are contained in ``labels``, a
+        superset schema filters *identically* to the query-restricted
+        one (extra label groups carry zero counts in every query code,
+        so they never constrain the AND test) — which is what lets one
+        shared :class:`EncodingTable` serve many concurrently
+        registered queries. A query label *outside* the alphabet is
+        simply unencoded: results stay exact (the kernels re-check
+        labels), but that vertex loses encoding selectivity — widen the
+        store's ``extra_labels`` if such queries are expected.
+        """
         if bits_per_label < 1:
             raise MatchingError(f"bits_per_label must be >= 1, got {bits_per_label}")
-        return cls(tuple(sorted(query.label_alphabet())), bits_per_label)
+        return cls(tuple(sorted(set(labels))), bits_per_label)
 
     @property
     def n_labels(self) -> int:
@@ -93,6 +109,9 @@ class EncodingTable:
     def __init__(self, schema: EncodingSchema, graph: LabeledGraph) -> None:
         self.schema = schema
         self.codes: list[int] = [schema.encode(graph, v) for v in graph.vertices()]
+        #: bumped once per applied batch delta; the shared store's
+        #: consistency audit requires it to match the store version
+        self.version = 0
 
     def __getitem__(self, v: int) -> int:
         return self.codes[v]
@@ -127,4 +146,5 @@ class EncodingTable:
         for u, v, _ in delta.deleted:
             touched.add(u)
             touched.add(v)
+        self.version += 1
         return self.refresh_vertices(graph_after, touched)

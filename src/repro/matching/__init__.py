@@ -20,6 +20,9 @@ from repro.matching.wbm import (
     MatchRecord,
     BatchResult,
     KernelOutput,
+    QueryRuntime,
+    gate_plan,
+    launch_kernel,
 )
 from repro.matching.bfs_kernel import BFSEngine, BFSResult
 
@@ -41,6 +44,9 @@ __all__ = [
     "MatchRecord",
     "BatchResult",
     "KernelOutput",
+    "QueryRuntime",
+    "gate_plan",
+    "launch_kernel",
     "BFSEngine",
     "BFSResult",
 ]

@@ -32,16 +32,16 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from repro.errors import BudgetExceeded, MatchingError
-from repro.filtering import CandidateTable, EncodingSchema, EncodingTable
+from repro.filtering import CandidateTable, EncodingSchema
 from repro.graph.labeled_graph import LabeledGraph, canonical
-from repro.graph.updates import UpdateBatch, apply_batch, effective_delta
+from repro.graph.updates import UpdateBatch
 from repro.gpu.device import VirtualGPU
 from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
 from repro.gpu.scheduler import BlockScheduler
 from repro.gpu.stats import KernelStats
 from repro.gpu.warp import WarpContext
 from repro.matching.coalesced import CoalescedGroup, CoalescedPlan, build_coalesced_plan, trivial_plan
-from repro.pma.gpma import GPMAGraph, GpmaUpdateStats
+from repro.pma.gpma import GpmaUpdateStats
 
 Match = tuple[int, ...]
 
@@ -565,14 +565,237 @@ def _passive_donate(ctx: WarpContext, env: _Env, state: dict) -> None:
 
 
 # ---------------------------------------------------------------------------
-# the engine
+# plan gating and kernel launch (shared by QueryRuntime and WBMEngine)
+# ---------------------------------------------------------------------------
+# a k>=1 group trades duplicate searches for a relaxed core filter
+# (paper §V-B Remark: removed-vertex constraints are lost). The
+# relaxation compounds multiplicatively over core levels, so only
+# near-exact unions are worth it; anything looser is demoted to
+# singleton searches.
+_RELAX_GATE = 1.05
+
+
+def gate_plan(
+    query: LabeledGraph,
+    table: CandidateTable,
+    plan: CoalescedPlan,
+    relax_gate: float = _RELAX_GATE,
+) -> CoalescedPlan:
+    """Demote coalesced groups whose orbit-union filter would expand
+    the core candidate space more than the shared search saves.
+
+    Whole-query groups (k = 0) have an automorphism-invariant table,
+    so their union equals the exact columns and they always pass.
+    """
+    gated = CoalescedPlan()
+    singles = trivial_plan(query)
+    bitmap = table.bitmap
+    for group in plan.groups:
+        keep = True
+        if not group.is_singleton and group.k > 0:
+            exact = union = 0
+            for u, orbit in group.vertex_orbits.items():
+                cnt_exact = int(bitmap[:, u].sum())
+                col = bitmap[:, orbit[0]]
+                for w in orbit[1:]:
+                    col = col | bitmap[:, w]
+                exact += cnt_exact
+                union += int(col.sum())
+            inflation = union / max(exact, 1)
+            keep = inflation <= relax_gate
+        if keep:
+            gated.groups.append(group)
+            for e in group.members:
+                gated.by_edge[e] = group
+        else:
+            for e in group.members:
+                single = singles.by_edge[e]
+                gated.groups.append(single)
+                gated.by_edge[e] = single
+    return gated
+
+
+def _initial_items(env: _Env, x: int, y: int, elabel: int, rank: int) -> list[dict]:
+    """Map update edge (x, y) onto every group representative, both
+    assignment directions (ordered pairs cover orientation)."""
+    query, graph = env.query, env.graph
+    items: list[dict] = []
+    lx = graph.vertex_label(x) if x < graph.n_vertices else None
+    ly = graph.vertex_label(y) if y < graph.n_vertices else None
+    for group in env.plan.groups:
+        a, b = group.representative
+        if query.edge_label(a, b) != elabel:
+            continue
+        if query.vertex_label(a) != lx or query.vertex_label(b) != ly:
+            continue
+        if not env.passes_filter(group, a, x, in_core=True):
+            continue
+        if not env.passes_filter(group, b, y, in_core=True):
+            continue
+        items.append(
+            {
+                "group": group,
+                "assign": {a: x, b: y},
+                "level": 2,
+                "dedup": set(),
+                "rank": rank,
+                "permuted": False,
+            }
+        )
+    return items
+
+
+def _make_task(env: _Env, items: list[dict]):
+    def task(ctx: WarpContext) -> Generator[None, None, None]:
+        if not items:
+            ctx.charge_compute(1)
+            yield
+            return
+        yield from _worker(ctx, env, items)
+
+    return task
+
+
+def launch_kernel(
+    query: LabeledGraph,
+    graph: LabeledGraph,
+    table: CandidateTable,
+    plan: CoalescedPlan,
+    config: WBMConfig,
+    gpu: VirtualGPU,
+    edges: list[tuple[int, int, int]],
+) -> KernelOutput:
+    """Launch one sign phase: one warp task per net update edge."""
+    out = KernelOutput()
+    rank_map = {canonical(u, v): i for i, (u, v, _) in enumerate(edges)}
+    env = _Env(query, graph, table, plan, rank_map, config, out)
+
+    tasks = []
+    for i, (u, v, lbl) in enumerate(edges):
+        cu, cv = canonical(u, v)
+        items = _initial_items(env, cu, cv, lbl, i)
+        tasks.append(_make_task(env, items))
+
+    def block_hook(sched: BlockScheduler):
+        sched.shared.alloc("_sched", sched, words=0)
+        if config.work_stealing == "active":
+            return _active_idle_handler(sched, env)
+        return None
+
+    try:
+        launch = gpu.launch(tasks, block_hook=block_hook)
+        out.stats.merge(launch.stats)
+    except BudgetExceeded:
+        out.aborted = True
+    out.peak_stack_words = env.gauge.peak
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the per-query runtime
+# ---------------------------------------------------------------------------
+class QueryRuntime:
+    """Per-query state layered on a shared :class:`DynamicGraphStore`.
+
+    Owns everything that is private to one registered query — the query
+    graph, the (gated) coalesced plan, the candidate table, the virtual
+    GPU the kernels launch on, and optionally a match collector — while
+    the data graph, GPMA container, and encoding table live in the
+    store and are shared with every other runtime.
+
+    Batch flow, orchestrated by the service (or :class:`WBMEngine` for
+    a private store): :meth:`launch` the deleted net edges while the
+    pre-update graph is live, then :meth:`observe_commit` the store's
+    single update, then :meth:`launch` the inserted net edges.
+    """
+
+    def __init__(
+        self,
+        query: LabeledGraph,
+        store,
+        params: DeviceParams = DEFAULT_PARAMS,
+        config: WBMConfig = WBMConfig(),
+        name: str | None = None,
+        collector=None,
+    ) -> None:
+        if query.n_vertices < 2:
+            raise MatchingError("query needs at least one edge")
+        self.query = query
+        self.store = store
+        self.params = params
+        self.config = config
+        self.name = name
+        self.gpu = VirtualGPU(params)
+        self.table = CandidateTable(query, store.graph, store.encodings)
+        if config.coalesced:
+            self.plan = gate_plan(query, self.table, build_coalesced_plan(query, max_k=config.max_k))
+        else:
+            self.plan = trivial_plan(query)
+        self.collector = collector
+        #: matches present when the query registered (static bootstrap);
+        #: None until :meth:`bootstrap` runs
+        self.initial_matches: Optional[set[Match]] = None
+        self.synced_version = store.version
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> LabeledGraph:
+        """The shared data graph (lives in the store)."""
+        return self.store.graph
+
+    def bootstrap(self) -> set[Match]:
+        """Answer the query against the *current* graph state.
+
+        A query registered mid-stream starts from the static match set,
+        so its "current matches" view is complete from the first batch
+        it observes.
+        """
+        from repro.matching.static_match import find_matches
+
+        self.initial_matches = find_matches(self.query, self.store.graph)
+        return set(self.initial_matches)
+
+    def launch(self, edges: list[tuple[int, int, int]]) -> KernelOutput:
+        """Run the WBM kernel for one sign phase over ``edges``."""
+        if self.synced_version != self.store.version:
+            raise MatchingError(
+                f"runtime {self.name!r} out of sync with store "
+                f"(saw v{self.synced_version}, store at v{self.store.version})"
+            )
+        return launch_kernel(
+            self.query, self.store.graph, self.table, self.plan, self.config, self.gpu, edges
+        )
+
+    def observe_commit(self, commit) -> None:
+        """Refresh per-query candidate rows after the store's single
+        update; every runtime must observe every commit exactly once."""
+        if commit.version != self.synced_version + 1:
+            raise MatchingError(
+                f"runtime {self.name!r} missed a store commit "
+                f"(saw v{self.synced_version}, commit is v{commit.version})"
+            )
+        self.table.refresh_rows(set(commit.changed_vertices))
+        self.synced_version = commit.version
+
+    def current_matches(self) -> set[Match]:
+        """Bootstrap matches plus live births minus observed deaths."""
+        base = set(self.initial_matches or ())
+        if self.collector is not None:
+            base |= self.collector.live_matches()
+            base -= self.collector.dead_matches()
+        return base
+
+
+# ---------------------------------------------------------------------------
+# the single-query engine (compatibility facade over store + runtime)
 # ---------------------------------------------------------------------------
 class WBMEngine:
     """GAMMA's computational kernel bound to one (query, data graph).
 
-    Owns the host mirror graph, the GPMA device container, the encoding
-    table and candidate table, and the per-query coalesced plan. Batches
-    stream through :meth:`process_batch`.
+    Composes a private :class:`DynamicGraphStore` with one
+    :class:`QueryRuntime`; multi-query deployments share one store
+    across runtimes through :class:`repro.service.MatchingService`
+    instead. Batches stream through :meth:`process_batch`.
     """
 
     def __init__(
@@ -582,72 +805,54 @@ class WBMEngine:
         params: DeviceParams = DEFAULT_PARAMS,
         config: WBMConfig = WBMConfig(),
     ) -> None:
+        from repro.service.store import DynamicGraphStore
+
         if query.n_vertices < 2:
             raise MatchingError("query needs at least one edge")
-        self.query = query
-        self.graph = graph.copy()
+        # the query-restricted schema reproduces the paper's encoding
+        # exactly; shared stores use the full-alphabet superset schema,
+        # which filters identically
+        schema = EncodingSchema.for_query(query, config.bits_per_label)
+        self.store = DynamicGraphStore(graph, params, schema=schema)
+        self.runtime = QueryRuntime(query, self.store, params, config)
         self.params = params
         self.config = config
-        self.gpu = VirtualGPU(params)
-        self.gpma = GPMAGraph.from_graph(self.graph, params)
-        schema = EncodingSchema.for_query(query, config.bits_per_label)
-        self.encodings = EncodingTable(schema, self.graph)
-        self.table = CandidateTable(query, self.graph, self.encodings)
-        self.plan = (
-            self._gate_plan(build_coalesced_plan(query, max_k=config.max_k))
-            if config.coalesced
-            else trivial_plan(query)
-        )
 
-    # a k>=1 group trades duplicate searches for a relaxed core filter
-    # (paper §V-B Remark: removed-vertex constraints are lost). The
-    # relaxation compounds multiplicatively over core levels, so only
-    # near-exact unions are worth it; anything looser is demoted to
-    # singleton searches.
-    _RELAX_GATE = 1.05
+    # legacy attribute surface: the engine used to own all of these
+    @property
+    def query(self) -> LabeledGraph:
+        return self.runtime.query
 
-    def _gate_plan(self, plan: CoalescedPlan) -> CoalescedPlan:
-        """Demote coalesced groups whose orbit-union filter would expand
-        the core candidate space more than the shared search saves.
+    @property
+    def graph(self) -> LabeledGraph:
+        return self.store.graph
 
-        Whole-query groups (k = 0) have an automorphism-invariant table,
-        so their union equals the exact columns and they always pass.
-        """
-        from repro.matching.coalesced import trivial_plan as _trivial
+    @property
+    def gpma(self):
+        return self.store.gpma
 
-        gated = CoalescedPlan()
-        singles = _trivial(self.query)
-        bitmap = self.table.bitmap
-        for group in plan.groups:
-            keep = True
-            if not group.is_singleton and group.k > 0:
-                exact = union = 0
-                for u, orbit in group.vertex_orbits.items():
-                    cnt_exact = int(bitmap[:, u].sum())
-                    col = bitmap[:, orbit[0]]
-                    for w in orbit[1:]:
-                        col = col | bitmap[:, w]
-                    exact += cnt_exact
-                    union += int(col.sum())
-                inflation = union / max(exact, 1)
-                keep = inflation <= self._RELAX_GATE
-            if keep:
-                gated.groups.append(group)
-                for e in group.members:
-                    gated.by_edge[e] = group
-            else:
-                for e in group.members:
-                    single = singles.by_edge[e]
-                    gated.groups.append(single)
-                    gated.by_edge[e] = single
-        return gated
+    @property
+    def encodings(self):
+        return self.store.encodings
+
+    @property
+    def table(self) -> CandidateTable:
+        return self.runtime.table
+
+    @property
+    def plan(self) -> CoalescedPlan:
+        return self.runtime.plan
+
+    @property
+    def gpu(self) -> VirtualGPU:
+        return self.runtime.gpu
 
     # ------------------------------------------------------------------
     def process_batch(self, batch: UpdateBatch) -> BatchResult:
         """Negative matches on the pre-update graph, GPMA update, then
         positive matches on the post-update graph."""
         result = BatchResult()
-        delta = effective_delta(self.graph, batch)
+        delta = self.store.prepare(batch)
 
         if delta.deleted:
             neg = self._run_kernel(list(delta.deleted), sign=-1)
@@ -655,15 +860,13 @@ class WBMEngine:
             result.kernel_stats.merge(neg.stats)
             result.aborted |= neg.aborted
 
-        result.gpma_stats = self.gpma.apply_delta(delta)
-        apply_batch(self.graph, batch)
-        changed = self.encodings.apply_delta(self.graph, delta)
-        self.table.refresh_rows(changed)
-        result.reencoded_vertices = len(changed)
+        commit = self.store.commit(batch, delta)
+        self.runtime.observe_commit(commit)
+        result.gpma_stats = commit.gpma_stats
+        result.reencoded_vertices = len(commit.changed_vertices)
         # host->device: update edges + re-encoded vertex rows
-        words = 2 * (len(delta.inserted) + len(delta.deleted)) + 2 * len(changed)
-        result.transfer_words = words
-        self.gpu.transfer_to_device(words, result.kernel_stats)
+        result.transfer_words = commit.transfer_words
+        self.gpu.transfer_to_device(commit.transfer_words, result.kernel_stats)
 
         if delta.inserted:
             pos = self._run_kernel(list(delta.inserted), sign=+1)
@@ -672,68 +875,5 @@ class WBMEngine:
             result.aborted |= pos.aborted
         return result
 
-    # ------------------------------------------------------------------
-    def _initial_items(self, env: _Env, x: int, y: int, elabel: int, rank: int) -> list[dict]:
-        """Map update edge (x, y) onto every group representative, both
-        assignment directions (ordered pairs cover orientation)."""
-        query = self.query
-        items: list[dict] = []
-        lx = self.graph.vertex_label(x) if x < self.graph.n_vertices else None
-        ly = self.graph.vertex_label(y) if y < self.graph.n_vertices else None
-        for group in self.plan.groups:
-            a, b = group.representative
-            if query.edge_label(a, b) != elabel:
-                continue
-            if query.vertex_label(a) != lx or query.vertex_label(b) != ly:
-                continue
-            if not env.passes_filter(group, a, x, in_core=True):
-                continue
-            if not env.passes_filter(group, b, y, in_core=True):
-                continue
-            items.append(
-                {
-                    "group": group,
-                    "assign": {a: x, b: y},
-                    "level": 2,
-                    "dedup": set(),
-                    "rank": rank,
-                    "permuted": False,
-                }
-            )
-        return items
-
     def _run_kernel(self, edges: list[tuple[int, int, int]], sign: int) -> KernelOutput:
-        """Launch one sign phase: one warp task per net update edge."""
-        out = KernelOutput()
-        rank_map = {canonical(u, v): i for i, (u, v, _) in enumerate(edges)}
-        env = _Env(self.query, self.graph, self.table, self.plan, rank_map, self.config, out)
-
-        tasks = []
-        for i, (u, v, lbl) in enumerate(edges):
-            cu, cv = canonical(u, v)
-            items = self._initial_items(env, cu, cv, lbl, i)
-            tasks.append(self._make_task(env, items))
-
-        def block_hook(sched: BlockScheduler):
-            sched.shared.alloc("_sched", sched, words=0)
-            if self.config.work_stealing == "active":
-                return _active_idle_handler(sched, env)
-            return None
-
-        try:
-            launch = self.gpu.launch(tasks, block_hook=block_hook)
-            out.stats.merge(launch.stats)
-        except BudgetExceeded:
-            out.aborted = True
-        out.peak_stack_words = env.gauge.peak
-        return out
-
-    def _make_task(self, env: _Env, items: list[dict]):
-        def task(ctx: WarpContext) -> Generator[None, None, None]:
-            if not items:
-                ctx.charge_compute(1)
-                yield
-                return
-            yield from _worker(ctx, env, items)
-
-        return task
+        return self.runtime.launch(edges)

@@ -56,9 +56,18 @@ class PipelineModel:
         """
         self.stages = stages
 
-    def schedule(self, batch_durations: list[dict[str, float]]) -> PipelineReport:
+    def schedule(
+        self,
+        batch_durations: list[dict[str, float]],
+        batch_stages: list[list[tuple[str, str]]] | None = None,
+    ) -> PipelineReport:
         """``batch_durations[i][stage]`` = duration of that stage for
         batch ``i`` (missing stages count as 0).
+
+        ``batch_stages`` optionally overrides the stage list per batch —
+        the multi-query service emits one GPU kernel stage per
+        registered query, and registrations may change between batches,
+        so each batch carries its own ordered stage list.
 
         Event-driven greedy list scheduling: among all *ready* stage
         instances (previous stage of the same batch finished), run the
@@ -69,23 +78,30 @@ class PipelineModel:
         """
         report = PipelineReport()
         n = len(batch_durations)
+        stages_of = (
+            batch_stages if batch_stages is not None else [self.stages] * n
+        )
+        if len(stages_of) != n:
+            raise ValueError(
+                f"batch_stages length {len(stages_of)} != {n} batches"
+            )
         resource_free: dict[str, float] = {}
-        next_stage = [0] * n  # per-batch pointer into self.stages
+        next_stage = [0] * n  # per-batch pointer into its stage list
         prev_end = [0.0] * n
-        remaining = n * len(self.stages)
+        remaining = sum(len(s) for s in stages_of)
         while remaining:
             best = None  # (start, batch, stage_idx)
             for i in range(n):
                 s = next_stage[i]
-                if s >= len(self.stages):
+                if s >= len(stages_of[i]):
                     continue
-                _, resource = self.stages[s]
+                _, resource = stages_of[i][s]
                 start = max(prev_end[i], resource_free.get(resource, 0.0))
                 if best is None or (start, i) < (best[0], best[1]):
                     best = (start, i, s)
             assert best is not None
             start, i, s = best
-            stage, resource = self.stages[s]
+            stage, resource = stages_of[i][s]
             d = batch_durations[i].get(stage, 0.0)
             end = start + d
             prev_end[i] = end

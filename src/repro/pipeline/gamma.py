@@ -1,10 +1,14 @@
 """GammaSystem: the end-to-end system facade (paper Figure 3).
 
-Wires together preprocessing (incremental encoding + candidate table),
-the GPMA update, the WBM computational kernel, and postprocessing, and
-prices every stage so the asynchronous pipeline model can overlap
-them. This is the class a downstream user instantiates; the lower
-layers remain importable for research use.
+A thin *single-query* wrapper over the multi-query serving layer: the
+engine's shared :class:`~repro.service.DynamicGraphStore` plus one
+:class:`~repro.matching.wbm.QueryRuntime` are registered with a
+private :class:`~repro.service.MatchingService`, which runs
+preprocessing (incremental encoding + candidate table), the GPMA
+update, the WBM computational kernel, and postprocessing, and prices
+every stage so the asynchronous pipeline model can overlap them. This
+is the class a downstream user instantiates for one query; concurrent
+queries over one graph go through ``MatchingService`` directly.
 """
 
 from __future__ import annotations
@@ -17,12 +21,7 @@ from repro.graph.updates import UpdateBatch, UpdateStream
 from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
 from repro.matching.wbm import BatchResult, WBMConfig, WBMEngine
 from repro.pipeline.async_exec import PipelineModel, PipelineReport
-from repro.pipeline.postprocess import MatchCollector, ThroughputMeter
-
-# CPU-side preprocessing cost constants (ops per touched item)
-_ENCODE_OPS_PER_VERTEX = 24.0
-_TABLE_OPS_PER_ROW = 8.0
-_POSTPROCESS_OPS_PER_MATCH = 4.0
+from repro.pipeline.postprocess import ThroughputMeter
 
 GAMMA_STAGES = [
     ("preprocess", "cpu"),
@@ -31,6 +30,8 @@ GAMMA_STAGES = [
     ("kernel", "gpu"),
     ("postprocess", "cpu"),
 ]
+
+_QUERY_NAME = "q0"
 
 
 @dataclass
@@ -60,10 +61,18 @@ class GammaSystem:
         config: WBMConfig = WBMConfig(),
         cost_model: CostModel = DEFAULT_COST_MODEL,
     ) -> None:
+        # deferred: repro.service imports this module's package
+        from repro.service.matching_service import MatchingService
+
         self.engine = WBMEngine(query, graph, params, config)
         self.params = params
         self.cost_model = cost_model
-        self.collector = MatchCollector()
+        self._service = MatchingService(
+            store=self.engine.store, params=params, cost_model=cost_model
+        )
+        # no bootstrap: the classic system tracks births/deaths only
+        self._service.adopt_runtime(self.engine.runtime, name=_QUERY_NAME)
+        self.collector = self.engine.runtime.collector
         self.meter = ThroughputMeter()
 
     @property
@@ -75,25 +84,26 @@ class GammaSystem:
         """Current state of the data graph (after processed batches)."""
         return self.engine.graph
 
+    @property
+    def service(self):
+        """The underlying single-query :class:`MatchingService`."""
+        return self._service
+
     # ------------------------------------------------------------------
     def process_batch(self, batch: UpdateBatch) -> GammaBatchReport:
         """Run one batch through the full pipeline; stage timings are
-        model seconds under the shared cost model."""
-        result = self.engine.process_batch(batch)
-        cm = self.cost_model
-        n_matches = len(result.positives) + len(result.negatives)
+        model seconds under the shared cost model. A batch whose net
+        effective delta is empty prices every stage at zero."""
+        sreport = self._service.process_batch(batch)
+        qreport = sreport.queries[_QUERY_NAME]
         stage_seconds = {
-            "preprocess": cm.cpu_seconds(
-                _ENCODE_OPS_PER_VERTEX * max(result.reencoded_vertices, 1)
-                + _TABLE_OPS_PER_ROW * max(result.reencoded_vertices, 1)
-            ),
-            "transfer": cm.gpu_seconds(result.kernel_stats.transfer_cycles),
-            "update": cm.gpu_seconds(result.gpma_stats.total_cycles),
-            "kernel": cm.gpu_seconds(result.kernel_stats.kernel_cycles),
-            "postprocess": cm.cpu_seconds(_POSTPROCESS_OPS_PER_MATCH * max(n_matches, 1)),
+            "preprocess": sreport.stage_seconds["preprocess"],
+            "transfer": sreport.stage_seconds["transfer"],
+            "update": sreport.stage_seconds["update"],
+            "kernel": sreport.stage_seconds[f"kernel:{_QUERY_NAME}"],
+            "postprocess": sreport.stage_seconds["postprocess"],
         }
-        report = GammaBatchReport(result=result, stage_seconds=stage_seconds)
-        self.collector.consume(result)
+        report = GammaBatchReport(result=qreport.result, stage_seconds=stage_seconds)
         self.meter.record(report.total_seconds, len(batch))
         return report
 

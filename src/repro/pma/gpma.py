@@ -78,6 +78,10 @@ class GPMAGraph:
         self.cooperative_groups = cooperative_groups
         self._pma = PMA.bulk_load([])
         self._n_vertices = 0
+        #: number of batch deltas applied. A GPMA may be shared by many
+        #: query runtimes; each batch must land here exactly once, and
+        #: the shared-store layer audits that through this counter.
+        self.update_count = 0
 
     @classmethod
     def from_graph(
@@ -137,6 +141,7 @@ class GPMAGraph:
         stats = GpmaUpdateStats(
             n_inserted=len(delta.inserted), n_deleted=len(delta.deleted)
         )
+        self.update_count += 1
         params = self.params
         self._n_vertices = max(
             [self._n_vertices]

@@ -1,0 +1,24 @@
+"""Multi-query serving layer: shared store + per-query runtimes.
+
+``DynamicGraphStore`` owns the one data graph / GPMA / encoding table
+every registered query shares; ``MatchingService`` fans update batches
+out across per-query :class:`~repro.matching.wbm.QueryRuntime`\\ s and
+prices the result for the asynchronous pipeline model.
+"""
+
+from repro.service.store import DynamicGraphStore, StoreCommit
+from repro.service.matching_service import (
+    MatchingService,
+    QueryBatchReport,
+    ServiceBatchReport,
+    SERVICE_SHARED_STAGES,
+)
+
+__all__ = [
+    "DynamicGraphStore",
+    "StoreCommit",
+    "MatchingService",
+    "QueryBatchReport",
+    "ServiceBatchReport",
+    "SERVICE_SHARED_STAGES",
+]

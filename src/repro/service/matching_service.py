@@ -1,0 +1,317 @@
+"""MatchingService: N concurrent queries over one dynamic graph.
+
+The multi-query deployment surface the ROADMAP's production setting
+needs: queries register and unregister **at runtime** while update
+batches stream through. One :class:`DynamicGraphStore` absorbs each
+batch exactly once (one ``effective_delta``, one GPMA ``apply_delta``,
+one encoding refresh, one PCIe upload) and every registered
+:class:`~repro.matching.wbm.QueryRuntime` matches against it — versus
+N independent :class:`~repro.pipeline.gamma.GammaSystem` instances,
+which would each copy the graph and replay every update N times.
+
+Per batch the service emits a :class:`ServiceBatchReport` with
+per-query results plus a stage-priced view: the shared ``preprocess``
+/ ``transfer`` / ``update`` stages appear once, and each query
+contributes its own ``kernel:<name>`` GPU stage, which is exactly what
+:class:`~repro.pipeline.async_exec.PipelineModel` schedules to model
+multi-query overlap on the virtual GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.cost import CostModel, DEFAULT_COST_MODEL
+from repro.errors import MatchingError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.updates import UpdateBatch, UpdateStream
+from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
+from repro.matching.wbm import BatchResult, Match, QueryRuntime, WBMConfig
+from repro.pipeline.async_exec import PipelineModel, PipelineReport
+from repro.pipeline.postprocess import MatchCollector, ThroughputMeter
+from repro.pma.gpma import GpmaUpdateStats
+from repro.service.store import DynamicGraphStore, StoreCommit
+
+# CPU-side preprocessing cost constants (ops per touched item)
+ENCODE_OPS_PER_VERTEX = 24.0
+TABLE_OPS_PER_ROW = 8.0
+POSTPROCESS_OPS_PER_MATCH = 4.0
+
+#: shared stages of every service batch; each registered query adds its
+#: own ``("kernel:<name>", "gpu")`` stage between ``update`` and
+#: ``postprocess``
+SERVICE_SHARED_STAGES = [
+    ("preprocess", "cpu"),
+    ("transfer", "pcie"),
+    ("update", "gpu"),
+]
+
+
+@dataclass
+class QueryBatchReport:
+    """One query's slice of a processed batch."""
+
+    name: str
+    result: BatchResult
+    kernel_seconds: float = 0.0
+
+
+@dataclass
+class ServiceBatchReport:
+    """Everything one batch produced across all registered queries."""
+
+    batch_size: int = 0
+    delta_inserted: int = 0
+    delta_deleted: int = 0
+    reencoded_vertices: int = 0
+    gpma_stats: GpmaUpdateStats = field(default_factory=GpmaUpdateStats)
+    queries: dict[str, QueryBatchReport] = field(default_factory=dict)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: ordered (stage, resource) pairs for this batch — feeds the
+    #: pipeline model's per-batch stage lists
+    stages: list[tuple[str, str]] = field(default_factory=list)
+    aborted: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    @property
+    def total_positives(self) -> int:
+        return sum(len(q.result.positives) for q in self.queries.values())
+
+    @property
+    def total_negatives(self) -> int:
+        return sum(len(q.result.negatives) for q in self.queries.values())
+
+
+class MatchingService:
+    """Facade: register queries, stream batches, read per-query results."""
+
+    def __init__(
+        self,
+        graph: LabeledGraph | None = None,
+        *,
+        store: DynamicGraphStore | None = None,
+        params: DeviceParams = DEFAULT_PARAMS,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        bits_per_label: int = 2,
+        extra_labels: tuple[int, ...] = (),
+    ) -> None:
+        if store is None:
+            if graph is None:
+                raise MatchingError("MatchingService needs a data graph or a store")
+            store = DynamicGraphStore(
+                graph, params, bits_per_label=bits_per_label, extra_labels=extra_labels
+            )
+        self.store = store
+        self.params = params
+        self.cost_model = cost_model
+        self.meter = ThroughputMeter()
+        self._runtimes: dict[str, QueryRuntime] = {}  # insertion-ordered
+        self._counter = 0
+        self.batches_processed = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> LabeledGraph:
+        """Current state of the shared data graph."""
+        return self.store.graph
+
+    @property
+    def n_queries(self) -> int:
+        return len(self._runtimes)
+
+    @property
+    def query_names(self) -> list[str]:
+        return list(self._runtimes)
+
+    def register_query(
+        self,
+        query: LabeledGraph,
+        config: WBMConfig = WBMConfig(),
+        name: str | None = None,
+        bootstrap: bool = True,
+    ) -> str:
+        """Register a query against the *current* graph state.
+
+        With ``bootstrap`` (default) the query is answered immediately
+        via a static enumeration, so :meth:`matches` is complete from
+        the first batch the new runtime observes. Returns the name the
+        query is addressed by.
+        """
+        if name is None:
+            name = self._next_name()
+        if name in self._runtimes:
+            raise MatchingError(f"query {name!r} already registered")
+        runtime = QueryRuntime(
+            query, self.store, self.params, config, name=name, collector=MatchCollector()
+        )
+        if bootstrap:
+            runtime.bootstrap()
+        self._runtimes[name] = runtime
+        self._counter += 1
+        return name
+
+    def adopt_runtime(self, runtime: QueryRuntime, name: str | None = None) -> str:
+        """Register an externally built runtime (it must already share
+        this service's store)."""
+        if runtime.store is not self.store:
+            raise MatchingError("adopted runtime is bound to a different store")
+        if name is None:
+            name = runtime.name or self._next_name()
+        if name in self._runtimes:
+            raise MatchingError(f"query {name!r} already registered")
+        runtime.name = name
+        if runtime.collector is None:
+            runtime.collector = MatchCollector()
+        self._runtimes[name] = runtime
+        self._counter += 1
+        return name
+
+    def _next_name(self) -> str:
+        # explicit registrations may have claimed counter-shaped names
+        while f"q{self._counter}" in self._runtimes:
+            self._counter += 1
+        return f"q{self._counter}"
+
+    def unregister_query(self, name: str) -> None:
+        """Drop a query; only its per-query state (candidate table,
+        plan, collector, virtual GPU) is freed — the shared store is
+        untouched."""
+        if name not in self._runtimes:
+            raise MatchingError(f"no registered query named {name!r}")
+        del self._runtimes[name]
+
+    def runtime(self, name: str) -> QueryRuntime:
+        if name not in self._runtimes:
+            raise MatchingError(f"no registered query named {name!r}")
+        return self._runtimes[name]
+
+    def matches(self, name: str) -> set[Match]:
+        """Current match set of one registered query (bootstrap state
+        plus every observed birth/death)."""
+        return self.runtime(name).current_matches()
+
+    # ------------------------------------------------------------------
+    # batch processing
+    # ------------------------------------------------------------------
+    def stage_plan(self) -> list[tuple[str, str]]:
+        """Ordered stages of the next batch given current registrations."""
+        return (
+            list(SERVICE_SHARED_STAGES)
+            + [(f"kernel:{name}", "gpu") for name in self._runtimes]
+            + [("postprocess", "cpu")]
+        )
+
+    def process_batch(self, batch: UpdateBatch) -> ServiceBatchReport:
+        """Fan one batch out across every registered query.
+
+        The store computes the net delta once; all negative-phase
+        kernels run against the pre-update graph; the store commits the
+        GPMA/encoding update exactly once; every runtime observes the
+        commit and runs its positive-phase kernel.
+        """
+        delta = self.store.prepare(batch)
+        report = ServiceBatchReport(
+            batch_size=len(batch),
+            delta_inserted=len(delta.inserted),
+            delta_deleted=len(delta.deleted),
+            stages=self.stage_plan(),
+        )
+
+        neg = {}
+        if delta.deleted:
+            edges = list(delta.deleted)
+            for name, runtime in self._runtimes.items():
+                neg[name] = runtime.launch(edges)
+
+        commit = self.store.commit(batch, delta)
+        report.gpma_stats = commit.gpma_stats
+        report.reencoded_vertices = len(commit.changed_vertices)
+
+        pos = {}
+        for name, runtime in self._runtimes.items():
+            runtime.observe_commit(commit)
+        if delta.inserted:
+            edges = list(delta.inserted)
+            for name, runtime in self._runtimes.items():
+                pos[name] = runtime.launch(edges)
+
+        for name, runtime in self._runtimes.items():
+            result = self._assemble_result(name, neg, pos, commit)
+            if runtime.collector is not None:
+                runtime.collector.consume(result)
+            report.queries[name] = QueryBatchReport(
+                name=name,
+                result=result,
+                kernel_seconds=self.cost_model.gpu_seconds(result.kernel_stats.kernel_cycles),
+            )
+            report.aborted |= result.aborted
+
+        report.stage_seconds = self._price_stages(report, commit)
+        self.meter.record(report.total_seconds, len(batch))
+        self.batches_processed += 1
+        return report
+
+    def _assemble_result(self, name, neg, pos, commit: StoreCommit) -> BatchResult:
+        result = BatchResult()
+        result.gpma_stats = commit.gpma_stats  # shared: applied once for all
+        result.reencoded_vertices = len(commit.changed_vertices)
+        result.transfer_words = commit.transfer_words
+        # every runtime observes the single shared upload; its cycles
+        # appear in each per-query result (as they did when engines
+        # uploaded privately) but are priced once at the service level
+        result.kernel_stats.transfer_cycles += commit.transfer_cycles
+        if name in neg:
+            result.negatives = set(neg[name].matches)
+            result.kernel_stats.merge(neg[name].stats)
+            result.aborted |= neg[name].aborted
+        if name in pos:
+            result.positives = set(pos[name].matches)
+            result.kernel_stats.merge(pos[name].stats)
+            result.aborted |= pos[name].aborted
+        return result
+
+    def _price_stages(
+        self, report: ServiceBatchReport, commit: StoreCommit
+    ) -> dict[str, float]:
+        """Model seconds per stage. A batch that nets out to nothing
+        after ``effective_delta`` costs zero on every stage."""
+        cm = self.cost_model
+        if commit.is_noop:
+            stage_seconds = {stage: 0.0 for stage, _ in report.stages}
+            return stage_seconds
+        changed = max(len(commit.changed_vertices), 1)
+        n_matches = report.total_positives + report.total_negatives
+        stage_seconds = {
+            # one shared encode pass; each query refreshes its own rows
+            "preprocess": cm.cpu_seconds(
+                ENCODE_OPS_PER_VERTEX * changed
+                + TABLE_OPS_PER_ROW * changed * max(len(self._runtimes), 1)
+            ),
+            "transfer": cm.gpu_seconds(commit.transfer_cycles),
+            "update": cm.gpu_seconds(commit.gpma_stats.total_cycles),
+            "postprocess": cm.cpu_seconds(POSTPROCESS_OPS_PER_MATCH * max(n_matches, 1)),
+        }
+        for name, qrep in report.queries.items():
+            stage_seconds[f"kernel:{name}"] = qrep.kernel_seconds
+        return stage_seconds
+
+    # ------------------------------------------------------------------
+    def process_stream(
+        self, stream: UpdateStream
+    ) -> tuple[list[ServiceBatchReport], PipelineReport]:
+        """Process a whole stream and schedule it on the asynchronous
+        pipeline model, with one GPU kernel stage per registered query
+        (registrations may change between batches — each batch carries
+        its own stage list)."""
+        reports = [self.process_batch(batch) for batch in stream]
+        model = PipelineModel(self.stage_plan())
+        pipeline = model.schedule(
+            [r.stage_seconds for r in reports],
+            batch_stages=[r.stages for r in reports],
+        )
+        return reports, pipeline

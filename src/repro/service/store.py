@@ -1,0 +1,174 @@
+"""DynamicGraphStore: the shared dynamic-graph substrate.
+
+The paper's setting is one data graph absorbing a continuous update
+stream while *many* queries are maintained against it. Continuous
+matching systems (TurboFlux, SymBi, and the GPU engines GSI/gMatch)
+therefore keep a single graph container and layer per-query runtime
+state on top. This module is that substrate: it owns
+
+* the host mirror :class:`~repro.graph.labeled_graph.LabeledGraph`,
+* the device-resident :class:`~repro.pma.gpma.GPMAGraph`,
+* one shared :class:`~repro.filtering.encoding.EncodingTable` whose
+  schema spans the data graph's label alphabet (a superset schema
+  filters identically to a query-restricted one — see
+  :meth:`EncodingSchema.for_labels`), and
+* a lazily cached CSR snapshot (:meth:`csr_snapshot`) for consumers
+  that want contiguous adjacency — the WBM kernels read the host
+  mirror directly today, so this is an offered view, not a hot path.
+
+Per batch, the store computes the ``effective_delta`` **once** and
+applies the GPMA + encoding update **exactly once** (one
+:meth:`commit`), no matter how many query runtimes observe the result.
+Runtimes synchronise through the monotonically increasing
+``version``; a runtime that misses a commit fails loudly instead of
+matching against stale candidate rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MatchingError
+from repro.filtering import EncodingSchema, EncodingTable
+from repro.graph.csr import CSRGraph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.updates import EffectiveDelta, UpdateBatch, apply_batch, effective_delta
+from repro.gpu.device import VirtualGPU
+from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
+from repro.pma.gpma import GPMAGraph, GpmaUpdateStats
+
+
+@dataclass(frozen=True)
+class StoreCommit:
+    """Everything one committed batch changed, observed by all runtimes."""
+
+    delta: EffectiveDelta
+    gpma_stats: GpmaUpdateStats
+    changed_vertices: frozenset[int] = field(default_factory=frozenset)
+    version: int = 0
+    transfer_words: int = 0  # update edges + re-encoded rows over PCIe
+    transfer_cycles: float = 0.0
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the batch had no net effect (empty effective delta)."""
+        return not self.delta
+
+
+class DynamicGraphStore:
+    """One data graph, one GPMA, one encoding table — shared by N queries.
+
+    Parameters
+    ----------
+    schema:
+        Encoding schema for the shared table. Defaults to the data
+        graph's full label alphabet (optionally widened by
+        ``extra_labels`` for queries whose labels are not yet present),
+        which filters identically to any query-restricted schema.
+    copy:
+        Copy the input graph (default) so the caller's object is never
+        mutated by processed batches.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        params: DeviceParams = DEFAULT_PARAMS,
+        *,
+        schema: EncodingSchema | None = None,
+        bits_per_label: int = 2,
+        extra_labels: tuple[int, ...] = (),
+        copy: bool = True,
+    ) -> None:
+        self.graph = graph.copy() if copy else graph
+        self.params = params
+        self.gpma = GPMAGraph.from_graph(self.graph, params)
+        if schema is None:
+            schema = EncodingSchema.for_labels(
+                set(self.graph.label_alphabet()) | set(extra_labels), bits_per_label
+            )
+        self.schema = schema
+        self.encodings = EncodingTable(schema, self.graph)
+        self.gpu = VirtualGPU(params)  # prices the (single) shared upload
+        self.version = 0
+        self._csr: CSRGraph | None = None
+        self._csr_version = -1
+
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.n_edges
+
+    def csr_snapshot(self) -> CSRGraph:
+        """CSR view of the current graph, cached until the next commit."""
+        if self._csr is None or self._csr_version != self.version:
+            self._csr = CSRGraph.from_graph(self.graph)
+            self._csr_version = self.version
+        return self._csr
+
+    # ------------------------------------------------------------------
+    def prepare(self, batch: UpdateBatch) -> EffectiveDelta:
+        """Net delta of ``batch`` against the current graph (no mutation).
+
+        Negative-match kernels run between :meth:`prepare` and
+        :meth:`commit`, while the pre-update graph is still live.
+        """
+        return effective_delta(self.graph, batch)
+
+    def commit(self, batch: UpdateBatch, delta: EffectiveDelta | None = None) -> StoreCommit:
+        """Apply ``batch``: one GPMA update, one encoding refresh.
+
+        ``delta`` is the value :meth:`prepare` returned for this batch;
+        passing it back avoids recomputing the net difference.
+        """
+        if delta is None:
+            delta = self.prepare(batch)
+        gpma_stats = self.gpma.apply_delta(delta)
+        apply_batch(self.graph, batch)
+        changed = self.encodings.apply_delta(self.graph, delta)
+        self.version += 1
+        self._csr = None
+        words = 2 * (len(delta.inserted) + len(delta.deleted)) + 2 * len(changed)
+        return StoreCommit(
+            delta=delta,
+            gpma_stats=gpma_stats,
+            changed_vertices=frozenset(changed),
+            version=self.version,
+            transfer_words=words,
+            transfer_cycles=self.gpu.link.transfer_cycles(words) if words else 0.0,
+        )
+
+    def process(self, batch: UpdateBatch) -> StoreCommit:
+        """Prepare + commit in one step (no negative-phase window)."""
+        return self.commit(batch, self.prepare(batch))
+
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Host mirror, device container, and encoding table must all
+        have absorbed exactly the commits this store issued."""
+        self.gpma.check_invariants()
+        if self.gpma.n_edges != self.graph.n_edges:
+            raise MatchingError(
+                f"store divergence: GPMA holds {self.gpma.n_edges} edges, "
+                f"host mirror {self.graph.n_edges}"
+            )
+        if self.gpma.update_count != self.version:
+            raise MatchingError(
+                f"store divergence: GPMA absorbed {self.gpma.update_count} "
+                f"deltas, store committed {self.version}"
+            )
+        if self.encodings.version != self.version:
+            raise MatchingError(
+                f"store divergence: encoding table at v{self.encodings.version}, "
+                f"store at v{self.version}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraphStore(|V|={self.n_vertices}, |E|={self.n_edges}, "
+            f"version={self.version})"
+        )
