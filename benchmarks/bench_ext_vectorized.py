@@ -1,0 +1,223 @@
+"""Extension: vectorized filtering & CSR-backed candidate generation.
+
+Times the three layers this rewrite vectorized, each against its
+surviving scalar oracle (``vectorized=False``), on an LJ-style serving
+workload — a resident power-law graph absorbing 10%-of-|E| update
+batches while selective queries are maintained:
+
+* **filter build** — shared full-alphabet ``EncodingTable`` plus one
+  ``CandidateTable`` per query, scalar loops vs one ``encode_all`` +
+  broadcasted AND-compare;
+* **per-batch refresh** — incremental re-encode + bitmap row refresh
+  over every touched vertex of each batch;
+* **end-to-end batch throughput** — a ``MatchingService`` with N
+  registered queries processing the whole stream (construction +
+  batches), identical WBM config in both arms (work stealing disabled
+  so the load-balancing simulation does not dilute the host-side
+  comparison).
+
+Writes the human-readable table to ``benchmarks/out`` and the
+machine-readable ``benchmarks/out/BENCH_vectorized.json`` so the perf
+trajectory is tracked from this PR onward.
+
+Knobs: ``REPRO_BENCH_SCALE`` (default 1.0), ``REPRO_BENCH_VEC_QUERIES``
+(default 4), ``REPRO_BENCH_VEC_BATCHES`` (default 6).
+"""
+
+import json
+import os
+import time
+
+from common import DEFAULT_QUERY_SIZE, queries_for
+
+from repro.bench.harness import BENCH_PARAMS
+from repro.bench.reporting import ARTIFACT_DIR, render_table, save_artifact
+from repro.bench.workloads import holdout_stream
+from repro.filtering import CandidateTable, EncodingSchema, EncodingTable
+from repro.graph import load_dataset
+from repro.graph.updates import apply_batch, effective_delta
+from repro.matching import find_matches
+from repro.matching.wbm import WBMConfig
+from repro.service import MatchingService
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+N_QUERIES = int(os.environ.get("REPRO_BENCH_VEC_QUERIES", "4"))
+N_BATCHES = int(os.environ.get("REPRO_BENCH_VEC_BATCHES", "6"))
+RATE = 0.10  # the paper's default batch size (10% of |E|)
+MAX_STATIC_MATCHES = 200  # serving queries are selective by design
+
+
+def collect_queries(graph, count):
+    out = []
+    seed = 29
+    for _ in range(count * 12):
+        for kind in ("dense", "sparse", "tree"):
+            for q in queries_for(graph, DEFAULT_QUERY_SIZE, kind, count=2, seed=seed):
+                if len(find_matches(q, graph, limit=MAX_STATIC_MATCHES)) < MAX_STATIC_MATCHES:
+                    out.append(q)
+                if len(out) >= count:
+                    return out
+        seed += 97
+    return out  # whatever the graph could provide
+
+
+def time_filter_build(graph, queries):
+    """Shared encoding table, then one candidate table per query
+    (separately timed: the candidate-table broadcast is the paper's
+    massively parallel AND)."""
+    schema = EncodingSchema.for_labels(graph.label_alphabet())
+    out = {}
+    for mode, vec in (("scalar", False), ("vectorized", True)):
+        t0 = time.perf_counter()
+        enc = EncodingTable(schema, graph, vectorized=vec)
+        out[f"encode_{mode}"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        tables = [CandidateTable(q, graph, enc, vectorized=vec) for q in queries]
+        out[f"table_{mode}"] = time.perf_counter() - t0
+        out[f"_tables_{mode}"] = tables
+        out[f"_enc_{mode}"] = enc
+    ref, vec_t = out["_tables_scalar"], out["_tables_vectorized"]
+    for a, b in zip(ref, vec_t):
+        assert (a.bitmap == b.bitmap).all(), "scalar/vectorized bitmap mismatch"
+    return out
+
+
+def time_refresh(graph, queries, stream, built):
+    """Accumulated per-batch encode + bitmap refresh, both modes.
+
+    The vectorized arm threads the incrementally maintained CSR
+    snapshot into the refresh, exactly as the shared store does."""
+    from repro.graph.csr import CSRGraph
+
+    out = {"scalar": 0.0, "vectorized": 0.0, "csr_splice": 0.0}
+    g = graph.copy()
+    csr = CSRGraph.from_graph(g)
+    for batch in stream:
+        delta = effective_delta(g, batch)
+        apply_batch(g, batch)
+        t0 = time.perf_counter()
+        csr = csr.apply_delta(delta, g)  # shared: feeds refresh AND kernels
+        out["csr_splice"] += time.perf_counter() - t0
+        for mode in ("scalar", "vectorized"):
+            enc = built[f"_enc_{mode}"]
+            tables = built[f"_tables_{mode}"]
+            t0 = time.perf_counter()
+            if mode == "vectorized":
+                changed = enc.apply_delta(g, delta, csr=csr)
+            else:
+                changed = enc.apply_delta(g, delta)
+            for table in tables:
+                table.refresh_rows(changed)
+            out[mode] += time.perf_counter() - t0
+    ref, vec_t = built["_tables_scalar"], built["_tables_vectorized"]
+    for a, b in zip(ref, vec_t):
+        assert (a.bitmap == b.bitmap).all(), "post-refresh bitmap mismatch"
+    return out
+
+
+def time_end_to_end(g0, queries, stream, reps=2):
+    """Cold serving run: service construction + the whole stream
+    (best of ``reps`` to damp timer noise)."""
+    out = {}
+    for mode, vec in (("scalar", False), ("vectorized", True)):
+        config = WBMConfig(vectorized=vec, work_stealing="off")
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            service = MatchingService(g0, params=BENCH_PARAMS, vectorized=vec)
+            for i, q in enumerate(queries):
+                service.register_query(q, config=config, name=f"q{i}", bootstrap=False)
+            positives = 0
+            for batch in stream:
+                positives += service.process_batch(batch).total_positives
+            best = min(best, time.perf_counter() - t0)
+        out[mode] = best
+        out[f"positives_{mode}"] = positives
+    assert out["positives_scalar"] == out["positives_vectorized"], (
+        "scalar and vectorized services disagree"
+    )
+    return out
+
+
+def run_experiment():
+    graph = load_dataset("LJ", scale=SCALE)
+    queries = collect_queries(graph, N_QUERIES)
+    g0, stream = holdout_stream(graph, RATE, n_batches=N_BATCHES, seed=11)
+    total_ops = sum(len(b) for b in stream)
+
+    built = time_filter_build(g0, queries)
+    refresh = time_refresh(g0, queries, stream, built)
+    e2e = time_end_to_end(g0, queries, stream)
+
+    encode_speedup = built["encode_scalar"] / max(built["encode_vectorized"], 1e-12)
+    table_speedup = built["table_scalar"] / max(built["table_vectorized"], 1e-12)
+    refresh_speedup = refresh["scalar"] / max(refresh["vectorized"], 1e-12)
+    e2e_speedup = e2e["scalar"] / max(e2e["vectorized"], 1e-12)
+
+    rows = [
+        ["encoding build", f"{built['encode_scalar']*1e3:.1f}ms",
+         f"{built['encode_vectorized']*1e3:.1f}ms", f"{encode_speedup:.2f}x"],
+        ["candidate-table build", f"{built['table_scalar']*1e3:.1f}ms",
+         f"{built['table_vectorized']*1e3:.1f}ms", f"{table_speedup:.2f}x"],
+        ["per-batch refresh (stream)", f"{refresh['scalar']*1e3:.1f}ms",
+         f"{refresh['vectorized']*1e3:.1f}ms", f"{refresh_speedup:.2f}x"],
+        ["csr splice (stream, shared)", "-",
+         f"{refresh['csr_splice']*1e3:.1f}ms", "-"],
+        ["end-to-end serving", f"{e2e['scalar']*1e3:.1f}ms",
+         f"{e2e['vectorized']*1e3:.1f}ms", f"{e2e_speedup:.2f}x"],
+        ["batch throughput (ops/s)", f"{total_ops/max(e2e['scalar'],1e-12):,.0f}",
+         f"{total_ops/max(e2e['vectorized'],1e-12):,.0f}", f"{e2e_speedup:.2f}x"],
+    ]
+    text = render_table(
+        f"Extension: vectorized filtering & CSR-backed Gen-Candidates "
+        f"(LJ scale={SCALE}, {len(queries)} queries, {N_BATCHES} batches, "
+        f"rate={RATE})",
+        ["stage", "scalar", "vectorized", "speedup"],
+        rows,
+    )
+
+    payload = {
+        "workload": {
+            "dataset": "LJ",
+            "scale": SCALE,
+            "n_vertices": g0.n_vertices,
+            "n_edges": g0.n_edges,
+            "n_queries": len(queries),
+            "n_batches": N_BATCHES,
+            "rate": RATE,
+            "total_ops": total_ops,
+        },
+        "encoding_build": {
+            "scalar_s": built["encode_scalar"],
+            "vectorized_s": built["encode_vectorized"],
+            "speedup": encode_speedup,
+        },
+        "candidate_table_build": {
+            "scalar_s": built["table_scalar"],
+            "vectorized_s": built["table_vectorized"],
+            "speedup": table_speedup,
+        },
+        "refresh": {
+            "scalar_s": refresh["scalar"],
+            "vectorized_s": refresh["vectorized"],
+            "csr_splice_s": refresh["csr_splice"],
+            "speedup": refresh_speedup,
+        },
+        "end_to_end": {
+            "scalar_s": e2e["scalar"],
+            "vectorized_s": e2e["vectorized"],
+            "scalar_ops_per_s": total_ops / max(e2e["scalar"], 1e-12),
+            "vectorized_ops_per_s": total_ops / max(e2e["vectorized"], 1e-12),
+            "speedup": e2e_speedup,
+        },
+    }
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    json_path = ARTIFACT_DIR / "BENCH_vectorized.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return text, json_path
+
+
+if __name__ == "__main__":
+    text, json_path = run_experiment()
+    save_artifact("ext_vectorized", text)
+    print(f"[artifact: {json_path}]")

@@ -6,6 +6,12 @@ over per-query-vertex arrays because device memory is scarce; here a
 numpy boolean matrix plays that role, and per-column sorted candidate
 id arrays are materialized lazily for the kernels' Gen-Candidates
 initialization.
+
+Both the initial build and every per-batch refresh are one broadcasted
+``(codes & q) == q`` over the encoding table's packed uint64 code
+matrix — the massively parallel bitwise AND of the paper — instead of
+an O(n_data × n_query) python loop. The scalar loop survives behind
+``vectorized=False`` as the equality oracle.
 """
 
 from __future__ import annotations
@@ -26,22 +32,43 @@ class CandidateTable:
         graph: LabeledGraph,
         encodings: EncodingTable | None = None,
         bits_per_label: int = 2,
+        *,
+        vectorized: bool = True,
     ) -> None:
         self.query = query
+        self.vectorized = vectorized
         if encodings is None:
             schema = EncodingSchema.for_query(query, bits_per_label)
-            encodings = EncodingTable(schema, graph)
+            encodings = EncodingTable(schema, graph, vectorized=vectorized)
         self.encodings = encodings
         self.query_codes: list[int] = [
             encodings.schema.encode(query, u) for u in query.vertices()
         ]
-        n_data, n_query = len(encodings), query.n_vertices
-        self.bitmap = np.zeros((n_data, n_query), dtype=bool)
-        for v in range(n_data):
-            code_v = encodings[v]
-            for u in range(n_query):
-                self.bitmap[v, u] = EncodingSchema.is_candidate(self.query_codes[u], code_v)
-        self._columns: dict[int, tuple[int, ...]] = {}
+        #: packed (n_query, n_words) uint64 query-code matrix
+        self._query_packed = encodings.schema.pack_codes(self.query_codes)
+        n_data = len(encodings)
+        if vectorized:
+            self.bitmap = self._bitmap_rows(np.arange(n_data, dtype=np.int64))
+        else:
+            self.bitmap = self._bitmap_rows_reference(range(n_data))
+        self._columns: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _bitmap_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Candidacy of ``rows`` against every query vertex in one
+        broadcasted AND-compare: ``(rows, 1, words) & (1, nq, words)``."""
+        codes = self.encodings.packed[rows]
+        q = self._query_packed
+        return ((codes[:, None, :] & q[None, :, :]) == q[None, :, :]).all(axis=2)
+
+    def _bitmap_rows_reference(self, rows) -> np.ndarray:
+        """Original per-cell scalar loop (equality oracle)."""
+        out = np.zeros((len(rows), self.query.n_vertices), dtype=bool)
+        for i, v in enumerate(rows):
+            code_v = self.encodings[int(v)]
+            for u in range(self.query.n_vertices):
+                out[i, u] = EncodingSchema.is_candidate(self.query_codes[u], code_v)
+        return out
 
     # ------------------------------------------------------------------
     def is_candidate(self, u: int, v: int) -> bool:
@@ -52,11 +79,12 @@ class CandidateTable:
             return False  # vertices appended after table build: no claim
         return bool(self.bitmap[v, u])
 
-    def candidates_of(self, u: int) -> tuple[int, ...]:
-        """Sorted data-vertex ids in ``C(u)`` (cached per column)."""
+    def candidates_of(self, u: int) -> np.ndarray:
+        """Sorted int64 data-vertex ids in ``C(u)`` (cached per column;
+        a view — do not mutate)."""
         col = self._columns.get(u)
         if col is None:
-            col = tuple(int(x) for x in np.nonzero(self.bitmap[:, u])[0])
+            col = np.nonzero(self.bitmap[:, u])[0].astype(np.int64)
             self._columns[u] = col
         return col
 
@@ -65,19 +93,32 @@ class CandidateTable:
 
     # ------------------------------------------------------------------
     def refresh_rows(self, changed: set[int]) -> None:
-        """Recompute the rows of vertices whose encoding changed; grows
-        the bitmap when updates appended new vertices."""
+        """Recompute the rows of vertices whose encoding changed.
+
+        Grows the bitmap with a single allocation when updates appended
+        new vertices, rebuilds only the changed rows with one
+        broadcasted AND-compare, and invalidates only the cached
+        columns whose bits actually flipped (a row refresh that leaves
+        a column identical keeps its sorted candidate array).
+        """
         if not changed:
             return
         n_data = len(self.encodings)
         if n_data > self.bitmap.shape[0]:
-            extra = np.zeros((n_data - self.bitmap.shape[0], self.query.n_vertices), dtype=bool)
-            self.bitmap = np.vstack([self.bitmap, extra])
-        for v in changed:
-            code_v = self.encodings[v]
-            for u in range(self.query.n_vertices):
-                self.bitmap[v, u] = EncodingSchema.is_candidate(self.query_codes[u], code_v)
-        self._columns.clear()
+            grown = np.zeros((n_data, self.query.n_vertices), dtype=bool)
+            grown[: self.bitmap.shape[0]] = self.bitmap
+            self.bitmap = grown
+        vs = np.fromiter(changed, dtype=np.int64, count=len(changed))
+        vs.sort()
+        old_rows = self.bitmap[vs]  # fancy index: a copy
+        if self.vectorized:
+            new_rows = self._bitmap_rows(vs)
+        else:
+            new_rows = self._bitmap_rows_reference([int(v) for v in vs])
+        self.bitmap[vs] = new_rows
+        flipped = np.nonzero((old_rows != new_rows).any(axis=0))[0]
+        for u in flipped:
+            self._columns.pop(int(u), None)
 
     def stats(self) -> dict[str, float]:
         """Selectivity diagnostics (used by matching-order generation)."""

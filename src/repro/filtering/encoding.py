@@ -15,15 +15,41 @@ because group-wise superset testing is exactly ``count_v ≥ count_u``
 clamped at M — matching Figure 4, where v0's code survives an edge
 insertion unchanged ("a trade-off between space and filtering
 capabilities") while v2's counter ticks from "00" to "01".
+
+Codes are stored bit-packed as a ``(n_data, n_words)`` ``uint64``
+matrix, so encoding the whole graph is one bincount over the CSR
+neighbor array and candidacy for a whole column is one broadcasted
+``(codes & q) == q`` — the "massively parallel bitwise AND" the paper
+runs on device. The per-vertex scalar path (:meth:`EncodingSchema.encode`)
+is kept as the equality oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import MatchingError
+from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.updates import EffectiveDelta
+
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+def pack_bit_matrix(bits: np.ndarray, n_words: int) -> np.ndarray:
+    """Pack a ``(rows, K)`` boolean bit matrix into ``(rows, n_words)``
+    ``uint64`` words; bit ``b`` of a code lands in word ``b // 64`` at
+    position ``b % 64`` (little-endian view over ``packbits`` bytes, so
+    no word-sized temporary is materialized)."""
+    rows = bits.shape[0]
+    packed8 = np.packbits(bits, axis=1, bitorder="little")
+    out8 = np.zeros((rows, n_words * 8), dtype=np.uint8)
+    out8[:, : packed8.shape[1]] = packed8
+    return out8.view(np.dtype("<u8"))
 
 
 @dataclass(frozen=True)
@@ -64,6 +90,11 @@ class EncodingSchema:
         """K = N label bits + N groups of M counter bits."""
         return self.n_labels * (1 + self.bits_per_label)
 
+    @property
+    def n_words(self) -> int:
+        """64-bit words per packed code (at least one)."""
+        return max(1, -(-self.total_bits // _WORD_BITS))
+
     def label_index(self, label: int) -> int | None:
         """Position of ``label`` in the alphabet, or None if unencoded."""
         lo, hi = 0, len(self.labels)
@@ -78,7 +109,7 @@ class EncodingSchema:
         return None
 
     def encode(self, graph: LabeledGraph, v: int) -> int:
-        """K-bit code of vertex ``v`` in ``graph``."""
+        """K-bit code of vertex ``v`` in ``graph`` (scalar oracle)."""
         m = self.bits_per_label
         n = self.n_labels
         code = 0
@@ -97,47 +128,185 @@ class EncodingSchema:
             code |= group << (n + j * m)
         return code
 
+    # ------------------------------------------------------------------
+    # packed representation
+    # ------------------------------------------------------------------
+    def pack_code(self, code: int) -> np.ndarray:
+        """Scalar python-int code -> ``(n_words,)`` uint64 row."""
+        return np.array(
+            [(code >> (_WORD_BITS * i)) & _WORD_MASK for i in range(self.n_words)],
+            dtype=np.uint64,
+        )
+
+    def pack_codes(self, codes: Sequence[int]) -> np.ndarray:
+        """Scalar codes -> ``(len(codes), n_words)`` uint64 matrix."""
+        out = np.zeros((len(codes), self.n_words), dtype=np.uint64)
+        for i, code in enumerate(codes):
+            out[i] = self.pack_code(code)
+        return out
+
+    @staticmethod
+    def unpack_code(row: np.ndarray) -> int:
+        """``(n_words,)`` uint64 row -> scalar python-int code."""
+        code = 0
+        for i, word in enumerate(row):
+            code |= int(word) << (_WORD_BITS * i)
+        return code
+
+    def encode_all(self, csr: CSRGraph, vertices: np.ndarray | None = None) -> np.ndarray:
+        """Vectorized encode of ``vertices`` (default: every vertex)
+        against a CSR snapshot.
+
+        One gather of neighbor labels, one ``searchsorted`` into the
+        alphabet, one ``bincount`` per (vertex, label-group) cell, one
+        bit-pack — no per-vertex python loop. Returns the packed
+        ``(len(vertices), n_words)`` uint64 code matrix.
+        """
+        n_labels, m = self.n_labels, self.bits_per_label
+        vlabels = csr.vertex_labels
+        if vertices is None:
+            vs = np.arange(csr.n_vertices, dtype=np.int64)
+            nbr = csr.neighbors
+            row_of_entry = np.repeat(vs, np.diff(csr.offsets))
+        else:
+            vs = np.asarray(vertices, dtype=np.int64)
+            deg = csr.offsets[vs + 1] - csr.offsets[vs]
+            total = int(deg.sum())
+            row_of_entry = np.repeat(np.arange(len(vs), dtype=np.int64), deg)
+            # flat CSR indices of every touched vertex's neighbor slice
+            starts = np.repeat(csr.offsets[vs], deg)
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(deg) - deg, deg
+            )
+            nbr = csr.neighbors[starts + within]
+        rows = len(vs)
+        bits = np.zeros((rows, max(self.total_bits, 1)), dtype=bool)
+        if n_labels:
+            alphabet = np.asarray(self.labels, dtype=np.int64)
+            # one-hot vertex-label bit
+            own = vlabels[vs]
+            li = np.searchsorted(alphabet, own)
+            li_c = np.minimum(li, n_labels - 1)
+            enc = alphabet[li_c] == own
+            bits[np.nonzero(enc)[0], li_c[enc]] = True
+            # saturating unary neighbor-label counters
+            if len(nbr):
+                nl = vlabels[nbr]
+                lj = np.searchsorted(alphabet, nl)
+                lj_c = np.minimum(lj, n_labels - 1)
+                valid = alphabet[lj_c] == nl
+                counts = np.bincount(
+                    row_of_entry[valid] * n_labels + lj_c[valid],
+                    minlength=rows * n_labels,
+                ).reshape(rows, n_labels)
+            else:
+                counts = np.zeros((rows, n_labels), dtype=np.int64)
+            sat = np.minimum(counts, m)
+            unary = np.arange(m, dtype=np.int64)[None, None, :] < sat[:, :, None]
+            bits[:, n_labels:] = unary.reshape(rows, n_labels * m)
+        return pack_bit_matrix(bits, self.n_words)
+
     @staticmethod
     def is_candidate(enc_query: int, enc_data: int) -> bool:
         """Bitwise-AND candidacy test (the GPU's massively parallel op)."""
         return enc_query & enc_data == enc_query
 
+    @staticmethod
+    def candidate_mask(packed: np.ndarray, query_row: np.ndarray) -> np.ndarray:
+        """Whole-column candidacy: ``(codes & q) == q`` reduced across
+        words. ``packed`` is ``(rows, n_words)``, ``query_row`` is one
+        packed query code; returns a boolean vector over rows."""
+        return ((packed & query_row) == query_row).all(axis=1)
+
 
 class EncodingTable:
-    """Codes for every data vertex, refreshed incrementally per batch."""
+    """Packed codes for every data vertex, refreshed per batch.
 
-    def __init__(self, schema: EncodingSchema, graph: LabeledGraph) -> None:
+    ``vectorized`` selects the bulk ``encode_all`` path (default) or
+    the scalar per-vertex oracle — both produce the identical packed
+    matrix, which the equivalence tests assert.
+    """
+
+    def __init__(
+        self,
+        schema: EncodingSchema,
+        graph: LabeledGraph,
+        csr: CSRGraph | None = None,
+        *,
+        vectorized: bool = True,
+    ) -> None:
         self.schema = schema
-        self.codes: list[int] = [schema.encode(graph, v) for v in graph.vertices()]
+        self.vectorized = vectorized
+        if vectorized:
+            if csr is None:
+                csr = CSRGraph.from_graph(graph)
+            self.packed = schema.encode_all(csr)
+        else:
+            self.packed = schema.pack_codes(
+                [schema.encode(graph, v) for v in graph.vertices()]
+            )
         #: bumped once per applied batch delta; the shared store's
         #: consistency audit requires it to match the store version
         self.version = 0
 
+    @property
+    def codes(self) -> list[int]:
+        """Scalar python-int view of the packed code matrix."""
+        return [EncodingSchema.unpack_code(row) for row in self.packed]
+
     def __getitem__(self, v: int) -> int:
-        return self.codes[v]
+        return EncodingSchema.unpack_code(self.packed[v])
 
     def __len__(self) -> int:
-        return len(self.codes)
+        return len(self.packed)
 
-    def refresh_vertices(self, graph: LabeledGraph, vertices: set[int]) -> set[int]:
+    def refresh_vertices(
+        self,
+        graph: LabeledGraph,
+        vertices: set[int],
+        csr: CSRGraph | None = None,
+    ) -> set[int]:
         """Re-encode ``vertices`` against the (already updated) graph;
         returns the subset whose code actually changed — only those rows
-        need to cross PCIe and refresh the candidate table."""
-        changed: set[int] = set()
-        for v in vertices:
-            while v >= len(self.codes):  # vertices appended by updates
-                self.codes.append(0)
-            new_code = self.schema.encode(graph, v)
-            if new_code != self.codes[v]:
-                self.codes[v] = new_code
-                changed.add(v)
-        return changed
+        need to cross PCIe and refresh the candidate table.
 
-    def apply_delta(self, graph_after: LabeledGraph, delta: EffectiveDelta) -> set[int]:
+        All touched vertices are re-encoded in one vectorized shot, and
+        the code store grows to the target size with a single
+        allocation (vertices appended by updates arrive zero-coded
+        until an edge touches them, as before).
+        """
+        if not vertices:
+            return set()
+        vs = np.fromiter(vertices, dtype=np.int64, count=len(vertices))
+        vs.sort()
+        target = int(vs[-1]) + 1
+        if target > len(self.packed):
+            grown = np.zeros((target, self.schema.n_words), dtype=np.uint64)
+            grown[: len(self.packed)] = self.packed
+            self.packed = grown
+        if self.vectorized:
+            if csr is None:
+                csr = CSRGraph.from_graph(graph)
+            new_rows = self.schema.encode_all(csr, vs)
+        else:
+            new_rows = self.schema.pack_codes(
+                [self.schema.encode(graph, int(v)) for v in vs]
+            )
+        diff = (new_rows != self.packed[vs]).any(axis=1)
+        self.packed[vs] = new_rows
+        return {int(v) for v in vs[diff]}
+
+    def apply_delta(
+        self,
+        graph_after: LabeledGraph,
+        delta: EffectiveDelta,
+        csr: CSRGraph | None = None,
+    ) -> set[int]:
         """Incrementally re-encode after a batch (graph already updated).
 
         Only endpoints of net-changed edges can change code; returns the
-        vertices whose code did change.
+        vertices whose code did change. ``csr`` is the post-update CSR
+        snapshot when the caller (the shared store) already has one.
         """
         touched: set[int] = set()
         for u, v, _ in delta.inserted:
@@ -147,4 +316,4 @@ class EncodingTable:
             touched.add(u)
             touched.add(v)
         self.version += 1
-        return self.refresh_vertices(graph_after, touched)
+        return self.refresh_vertices(graph_after, touched, csr=csr)

@@ -4,6 +4,11 @@ The matching kernels read adjacency through CSR-style contiguous
 arrays — the same access pattern the paper's GPU kernels get from the
 GPMA key range of a vertex — so the virtual GPU can account coalesced
 memory transactions per 32-consecutive-word segment.
+
+Snapshots are maintained batch-dynamically: :meth:`CSRGraph.apply_delta`
+produces the post-batch snapshot by splicing only the touched rows
+(the host-side analogue of the GPMA segment update), so a serving
+store never pays a full O(|E|) rebuild per batch.
 """
 
 from __future__ import annotations
@@ -11,6 +16,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.labeled_graph import LabeledGraph
+
+
+def _flat_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i]+counts[i])`` for all
+    rows without a python loop."""
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return np.repeat(starts, counts) + within
 
 
 class CSRGraph:
@@ -36,21 +53,16 @@ class CSRGraph:
 
     @classmethod
     def from_graph(cls, g: LabeledGraph) -> "CSRGraph":
-        """Bulk CSR construction: one pass over the edge list into flat
-        directed-edge arrays, then ``bincount``/``cumsum``/``lexsort``
-        instead of per-vertex python loops."""
+        """Bulk CSR construction: one flat adjacency export from the
+        graph (``fromiter`` over chained dicts — no per-edge python
+        loop), then ``cumsum`` offsets and a per-row sort of the
+        neighbor/edge-label arrays."""
         n = g.n_vertices
-        m2 = 2 * g.n_edges
-        src = np.empty(m2, dtype=np.int64)
-        dst = np.empty(m2, dtype=np.int64)
-        lbl = np.empty(m2, dtype=np.int64)
-        i = 0
-        for u, v, l in g.labeled_edges():
-            src[i], dst[i], lbl[i] = u, v, l
-            src[i + 1], dst[i + 1], lbl[i + 1] = v, u, l
-            i += 2
+        degrees, dst, lbl = g.adjacency_arrays()
         offsets = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(np.bincount(src, minlength=n), out=offsets[1:])
+        np.cumsum(np.asarray(degrees, dtype=np.int64), out=offsets[1:])
+        # rows are already grouped by source; sort within each row
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
         order = np.lexsort((dst, src))
         return cls(offsets, dst[order], lbl[order], np.asarray(g.vertex_labels, dtype=np.int64))
 
@@ -71,6 +83,73 @@ class CSRGraph:
             nbr_labels = g.neighbor_dict(v)
             edge_labels[start : start + len(nbrs)] = [nbr_labels[w] for w in nbrs]
         return cls(offsets, neighbors, edge_labels, np.asarray(g.vertex_labels, dtype=np.int64))
+
+    def apply_delta(self, delta, graph_after: LabeledGraph) -> "CSRGraph":
+        """Post-batch snapshot from this (pre-batch) snapshot and the
+        batch's effective delta, splicing only the touched rows.
+
+        Untouched rows move with one bulk gather; touched rows are
+        rebuilt from their surviving old entries plus the inserted
+        directed edges, lexsorted back into neighbor order.
+        ``graph_after`` supplies the post-batch vertex count and labels
+        (updates may have appended vertices).
+        """
+        n_new = graph_after.n_vertices
+        n_old = self.n_vertices
+        ins = np.array([e for e in delta.inserted], dtype=np.int64).reshape(-1, 3)
+        del_ = np.array([e for e in delta.deleted], dtype=np.int64).reshape(-1, 3)
+        # directed forms (both orientations of every undirected edge)
+        ins_src = np.concatenate([ins[:, 0], ins[:, 1]])
+        ins_dst = np.concatenate([ins[:, 1], ins[:, 0]])
+        ins_lbl = np.concatenate([ins[:, 2], ins[:, 2]])
+        del_src = np.concatenate([del_[:, 0], del_[:, 1]])
+        del_dst = np.concatenate([del_[:, 1], del_[:, 0]])
+
+        deg_old = np.zeros(n_new, dtype=np.int64)
+        deg_old[:n_old] = np.diff(self.offsets)
+        ins_cnt = np.bincount(ins_src, minlength=n_new)
+        del_cnt = np.bincount(del_src, minlength=n_new)
+        deg_new = deg_old + ins_cnt - del_cnt
+        offsets = np.zeros(n_new + 1, dtype=np.int64)
+        np.cumsum(deg_new, out=offsets[1:])
+
+        touched = (ins_cnt + del_cnt) > 0
+        neighbors = np.empty(int(offsets[-1]), dtype=np.int64)
+        edge_labels = np.empty(int(offsets[-1]), dtype=np.int64)
+
+        # untouched rows: one bulk gather with shifted offsets
+        keep = np.nonzero(~touched[:n_old])[0]
+        src_idx = _flat_indices(self.offsets[keep], deg_old[keep])
+        dst_idx = _flat_indices(offsets[keep], deg_old[keep])
+        neighbors[dst_idx] = self.neighbors[src_idx]
+        edge_labels[dst_idx] = self.edge_labels[src_idx]
+
+        # touched rows: surviving old entries + inserted entries
+        tv = np.nonzero(touched)[0]
+        tv_old = tv[tv < n_old]
+        old_idx = _flat_indices(self.offsets[tv_old], deg_old[tv_old])
+        old_src = np.repeat(tv_old, deg_old[tv_old])
+        old_dst = self.neighbors[old_idx]
+        old_lbl = self.edge_labels[old_idx]
+        if len(del_src):
+            key = old_src * np.int64(n_new) + old_dst
+            del_key = del_src * np.int64(n_new) + del_dst
+            alive = ~np.isin(key, del_key)
+            old_src, old_dst, old_lbl = old_src[alive], old_dst[alive], old_lbl[alive]
+        row_src = np.concatenate([old_src, ins_src])
+        row_dst = np.concatenate([old_dst, ins_dst])
+        row_lbl = np.concatenate([old_lbl, ins_lbl])
+        order = np.lexsort((row_dst, row_src))
+        dst_idx = _flat_indices(offsets[tv], deg_new[tv])
+        neighbors[dst_idx] = row_dst[order]
+        edge_labels[dst_idx] = row_lbl[order]
+
+        return CSRGraph(
+            offsets,
+            neighbors,
+            edge_labels,
+            np.asarray(graph_after.vertex_labels, dtype=np.int64),
+        )
 
     @property
     def n_vertices(self) -> int:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.filtering import CandidateTable, EncodingSchema, EncodingTable
+from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import LabeledGraph, canonical
 from repro.graph.updates import UpdateBatch, apply_batch, effective_delta
 from repro.gpu.memory import GlobalMemory, SharedMemory
@@ -54,15 +55,20 @@ class BFSEngine:
         params: DeviceParams = DEFAULT_PARAMS,
         bits_per_label: int = 2,
         barrier_cycles: float = 64.0,
+        vectorized: bool = True,
     ) -> None:
         self.query = query
         self.graph = graph.copy()
         self.params = params
         self.barrier_cycles = barrier_cycles
+        self.vectorized = vectorized
         schema = EncodingSchema.for_query(query, bits_per_label)
-        self.encodings = EncodingTable(schema, self.graph)
-        self.table = CandidateTable(query, self.graph, self.encodings)
+        self.encodings = EncodingTable(schema, self.graph, vectorized=vectorized)
+        self.table = CandidateTable(
+            query, self.graph, self.encodings, vectorized=vectorized
+        )
         self.plan = trivial_plan(query)
+        self._csr: CSRGraph | None = None  # phase-local snapshot cache
 
     # ------------------------------------------------------------------
     def process_batch(self, batch: UpdateBatch) -> BFSResult:
@@ -71,7 +77,14 @@ class BFSEngine:
         if delta.deleted:
             result.negatives = self._expand_phase(list(delta.deleted), "del", result)
         apply_batch(self.graph, batch)
-        changed = self.encodings.apply_delta(self.graph, delta)
+        if not self.vectorized:
+            self._csr = None
+        elif self._csr is not None:
+            # splice the pre-batch snapshot instead of a full rebuild
+            self._csr = self._csr.apply_delta(delta, self.graph)
+        else:
+            self._csr = CSRGraph.from_graph(self.graph)
+        changed = self.encodings.apply_delta(self.graph, delta, csr=self._csr)
         self.table.refresh_rows(changed)
         if delta.inserted:
             result.positives = self._expand_phase(list(delta.inserted), "ins", result)
@@ -89,7 +102,16 @@ class BFSEngine:
         n = self.query.n_vertices
         rank_map = {canonical(u, v): i for i, (u, v, _) in enumerate(edges)}
         out = KernelOutput()
-        env = _Env(self.query, self.graph, self.table, self.plan, rank_map, WBMConfig(), out)
+        env = _Env(
+            self.query,
+            self.graph,
+            self.table,
+            self.plan,
+            rank_map,
+            WBMConfig(vectorized=self.vectorized),
+            out,
+            csr=self._csr,
+        )
         ctx = WarpContext(0, params, SharedMemory(params), GlobalMemory(params), BlockStats(n_warps=1))
         mem = GlobalMemory(params)
 

@@ -75,11 +75,18 @@ def iter_matches(
     assignment: dict[int, int] = {}
     used: set[int] = set()
     yielded = 0
+    # root scans (no matched neighbor to expand from) prefilter the
+    # whole vertex set by label with one array compare before the
+    # per-candidate NLF check
+    import numpy as np
+
+    labels_arr = np.asarray(graph.vertex_labels, dtype=np.int64)
 
     def candidates(u: int) -> list[int]:
         matched_nbrs = [w for w in query.neighbors(u) if w in assignment]
         if not matched_nbrs:
-            return [v for v in graph.vertices() if _nlf_ok(query, u, graph, v)]
+            pool = np.nonzero(labels_arr == query.vertex_label(u))[0]
+            return [int(v) for v in pool if _nlf_ok(query, u, graph, int(v))]
         # expand from the matched neighbor with the smallest adjacency
         anchor = min(matched_nbrs, key=lambda w: graph.degree(assignment[w]))
         base = graph.neighbors(assignment[anchor])

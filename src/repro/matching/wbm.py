@@ -31,8 +31,11 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
+import numpy as np
+
 from repro.errors import BudgetExceeded, MatchingError
 from repro.filtering import CandidateTable, EncodingSchema
+from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import LabeledGraph, canonical
 from repro.graph.updates import UpdateBatch
 from repro.gpu.device import VirtualGPU
@@ -56,6 +59,11 @@ class WBMConfig:
     coalesced: bool = True
     max_k: int = 2
     bits_per_label: int = 2
+    #: CSR-backed array kernels for Gen-Candidates and the filtering
+    #: stack; False selects the original dict-walk scalar path, kept as
+    #: the correctness oracle (identical matches AND identical modeled
+    #: cycle accounting)
+    vectorized: bool = True
     # engine-wide busy-cycle allowance per launch (the timeout analogue;
     # exceeded -> BudgetExceeded -> the query counts as unsolved)
     cycle_budget: Optional[float] = None
@@ -141,6 +149,7 @@ class _Env:
         rank_map: dict[tuple[int, int], int],
         config: WBMConfig,
         out: KernelOutput,
+        csr: Optional[CSRGraph] = None,
     ) -> None:
         self.query = query
         self.graph = graph
@@ -149,6 +158,22 @@ class _Env:
         self.rank_map = rank_map
         self.config = config
         self.out = out
+        #: CSR snapshot of ``graph`` at launch time; shared across all
+        #: runtimes when the store hands out its cached snapshot, built
+        #: lazily otherwise (only the vectorized path reads it)
+        self._csr = csr
+        # rank_map as parallel arrays for vectorized total-order checks
+        if rank_map:
+            edges = np.array(list(rank_map.keys()), dtype=np.int64)
+            self._rank_u = edges[:, 0]
+            self._rank_v = edges[:, 1]
+            self._rank_r = np.fromiter(
+                rank_map.values(), dtype=np.int64, count=len(rank_map)
+            )
+        else:
+            self._rank_u = self._rank_v = self._rank_r = None
+        # per data-vertex (sorted update partners, their ranks), lazy
+        self._rank_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self.gauge = _MemoryGauge()
         self.n = query.n_vertices
         # phase-A filter columns: per (group, query vertex), the union of
@@ -162,6 +187,40 @@ class _Env:
             if config.wall_limit is None
             else _time.perf_counter() + config.wall_limit
         )
+
+    @property
+    def csr(self) -> CSRGraph:
+        """CSR snapshot of the launch-time graph (lazily built)."""
+        if self._csr is None:
+            self._csr = CSRGraph.from_graph(self.graph)
+        return self._csr
+
+    def rank_partners(self, dv: int) -> tuple[np.ndarray, np.ndarray]:
+        """Update-edge partners of data vertex ``dv`` (sorted) with the
+        rank of each touching net-update edge, cached per launch."""
+        entry = self._rank_cache.get(dv)
+        if entry is None:
+            sel_u = self._rank_u == dv
+            sel_v = self._rank_v == dv
+            partners = np.concatenate([self._rank_v[sel_u], self._rank_u[sel_v]])
+            ranks = np.concatenate([self._rank_r[sel_u], self._rank_r[sel_v]])
+            order = np.argsort(partners)
+            entry = (partners[order], ranks[order])
+            self._rank_cache[dv] = entry
+        return entry
+
+    def rank_filter(self, cands: np.ndarray, dv: int, rank: int) -> np.ndarray:
+        """Drop candidates whose edge to ``dv`` is a net-update edge of
+        rank below ``rank`` (the total-order duplicate rule)."""
+        partners, ranks = self.rank_partners(dv)
+        if not len(partners):
+            return cands
+        pos = np.searchsorted(partners, cands)
+        pos_c = np.minimum(pos, len(partners) - 1)
+        blocked = (partners[pos_c] == cands) & (ranks[pos_c] < rank)
+        if blocked.any():
+            return cands[~blocked]
+        return cands
 
     def orbit_column(self, group: CoalescedGroup, qv: int):
         """Boolean candidacy column for phase-A filtering at ``qv``."""
@@ -222,29 +281,66 @@ def _gen_candidates(
     candidate columns; phase B uses the exact column. Enforces vertex
     label, adjacency + edge labels to all matched query neighbors,
     injectivity, and the total-order rank rule.
+
+    The default path runs on the CSR snapshot as array kernels
+    (sorted-adjacency intersection via ``searchsorted`` plus vectorized
+    label/bitmap/rank masks); ``config.vectorized = False`` selects the
+    original dict-walk, kept as the correctness oracle. Both paths pay
+    the identical modeled warp-cooperative cost.
     """
-    query, graph, table = env.query, env.graph, env.table
+    query, graph = env.query, env.graph
     qv = order[level]
     boundary = len(group.core)
     matched = [w for w in query.neighbors(qv) if w in assign]
     if not matched:
         raise MatchingError(f"matching order broke connectivity at {qv}")
     anchor = min(matched, key=lambda w: graph.degree(assign[w]))
+    others = [w for w in matched if w != anchor]
+    in_core = level < boundary
+    if in_core:
+        col = env.orbit_column(group, qv)
+    else:
+        col = env.table.bitmap[:, qv]
+    if env.config.vectorized:
+        base = env.csr.neighbor_slice(assign[anchor])
+        out = _candidates_vectorized(env, group, assign, qv, anchor, others, col, rank)
+    else:
+        base = graph.neighbors(assign[anchor])
+        out = _candidates_scalar(env, group, assign, qv, anchor, others, col, rank)
+
+    # --- cost accounting (warp-cooperative execution) -----------------
+    ctx.read_adjacency(base)
+    ctx.charge_lanes(len(base) * (1 + len(others)))
+    if others:
+        deg_sum = sum(graph.degree(assign[w]) for w in others)
+        steps = max(1, (deg_sum // max(len(others), 1)).bit_length())
+        rounds = (len(base) + ctx.params.warp_size - 1) // ctx.params.warp_size
+        ctx.read_global_scattered(rounds * steps * len(others))
+    # candidate-table probes: one scattered transaction per probed row group
+    ctx.read_global_scattered(max(1, len(base) // ctx.params.warp_size))
+    return out
+
+
+def _candidates_scalar(
+    env: _Env,
+    group: CoalescedGroup,
+    assign: dict[int, int],
+    qv: int,
+    anchor: int,
+    others: list[int],
+    col,
+    rank: int,
+) -> list[int]:
+    """Original dict-walk Gen-Candidates (the correctness oracle)."""
+    query, graph = env.query, env.graph
     base = graph.neighbors(assign[anchor])
     anchor_label = query.edge_label(qv, anchor)
-    others = [w for w in matched if w != anchor]
     want_label = query.vertex_label(qv)
     used = set(assign.values())
-    in_core = level < boundary
     rank_map = env.rank_map
     labels = graph.vertex_labels
     anchor_adj = graph.neighbor_dict(assign[anchor])
-    if in_core:
-        col = env.orbit_column(group, qv)
-        n_col = len(col)
-    else:
-        col = table.bitmap[:, qv]
-        n_col = len(col)
+    n_col = len(col)
 
     out: list[int] = []
     for c in base:
@@ -272,18 +368,71 @@ def _gen_candidates(
                     break
         if ok:
             out.append(c)
-
-    # --- cost accounting (warp-cooperative execution) -----------------
-    ctx.read_adjacency(base)
-    ctx.charge_lanes(len(base) * (1 + len(others)))
-    if others:
-        deg_sum = sum(graph.degree(assign[w]) for w in others)
-        steps = max(1, (deg_sum // max(len(others), 1)).bit_length())
-        rounds = (len(base) + ctx.params.warp_size - 1) // ctx.params.warp_size
-        ctx.read_global_scattered(rounds * steps * len(others))
-    # candidate-table probes: one scattered transaction per probed row group
-    ctx.read_global_scattered(max(1, len(base) // ctx.params.warp_size))
     return out
+
+
+def _candidates_vectorized(
+    env: _Env,
+    group: CoalescedGroup,
+    assign: dict[int, int],
+    qv: int,
+    anchor: int,
+    others: list[int],
+    col,
+    rank: int,
+) -> list[int]:
+    """CSR-backed Gen-Candidates: the anchor's sorted neighbor slice is
+    narrowed by vectorized vertex-label / edge-label / bitmap /
+    injectivity masks, then intersected with every other matched
+    neighbor's sorted adjacency via ``searchsorted`` (the paper's
+    per-lane parallel binary search). Produces the identical ascending
+    candidate list as the scalar oracle."""
+    query, csr = env.query, env.csr
+    anchor_dv = assign[anchor]
+    base = csr.neighbor_slice(anchor_dv)
+    n_base = len(base)
+    if not n_base:
+        return []
+    elabels = csr.edge_label_slice(anchor_dv)
+    labels = csr.vertex_labels
+    mask = (labels[base] == query.vertex_label(qv)) & (
+        elabels == query.edge_label(qv, anchor)
+    )
+    # candidacy bitmap column (may be shorter than the data graph when
+    # updates appended vertices: out-of-range rows carry no claim)
+    n_col = len(col)
+    if base[-1] < n_col:  # base is sorted: one bounds check suffices
+        mask &= col[base]
+    else:
+        in_range = base < n_col
+        passes = np.zeros(n_base, dtype=bool)
+        passes[in_range] = col[base[in_range]]
+        mask &= passes
+    # injectivity against the partial match: binary-search each of the
+    # (few) matched data vertices into the sorted neighbor slice
+    for dv in assign.values():
+        i = int(np.searchsorted(base, dv))
+        if i < n_base and base[i] == dv:
+            mask[i] = False
+    cands = base[mask]
+    if env._rank_r is not None and len(cands):
+        cands = env.rank_filter(cands, anchor_dv, rank)
+    # sorted-adjacency intersection with every other matched neighbor
+    for w in others:
+        if not len(cands):
+            break
+        dv = assign[w]
+        nbrs = csr.neighbor_slice(dv)
+        if not len(nbrs):
+            return []
+        elbl = csr.edge_label_slice(dv)
+        pos = np.searchsorted(nbrs, cands)
+        pos_c = np.minimum(pos, len(nbrs) - 1)
+        hit = (nbrs[pos_c] == cands) & (elbl[pos_c] == query.edge_label(qv, w))
+        cands = cands[hit]
+        if env._rank_r is not None and len(cands):
+            cands = env.rank_filter(cands, dv, rank)
+    return [int(c) for c in cands]
 
 
 # ---------------------------------------------------------------------------
@@ -486,6 +635,8 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
     style — instead of retiring while work remains.
     """
 
+    names = [_state_name(w) for w in range(sched.stats.n_warps)]
+
     def handler(ctx: WarpContext) -> Optional[Generator]:
         ctx.stats.steal_attempts += 1
         ctx._charge(ctx.params.steal_check_cycles)
@@ -495,7 +646,7 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
         for w in range(sched.stats.n_warps):
             if w == ctx.warp_id:
                 continue
-            name = _state_name(w)
+            name = names[w]
             if name not in sched.shared:
                 continue
             st = ctx.shared_read(name)
@@ -645,11 +796,63 @@ def _initial_items(env: _Env, x: int, y: int, elabel: int, rank: int) -> list[di
     return items
 
 
+def _initial_items_bulk(
+    env: _Env, edges: list[tuple[int, int, int]]
+) -> list[list[dict]]:
+    """Vectorized :func:`_initial_items` over the whole launch: one
+    label/filter mask per coalesced group across every update edge
+    (instead of a scalar check per (edge, group) pair). Items are
+    identical, in the same per-edge group order."""
+    query = env.query
+    csr = env.csr
+    labels = csr.vertex_labels
+    n = csr.n_vertices
+    ex = np.empty(len(edges), dtype=np.int64)
+    ey = np.empty(len(edges), dtype=np.int64)
+    el = np.empty(len(edges), dtype=np.int64)
+    for i, (u, v, lbl) in enumerate(edges):
+        ex[i], ey[i] = canonical(u, v)
+        el[i] = lbl
+    in_range = (ex < n) & (ey < n)
+    ex_c = np.minimum(ex, n - 1) if n else ex
+    ey_c = np.minimum(ey, n - 1) if n else ey
+    items_per_edge: list[list[dict]] = [[] for _ in edges]
+    for group in env.plan.groups:
+        a, b = group.representative
+        sel = in_range & (el == query.edge_label(a, b))
+        if not sel.any():
+            continue
+        sel &= (labels[ex_c] == query.vertex_label(a)) & (
+            labels[ey_c] == query.vertex_label(b)
+        )
+        for qv, ends in ((a, ex), (b, ey)):
+            if not sel.any():
+                break
+            col = env.orbit_column(group, qv)
+            ok = ends < len(col)
+            ok[ok] = col[ends[ok]]
+            sel &= ok
+        for i in np.nonzero(sel)[0]:
+            items_per_edge[i].append(
+                {
+                    "group": group,
+                    "assign": {a: int(ex[i]), b: int(ey[i])},
+                    "level": 2,
+                    "dedup": set(),
+                    "rank": int(i),
+                    "permuted": False,
+                }
+            )
+    return items_per_edge
+
+
 def _make_task(env: _Env, items: list[dict]):
     def task(ctx: WarpContext) -> Generator[None, None, None]:
         if not items:
+            # charge the no-op probe and finish without a scheduler
+            # round-trip (no clock advance happens at a bare yield, so
+            # the modeled trace is identical)
             ctx.charge_compute(1)
-            yield
             return
         yield from _worker(ctx, env, items)
 
@@ -664,17 +867,26 @@ def launch_kernel(
     config: WBMConfig,
     gpu: VirtualGPU,
     edges: list[tuple[int, int, int]],
+    csr: Optional[CSRGraph] = None,
 ) -> KernelOutput:
-    """Launch one sign phase: one warp task per net update edge."""
+    """Launch one sign phase: one warp task per net update edge.
+
+    ``csr`` is the launch-time CSR snapshot of ``graph`` — the shared
+    store hands its cached snapshot to every runtime so N registered
+    queries read one adjacency array set.
+    """
     out = KernelOutput()
     rank_map = {canonical(u, v): i for i, (u, v, _) in enumerate(edges)}
-    env = _Env(query, graph, table, plan, rank_map, config, out)
+    env = _Env(query, graph, table, plan, rank_map, config, out, csr=csr)
 
-    tasks = []
-    for i, (u, v, lbl) in enumerate(edges):
-        cu, cv = canonical(u, v)
-        items = _initial_items(env, cu, cv, lbl, i)
-        tasks.append(_make_task(env, items))
+    if config.vectorized and edges:
+        per_edge = _initial_items_bulk(env, edges)
+    else:
+        per_edge = [
+            _initial_items(env, *canonical(u, v), lbl, i)
+            for i, (u, v, lbl) in enumerate(edges)
+        ]
+    tasks = [_make_task(env, items) for items in per_edge]
 
     def block_hook(sched: BlockScheduler):
         sched.shared.alloc("_sched", sched, words=0)
@@ -726,7 +938,9 @@ class QueryRuntime:
         self.config = config
         self.name = name
         self.gpu = VirtualGPU(params)
-        self.table = CandidateTable(query, store.graph, store.encodings)
+        self.table = CandidateTable(
+            query, store.graph, store.encodings, vectorized=config.vectorized
+        )
         if config.coalesced:
             self.plan = gate_plan(query, self.table, build_coalesced_plan(query, max_k=config.max_k))
         else:
@@ -762,8 +976,16 @@ class QueryRuntime:
                 f"runtime {self.name!r} out of sync with store "
                 f"(saw v{self.synced_version}, store at v{self.store.version})"
             )
+        csr = self.store.csr_snapshot() if self.config.vectorized else None
         return launch_kernel(
-            self.query, self.store.graph, self.table, self.plan, self.config, self.gpu, edges
+            self.query,
+            self.store.graph,
+            self.table,
+            self.plan,
+            self.config,
+            self.gpu,
+            edges,
+            csr=csr,
         )
 
     def observe_commit(self, commit) -> None:
@@ -813,7 +1035,9 @@ class WBMEngine:
         # exactly; shared stores use the full-alphabet superset schema,
         # which filters identically
         schema = EncodingSchema.for_query(query, config.bits_per_label)
-        self.store = DynamicGraphStore(graph, params, schema=schema)
+        self.store = DynamicGraphStore(
+            graph, params, schema=schema, vectorized=config.vectorized
+        )
         self.runtime = QueryRuntime(query, self.store, params, config)
         self.params = params
         self.config = config

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.updates import EffectiveDelta
@@ -92,10 +94,13 @@ class GPMAGraph:
         cooperative_groups: bool = True,
     ) -> "GPMAGraph":
         gpma = cls(params, top_k_cached, cooperative_groups)
-        items = []
-        for u, v, lbl in g.labeled_edges():
-            items.append((edge_key(u, v), lbl))
-            items.append((edge_key(v, u), lbl))
+        # bulk edge-key construction from the flat adjacency export
+        # (vectorized shift-or instead of a python loop per edge)
+        degrees, dst, lbl = g.adjacency_arrays()
+        src = np.repeat(np.arange(g.n_vertices, dtype=np.int64), degrees)
+        keys = (src << _SHIFT) | dst
+        order = np.argsort(keys)
+        items = list(zip(keys[order].tolist(), lbl[order].tolist()))
         gpma._pma = PMA.bulk_load(items)
         gpma._n_vertices = g.n_vertices
         return gpma
@@ -156,11 +161,12 @@ class GPMAGraph:
             keys.append(edge_key(u, v))
             keys.append(edge_key(v, u))
         touched_leaves: dict[int, int] = {}
-        for key in keys:
-            leaf, cost = index.locate(key)
+        if keys:
+            leaves, cost = index.locate_bulk(keys)
             stats.shared_probes += cost.shared_probes
             stats.global_probes += cost.global_probes
-            touched_leaves[leaf] = touched_leaves.get(leaf, 0) + 1
+            uniq, counts = np.unique(leaves, return_counts=True)
+            touched_leaves = {int(l): int(c) for l, c in zip(uniq, counts)}
         stats.locate_cycles += (
             stats.shared_probes * params.shared_access_cycles
             + stats.global_probes * params.global_transaction_cycles

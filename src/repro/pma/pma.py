@@ -68,6 +68,7 @@ class PMA:
         ]
         self._seg_first: list[int] = [_NEG_INF] * len(self._segments)
         self._n = 0
+        self._height = max(0, (len(self._segments) - 1).bit_length())
         self.opstats = PmaOpStats()
 
     @classmethod
@@ -109,8 +110,9 @@ class PMA:
 
     @property
     def height(self) -> int:
-        """Levels of the window tree (0 = leaf ... height = root)."""
-        return max(0, (self.n_segments - 1).bit_length())
+        """Levels of the window tree (0 = leaf ... height = root);
+        cached, recomputed on resize."""
+        return self._height
 
     def __len__(self) -> int:
         return self._n
@@ -242,19 +244,23 @@ class PMA:
         escalations = 0
         idx = 0
         while idx < len(pend):
-            while self._n + 1 > self._tau(self.height) * self._capacity:
+            # root density bound: tau(height) is exactly TAU_ROOT for a
+            # multi-segment array (TAU_LEAF for a single segment)
+            tau_root = self.TAU_ROOT if self.height else self.TAU_LEAF
+            while self._n + 1 > tau_root * self._capacity:
                 self._grow()
+                tau_root = self.TAU_ROOT if self.height else self.TAU_LEAF
             seg_idx = self._locate_segment(pend[idx][0])
-            # the group = consecutive items landing in this segment
-            j = idx
+            # the group = consecutive items landing in this segment: all
+            # pending keys below the next non-empty segment's first key
+            # (one bisect over the sorted batch instead of a re-locate
+            # per item)
             seg = self._segments[seg_idx]
-            while j < len(pend):
-                target = self._locate_segment_cached(pend[j][0], seg_idx)
-                if target != seg_idx:
-                    break
-                j += 1
+            j = bisect_left(pend, (self._next_first(seg_idx), _NEG_INF), idx)
             group = pend[idx:j]
-            room = int(self._tau(0) * self._segment_size) - len(seg)
+            # leaf bound: tau(0) == TAU_LEAF == 1.0, so room is the
+            # segment's physical free space
+            room = self._segment_size - len(seg)
             if len(group) <= room:
                 for k, v in group:
                     i = bisect_left(seg, (k, _NEG_INF))
@@ -291,19 +297,16 @@ class PMA:
             escalations += self.opstats.rebalances - before
         return escalations
 
-    def _locate_segment_cached(self, key: int, hint: int) -> int:
-        """Locate with a cheap check against a hinted segment first."""
-        firsts = self._seg_first
-        if firsts[hint] <= key and (
-            hint + 1 >= len(firsts) or key < self._next_first(hint)
-        ):
-            return hint
-        return self._locate_segment(key)
-
     def _next_first(self, seg_idx: int) -> int:
-        for j in range(seg_idx + 1, self.n_segments):
-            if self._segments[j]:
-                return self._segments[j][0][0]
+        """First key of the nearest non-empty segment right of
+        ``seg_idx``. Scans the fill-forward firsts (ints) instead of
+        the segments: the first differing value right of ``seg_idx``
+        is exactly that segment's own first key."""
+        firsts = self._seg_first
+        cur = firsts[seg_idx]
+        for j in range(seg_idx + 1, len(firsts)):
+            if firsts[j] != cur:
+                return firsts[j]
         return 1 << 62
 
     # ------------------------------------------------------------------
@@ -377,6 +380,7 @@ class PMA:
         self._segment_size = _segment_size_for(self._capacity)
         n_segs = self._capacity // self._segment_size
         self._segments = [[] for _ in range(n_segs)]
+        self._height = max(0, (n_segs - 1).bit_length())
         base, extra = divmod(len(elems), n_segs)
         pos = 0
         for s in range(n_segs):

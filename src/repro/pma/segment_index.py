@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.pma.pma import PMA
 
 
@@ -70,3 +72,21 @@ class SegmentIndex:
 
     def locate_leaf(self, key: int) -> int:
         return self.locate(key)[0]
+
+    def locate_bulk(self, keys) -> tuple[np.ndarray, LocateCost]:
+        """Vectorized :meth:`locate` over many keys.
+
+        The walk's leaf is exactly the rightmost segment whose
+        fill-forward first key is ``<= key`` (ties descend right), i.e.
+        one ``searchsorted``; and the probe split is deterministic —
+        every location probes once per level, the top ``cached_levels``
+        of them shared. Returns the leaf array plus the *summed* cost,
+        identical to accumulating per-key :meth:`locate` calls.
+        """
+        arr = np.asarray(keys, dtype=np.int64)
+        firsts = np.asarray(self.levels[0], dtype=np.int64)
+        leaves = np.searchsorted(firsts, arr, side="right") - 1
+        np.maximum(leaves, 0, out=leaves)
+        shared_per = min(self.cached_levels, self.height)
+        global_per = self.height - shared_per
+        return leaves, LocateCost(shared_per * len(arr), global_per * len(arr))

@@ -97,12 +97,17 @@ class MatchingService:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         bits_per_label: int = 2,
         extra_labels: tuple[int, ...] = (),
+        vectorized: bool = True,
     ) -> None:
         if store is None:
             if graph is None:
                 raise MatchingError("MatchingService needs a data graph or a store")
             store = DynamicGraphStore(
-                graph, params, bits_per_label=bits_per_label, extra_labels=extra_labels
+                graph,
+                params,
+                bits_per_label=bits_per_label,
+                extra_labels=extra_labels,
+                vectorized=vectorized,
             )
         self.store = store
         self.params = params

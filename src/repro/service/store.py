@@ -79,20 +79,25 @@ class DynamicGraphStore:
         bits_per_label: int = 2,
         extra_labels: tuple[int, ...] = (),
         copy: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.graph = graph.copy() if copy else graph
         self.params = params
+        self.vectorized = vectorized
         self.gpma = GPMAGraph.from_graph(self.graph, params)
         if schema is None:
             schema = EncodingSchema.for_labels(
                 set(self.graph.label_alphabet()) | set(extra_labels), bits_per_label
             )
         self.schema = schema
-        self.encodings = EncodingTable(schema, self.graph)
-        self.gpu = VirtualGPU(params)  # prices the (single) shared upload
         self.version = 0
         self._csr: CSRGraph | None = None
         self._csr_version = -1
+        # the initial bulk encode reads the same CSR snapshot the
+        # kernels will; scalar mode (the oracle) walks the dicts
+        csr = self.csr_snapshot() if vectorized else None
+        self.encodings = EncodingTable(schema, self.graph, csr, vectorized=vectorized)
+        self.gpu = VirtualGPU(params)  # prices the (single) shared upload
 
     # ------------------------------------------------------------------
     @property
@@ -127,11 +132,27 @@ class DynamicGraphStore:
         """
         if delta is None:
             delta = self.prepare(batch)
+        # pre-batch snapshot (if warm) seeds the incremental CSR splice
+        old_csr = self._csr if self._csr_version == self.version else None
         gpma_stats = self.gpma.apply_delta(delta)
         apply_batch(self.graph, batch)
-        changed = self.encodings.apply_delta(self.graph, delta)
+        if self.vectorized and delta:
+            # refresh the snapshot eagerly — incrementally when the
+            # pre-batch snapshot is warm: the encoding refresh reads it
+            # now and every runtime's positive-phase kernel reuses it
+            if old_csr is not None:
+                self._csr = old_csr.apply_delta(delta, self.graph)
+            else:
+                self._csr = CSRGraph.from_graph(self.graph)
+            self._csr_version = self.version + 1
+            changed = self.encodings.apply_delta(self.graph, delta, csr=self._csr)
+        else:
+            if self._csr is not None and not delta:
+                self._csr_version = self.version + 1  # no-op: graph unchanged
+            else:
+                self._csr = None
+            changed = self.encodings.apply_delta(self.graph, delta)
         self.version += 1
-        self._csr = None
         words = 2 * (len(delta.inserted) + len(delta.deleted)) + 2 * len(changed)
         return StoreCommit(
             delta=delta,

@@ -130,7 +130,10 @@ class TestMultiQuerySharing:
         monkeypatch.setattr(
             EncodingTable,
             "apply_delta",
-            lambda self, graph, delta: (enc_calls.append(1), orig_enc(self, graph, delta))[1],
+            lambda self, graph, delta, **kw: (
+                enc_calls.append(1),
+                orig_enc(self, graph, delta, **kw),
+            )[1],
         )
         service = MatchingService(g, params=PARAMS)
         for i in range(8):
