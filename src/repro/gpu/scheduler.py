@@ -19,6 +19,7 @@ Two hooks implement the paper's §V-A load balancing:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Callable, Generator, Iterable, Optional
 
 from repro.errors import GpuError
@@ -55,6 +56,10 @@ class BlockScheduler:
         ]
         self._mailboxes: dict[int, list[tuple[Generator, float]]] = {}
         self._parked: set[int] = set()
+        #: True while any mailbox may hold deliverable work: set by
+        #: push_work, cleared by a drain that empties every mailbox —
+        #: the run loop skips the drain entirely between pushes
+        self._mailbox_pending = False
         if shared_setup is not None:
             shared_setup(self.shared, self.contexts)
 
@@ -70,13 +75,14 @@ class BlockScheduler:
         if warp_id not in self._parked:
             raise GpuError(f"warp {warp_id} is not parked; cannot push work")
         self._mailboxes.setdefault(warp_id, []).append((gen, donor_clock))
+        self._mailbox_pending = True
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> BlockStats:
         n_warps = self.stats.n_warps
-        pending = list(range(n_warps, len(self.tasks)))  # task queue beyond first wave
+        pending = deque(range(n_warps, len(self.tasks)))  # task queue beyond first wave
         generators: dict[int, Generator] = {}
         heap: list[tuple[float, int]] = []
 
@@ -104,8 +110,10 @@ class BlockScheduler:
             except StopIteration:
                 self.stats.tasks_completed += 1
                 self._dispatch_next(w, generators, heap, pending, finish_clock)
-            # revive any parked warps that received pushed work
-            self._drain_mailboxes(generators, heap, finish_clock)
+            # revive any parked warps that received pushed work; skipped
+            # outright unless a push landed since the last full drain
+            if self._mailbox_pending:
+                self._drain_mailboxes(generators, heap, finish_clock)
 
         self.stats.makespan_cycles = max(
             (ctx.clock for ctx in self.contexts), default=0.0
@@ -118,13 +126,13 @@ class BlockScheduler:
         w: int,
         generators: dict[int, Generator],
         heap: list[tuple[float, int]],
-        pending: list[int],
+        pending: deque[int],
         finish_clock: list[float],
     ) -> None:
         """Find more work for warp ``w``: queue first, then steal, then park."""
         ctx = self.contexts[w]
         if pending:
-            task_idx = pending.pop(0)
+            task_idx = pending.popleft()
             generators[w] = self.tasks[task_idx](ctx)
             heapq.heappush(heap, (ctx.clock, w))
             return
@@ -144,6 +152,7 @@ class BlockScheduler:
         finish_clock: list[float],
     ) -> None:
         if not self._mailboxes:
+            self._mailbox_pending = False
             return
         for w in list(self._mailboxes):
             if w not in self._parked:
@@ -160,3 +169,6 @@ class BlockScheduler:
             extra = items[1:]
             if extra:
                 self._mailboxes[w] = extra
+        # leftover entries (their warp is running) keep the flag up so
+        # the next step retries the delivery, exactly as before
+        self._mailbox_pending = bool(self._mailboxes)

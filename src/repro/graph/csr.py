@@ -18,6 +18,24 @@ import numpy as np
 from repro.graph.labeled_graph import LabeledGraph
 
 
+def sorted_membership(
+    sorted_arr: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Clamped insertion positions of ``values`` in ``sorted_arr`` plus
+    the membership mask — the one shared formulation of the
+    ``searchsorted`` membership idiom (re-exported for the matching
+    kernels as :func:`repro.matching.intersect.positions_in`)."""
+    n = len(sorted_arr)
+    if not n:
+        return (
+            np.zeros(len(values), dtype=np.int64),
+            np.zeros(len(values), dtype=bool),
+        )
+    pos = np.searchsorted(sorted_arr, values)
+    np.minimum(pos, n - 1, out=pos)
+    return pos, sorted_arr[pos] == values
+
+
 def _flat_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Concatenate ``arange(starts[i], starts[i]+counts[i])`` for all
     rows without a python loop."""
@@ -37,7 +55,7 @@ class CSRGraph:
     is the label of ``v``.
     """
 
-    __slots__ = ("offsets", "neighbors", "edge_labels", "vertex_labels")
+    __slots__ = ("offsets", "neighbors", "edge_labels", "vertex_labels", "_edge_index")
 
     def __init__(
         self,
@@ -50,6 +68,21 @@ class CSRGraph:
         self.neighbors = neighbors
         self.edge_labels = edge_labels
         self.vertex_labels = vertex_labels
+        self._edge_index: tuple[np.ndarray, np.ndarray] | None = None
+
+    def edge_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted directed edge-key index ``(src * n + dst, labels)``.
+
+        The CSR layout (sources ascending, neighbors sorted per row)
+        makes the key array globally sorted, so bulk edge-existence and
+        label lookups are one ``searchsorted``. Built lazily, cached for
+        the snapshot's lifetime (snapshots are immutable).
+        """
+        if self._edge_index is None:
+            n = self.n_vertices
+            src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.offsets))
+            self._edge_index = (src * np.int64(n) + self.neighbors, self.edge_labels)
+        return self._edge_index
 
     @classmethod
     def from_graph(cls, g: LabeledGraph) -> "CSRGraph":
@@ -96,8 +129,8 @@ class CSRGraph:
         """
         n_new = graph_after.n_vertices
         n_old = self.n_vertices
-        ins = np.array([e for e in delta.inserted], dtype=np.int64).reshape(-1, 3)
-        del_ = np.array([e for e in delta.deleted], dtype=np.int64).reshape(-1, 3)
+        ins = delta.inserted_array
+        del_ = delta.deleted_array
         # directed forms (both orientations of every undirected edge)
         ins_src = np.concatenate([ins[:, 0], ins[:, 1]])
         ins_dst = np.concatenate([ins[:, 1], ins[:, 0]])
@@ -133,9 +166,10 @@ class CSRGraph:
         old_lbl = self.edge_labels[old_idx]
         if len(del_src):
             key = old_src * np.int64(n_new) + old_dst
-            del_key = del_src * np.int64(n_new) + del_dst
-            alive = ~np.isin(key, del_key)
-            old_src, old_dst, old_lbl = old_src[alive], old_dst[alive], old_lbl[alive]
+            del_key = np.sort(del_src * np.int64(n_new) + del_dst)
+            # sorted membership instead of np.isin: both sides are unique
+            _, dead = sorted_membership(del_key, key)
+            old_src, old_dst, old_lbl = old_src[~dead], old_dst[~dead], old_lbl[~dead]
         row_src = np.concatenate([old_src, ins_src])
         row_dst = np.concatenate([old_dst, ins_dst])
         row_lbl = np.concatenate([old_lbl, ins_lbl])

@@ -2,6 +2,7 @@
 variant, work stealing, and coalesced search."""
 
 from repro.matching.static_match import find_matches, count_matches, oracle_delta
+from repro.matching.intersect import intersect_sorted, mask_members, positions_in
 from repro.matching.matching_order import matching_order_for_pair, order_with_prefix
 from repro.matching.automorphism import (
     automorphisms,
@@ -30,6 +31,9 @@ __all__ = [
     "find_matches",
     "count_matches",
     "oracle_delta",
+    "intersect_sorted",
+    "mask_members",
+    "positions_in",
     "matching_order_for_pair",
     "order_with_prefix",
     "automorphisms",

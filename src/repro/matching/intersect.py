@@ -1,0 +1,66 @@
+"""Shared CSR sorted-adjacency intersection kernels.
+
+The paper's Gen-Candidates runs per-lane parallel binary searches of a
+candidate set against a matched vertex's sorted adjacency. Every array
+consumer in this repo — the WBM kernel, the BFS variant, and the flat
+static-match enumerator — narrows candidate arrays the same way, so the
+primitive lives here once: ``searchsorted`` positions, a clamped
+membership compare, and an optional aligned edge-label equality mask.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.graph.csr import sorted_membership
+
+#: clamped positions + membership mask of ``values`` in a sorted array
+#: (the graph layer owns the single implementation)
+positions_in = sorted_membership
+
+
+def intersect_sorted(
+    cands: np.ndarray,
+    nbrs: np.ndarray,
+    elbls: Optional[np.ndarray] = None,
+    want_label: Optional[int] = None,
+) -> np.ndarray:
+    """Members of ``cands`` present in the sorted adjacency ``nbrs``
+    (optionally requiring the aligned edge label to equal
+    ``want_label``). Preserves candidate order; empty adjacency yields
+    an empty result."""
+    if not len(nbrs):
+        return cands[:0]
+    pos, hit = positions_in(nbrs, cands)
+    if elbls is not None:
+        hit &= elbls[pos] == want_label
+    return cands[hit]
+
+
+def mask_members(
+    mask: np.ndarray, base: np.ndarray, values: Iterable[int]
+) -> None:
+    """Clear ``mask`` bits of entries in sorted ``base`` equal to any of
+    ``values`` (the injectivity filter: few values, one binary search
+    each)."""
+    n = len(base)
+    for dv in values:
+        i = int(np.searchsorted(base, dv))
+        if i < n and base[i] == dv:
+            mask[i] = False
+
+
+def gather_column(col: np.ndarray, base: np.ndarray) -> np.ndarray:
+    """``col[base]`` where ``base`` is sorted and ``col`` may be shorter
+    than the id space (updates appended vertices after the column was
+    built): out-of-range rows carry no claim."""
+    n_col = len(col)
+    n_base = len(base)
+    if n_base and base[-1] < n_col:  # base is sorted: one bounds check
+        return col[base]
+    out = np.zeros(n_base, dtype=bool)
+    in_range = base < n_col
+    out[in_range] = col[base[in_range]]
+    return out

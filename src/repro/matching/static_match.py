@@ -5,6 +5,15 @@ candidate filtering. Every incremental engine (WBM and the CSM
 baselines) is validated against set differences of this enumerator's
 output: ``ΔM = matches(G') − matches(G)`` (Definition 2 + Example 1).
 
+The candidate stage runs in two formulations. The default is flat: a
+CSR snapshot supplies sorted adjacency, per-depth candidates come from
+the shared :mod:`repro.matching.intersect` ``searchsorted`` kernel, and
+NLF / degree / injectivity are array masks over the anchor's neighbor
+slice (``MatchingService`` bootstrap registration spends its time
+here, reusing the store's cached snapshot). ``vectorized=False`` keeps
+the original per-vertex dict probes as the oracle; both enumerate the
+identical match sequence, so ``limit`` semantics coincide.
+
 Matches are tuples ``m`` with ``m[u] = data vertex matched to query
 vertex u`` — a canonical form shared across the whole code base.
 """
@@ -13,9 +22,13 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+import numpy as np
+
 from repro.errors import MatchingError
+from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.updates import UpdateBatch, apply_batch
+from repro.matching.intersect import intersect_sorted, mask_members
 
 Match = tuple[int, ...]
 
@@ -56,15 +69,91 @@ def _nlf_ok(query: LabeledGraph, u: int, graph: LabeledGraph, v: int) -> bool:
     return all(vg.get(lbl, 0) >= cnt for lbl, cnt in vq.items())
 
 
+class _FlatCandidates:
+    """Array-native candidate stage over a CSR snapshot.
+
+    Produces, per query vertex and partial assignment, the identical
+    ascending candidate list as the scalar dict-walk: vertex label,
+    degree and NLF necessary filters as masks over the anchor's sorted
+    neighbor slice, injectivity via binary search, and adjacency +
+    edge-label constraints to every matched query neighbor through the
+    shared ``searchsorted`` intersection kernel.
+    """
+
+    def __init__(self, query: LabeledGraph, csr: CSRGraph) -> None:
+        self.query = query
+        self.csr = csr
+        self.labels = csr.vertex_labels
+        self.degrees = np.diff(csr.offsets)
+        self._row_src: Optional[np.ndarray] = None
+        self._label_counts: dict[int, np.ndarray] = {}
+        self._qnlf = {u: sorted(query.nlf(u).items()) for u in query.vertices()}
+
+    def _counts_for(self, label: int) -> np.ndarray:
+        """Per-vertex count of neighbors carrying ``label`` (the NLF
+        column), one bincount over the snapshot per distinct label."""
+        arr = self._label_counts.get(label)
+        if arr is None:
+            if self._row_src is None:
+                self._row_src = np.repeat(
+                    np.arange(self.csr.n_vertices, dtype=np.int64), self.degrees
+                )
+            sel = self.labels[self.csr.neighbors] == label
+            arr = np.bincount(self._row_src[sel], minlength=self.csr.n_vertices)
+            self._label_counts[label] = arr
+        return arr
+
+    def _nlf_mask(self, u: int, verts: np.ndarray) -> np.ndarray:
+        mask = self.degrees[verts] >= self.query.degree(u)
+        for label, cnt in self._qnlf[u]:
+            mask &= self._counts_for(label)[verts] >= cnt
+        return mask
+
+    def candidates(self, u: int, assignment: dict[int, int]) -> list[int]:
+        query, csr = self.query, self.csr
+        matched = [w for w in query.neighbors(u) if w in assignment]
+        if not matched:
+            pool = np.flatnonzero(self.labels == query.vertex_label(u))
+            if len(pool):
+                pool = pool[self._nlf_mask(u, pool)]
+            return pool.tolist()
+        # expand from the matched neighbor with the smallest adjacency
+        anchor = min(matched, key=lambda w: int(self.degrees[assignment[w]]))
+        base = csr.neighbor_slice(assignment[anchor])
+        if not len(base):
+            return []
+        mask = (self.labels[base] == query.vertex_label(u)) & (
+            csr.edge_label_slice(assignment[anchor]) == query.edge_label(u, anchor)
+        )
+        mask &= self._nlf_mask(u, base)
+        mask_members(mask, base, assignment.values())
+        cands = base[mask]
+        for w in matched:
+            if w == anchor or not len(cands):
+                continue
+            dv = assignment[w]
+            cands = intersect_sorted(
+                cands, csr.neighbor_slice(dv), csr.edge_label_slice(dv),
+                query.edge_label(u, w),
+            )
+        return cands.tolist()
+
+
 def iter_matches(
     query: LabeledGraph,
     graph: LabeledGraph,
     limit: Optional[int] = None,
+    *,
+    vectorized: bool = True,
+    csr: Optional[CSRGraph] = None,
 ) -> Iterator[Match]:
     """Enumerate all subgraph isomorphisms of ``query`` in ``graph``.
 
     Respects vertex labels, edge labels, and injectivity. ``limit``
-    caps the number of yielded matches.
+    caps the number of yielded matches. ``csr`` optionally supplies a
+    prebuilt snapshot of ``graph`` for the flat path (it is rebuilt if
+    its vertex count no longer matches the graph); ``vectorized=False``
+    selects the original per-vertex dict probes.
     """
     n = query.n_vertices
     if n == 0:
@@ -75,37 +164,45 @@ def iter_matches(
     assignment: dict[int, int] = {}
     used: set[int] = set()
     yielded = 0
-    # root scans (no matched neighbor to expand from) prefilter the
-    # whole vertex set by label with one array compare before the
-    # per-candidate NLF check
-    import numpy as np
 
-    labels_arr = np.asarray(graph.vertex_labels, dtype=np.int64)
+    if vectorized:
+        if csr is None or csr.n_vertices != graph.n_vertices:
+            csr = CSRGraph.from_graph(graph)
+        flat = _FlatCandidates(query, csr)
 
-    def candidates(u: int) -> list[int]:
-        matched_nbrs = [w for w in query.neighbors(u) if w in assignment]
-        if not matched_nbrs:
-            pool = np.nonzero(labels_arr == query.vertex_label(u))[0]
-            return [int(v) for v in pool if _nlf_ok(query, u, graph, int(v))]
-        # expand from the matched neighbor with the smallest adjacency
-        anchor = min(matched_nbrs, key=lambda w: graph.degree(assignment[w]))
-        base = graph.neighbors(assignment[anchor])
-        out = []
-        for v in base:
-            if v in used or not _nlf_ok(query, u, graph, v):
-                continue
-            ok = True
-            for w in matched_nbrs:
-                dv = assignment[w]
-                if not graph.has_edge(v, dv):
-                    ok = False
-                    break
-                if graph.edge_label(v, dv) != query.edge_label(u, w):
-                    ok = False
-                    break
-            if ok:
-                out.append(v)
-        return out
+        def candidates(u: int) -> list[int]:
+            return flat.candidates(u, assignment)
+
+    else:
+        # root scans (no matched neighbor to expand from) prefilter the
+        # whole vertex set by label with one array compare before the
+        # per-candidate NLF check
+        labels_arr = np.asarray(graph.vertex_labels, dtype=np.int64)
+
+        def candidates(u: int) -> list[int]:
+            matched_nbrs = [w for w in query.neighbors(u) if w in assignment]
+            if not matched_nbrs:
+                pool = np.nonzero(labels_arr == query.vertex_label(u))[0]
+                return [int(v) for v in pool if _nlf_ok(query, u, graph, int(v))]
+            # expand from the matched neighbor with the smallest adjacency
+            anchor = min(matched_nbrs, key=lambda w: graph.degree(assignment[w]))
+            base = graph.neighbors(assignment[anchor])
+            out = []
+            for v in base:
+                if v in used or not _nlf_ok(query, u, graph, v):
+                    continue
+                ok = True
+                for w in matched_nbrs:
+                    dv = assignment[w]
+                    if not graph.has_edge(v, dv):
+                        ok = False
+                        break
+                    if graph.edge_label(v, dv) != query.edge_label(u, w):
+                        ok = False
+                        break
+                if ok:
+                    out.append(v)
+            return out
 
     def dfs(depth: int) -> Iterator[Match]:
         nonlocal yielded
@@ -132,13 +229,18 @@ def find_matches(
     query: LabeledGraph,
     graph: LabeledGraph,
     limit: Optional[int] = None,
+    *,
+    vectorized: bool = True,
+    csr: Optional[CSRGraph] = None,
 ) -> set[Match]:
     """All matches of ``query`` in ``graph`` as a set of tuples."""
-    return set(iter_matches(query, graph, limit))
+    return set(iter_matches(query, graph, limit, vectorized=vectorized, csr=csr))
 
 
-def count_matches(query: LabeledGraph, graph: LabeledGraph) -> int:
-    return sum(1 for _ in iter_matches(query, graph))
+def count_matches(
+    query: LabeledGraph, graph: LabeledGraph, *, vectorized: bool = True
+) -> int:
+    return sum(1 for _ in iter_matches(query, graph, vectorized=vectorized))
 
 
 def oracle_delta(

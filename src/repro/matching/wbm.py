@@ -44,6 +44,7 @@ from repro.gpu.scheduler import BlockScheduler
 from repro.gpu.stats import KernelStats
 from repro.gpu.warp import WarpContext
 from repro.matching.coalesced import CoalescedGroup, CoalescedPlan, build_coalesced_plan, trivial_plan
+from repro.matching.intersect import gather_column, intersect_sorted, mask_members, positions_in
 from repro.pma.gpma import GpmaUpdateStats
 
 Match = tuple[int, ...]
@@ -215,9 +216,8 @@ class _Env:
         partners, ranks = self.rank_partners(dv)
         if not len(partners):
             return cands
-        pos = np.searchsorted(partners, cands)
-        pos_c = np.minimum(pos, len(partners) - 1)
-        blocked = (partners[pos_c] == cands) & (ranks[pos_c] < rank)
+        pos, hit = positions_in(partners, cands)
+        blocked = hit & (ranks[pos] < rank)
         if blocked.any():
             return cands[~blocked]
         return cands
@@ -400,20 +400,10 @@ def _candidates_vectorized(
     )
     # candidacy bitmap column (may be shorter than the data graph when
     # updates appended vertices: out-of-range rows carry no claim)
-    n_col = len(col)
-    if base[-1] < n_col:  # base is sorted: one bounds check suffices
-        mask &= col[base]
-    else:
-        in_range = base < n_col
-        passes = np.zeros(n_base, dtype=bool)
-        passes[in_range] = col[base[in_range]]
-        mask &= passes
+    mask &= gather_column(col, base)
     # injectivity against the partial match: binary-search each of the
     # (few) matched data vertices into the sorted neighbor slice
-    for dv in assign.values():
-        i = int(np.searchsorted(base, dv))
-        if i < n_base and base[i] == dv:
-            mask[i] = False
+    mask_members(mask, base, assign.values())
     cands = base[mask]
     if env._rank_r is not None and len(cands):
         cands = env.rank_filter(cands, anchor_dv, rank)
@@ -425,11 +415,9 @@ def _candidates_vectorized(
         nbrs = csr.neighbor_slice(dv)
         if not len(nbrs):
             return []
-        elbl = csr.edge_label_slice(dv)
-        pos = np.searchsorted(nbrs, cands)
-        pos_c = np.minimum(pos, len(nbrs) - 1)
-        hit = (nbrs[pos_c] == cands) & (elbl[pos_c] == query.edge_label(qv, w))
-        cands = cands[hit]
+        cands = intersect_sorted(
+            cands, nbrs, csr.edge_label_slice(dv), query.edge_label(qv, w)
+        )
         if env._rank_r is not None and len(cands):
             cands = env.rank_filter(cands, dv, rank)
     return [int(c) for c in cands]
@@ -962,11 +950,24 @@ class QueryRuntime:
 
         A query registered mid-stream starts from the static match set,
         so its "current matches" view is complete from the first batch
-        it observes.
+        it observes. The vectorized enumerator reuses the store's
+        cached CSR snapshot, so registration costs no snapshot rebuild.
         """
         from repro.matching.static_match import find_matches
 
-        self.initial_matches = find_matches(self.query, self.store.graph)
+        if self.config.vectorized:
+            csr = (
+                self.store.csr_snapshot()
+                if getattr(self.store, "vectorized", False)
+                else None
+            )
+            self.initial_matches = find_matches(
+                self.query, self.store.graph, csr=csr
+            )
+        else:
+            self.initial_matches = find_matches(
+                self.query, self.store.graph, vectorized=False
+            )
         return set(self.initial_matches)
 
     def launch(self, edges: list[tuple[int, int, int]]) -> KernelOutput:

@@ -11,6 +11,12 @@ location through the segment tree (top-k levels optionally cached in
 shared memory), per-segment-group materialization with warp / block /
 device strategies chosen by segment size, and cooperative-group
 sub-warps for segments smaller than a warp (§V-C).
+
+With ``vectorized`` (default) the PMA runs its array-native batch
+kernels and the delta→directed-key expansion, leaf-group counting and
+materialization pricing are flat array passes; the scalar formulation
+is kept as the oracle and both produce byte-identical
+:class:`GpmaUpdateStats`.
 """
 
 from __future__ import annotations
@@ -28,10 +34,17 @@ from repro.pma.pma import PMA
 from repro.pma.segment_index import SegmentIndex
 
 _SHIFT = 32
+_DST_MASK = (1 << _SHIFT) - 1
 
 
 def edge_key(u: int, v: int) -> int:
     return (u << _SHIFT) | v
+
+
+def _directed_keys(edges: np.ndarray) -> np.ndarray:
+    """Both directed keys of every ``(u, v, label)`` row."""
+    u, v = edges[:, 0], edges[:, 1]
+    return np.concatenate(((u << _SHIFT) | v, (v << _SHIFT) | u))
 
 
 @dataclass
@@ -67,6 +80,9 @@ class GPMAGraph:
     cooperative_groups:
         Enable sub-warp groups for small segments (the paper's second
         optimization); disabling models plain GPMA warp allocation.
+    vectorized:
+        Array-native PMA batch kernels and flat delta/pricing passes
+        (default). ``False`` selects the per-element scalar oracle.
     """
 
     def __init__(
@@ -74,11 +90,13 @@ class GPMAGraph:
         params: DeviceParams = DEFAULT_PARAMS,
         top_k_cached: int = 3,
         cooperative_groups: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.params = params
         self.top_k_cached = top_k_cached
         self.cooperative_groups = cooperative_groups
-        self._pma = PMA.bulk_load([])
+        self.vectorized = vectorized
+        self._pma = PMA.bulk_load([], vectorized=vectorized)
         self._n_vertices = 0
         #: number of batch deltas applied. A GPMA may be shared by many
         #: query runtimes; each batch must land here exactly once, and
@@ -92,16 +110,22 @@ class GPMAGraph:
         params: DeviceParams = DEFAULT_PARAMS,
         top_k_cached: int = 3,
         cooperative_groups: bool = True,
+        vectorized: bool = True,
     ) -> "GPMAGraph":
-        gpma = cls(params, top_k_cached, cooperative_groups)
+        gpma = cls(params, top_k_cached, cooperative_groups, vectorized)
         # bulk edge-key construction from the flat adjacency export
         # (vectorized shift-or instead of a python loop per edge)
         degrees, dst, lbl = g.adjacency_arrays()
         src = np.repeat(np.arange(g.n_vertices, dtype=np.int64), degrees)
         keys = (src << _SHIFT) | dst
         order = np.argsort(keys)
-        items = list(zip(keys[order].tolist(), lbl[order].tolist()))
-        gpma._pma = PMA.bulk_load(items)
+        if vectorized:
+            gpma._pma = PMA.bulk_load(
+                np.stack((keys[order], lbl[order]), axis=1), vectorized=True
+            )
+        else:
+            items = list(zip(keys[order].tolist(), lbl[order].tolist()))
+            gpma._pma = PMA.bulk_load(items, vectorized=False)
         gpma._n_vertices = g.n_vertices
         return gpma
 
@@ -118,13 +142,24 @@ class GPMAGraph:
 
     def neighbors(self, v: int) -> list[int]:
         """Sorted neighbor list of ``v`` (a coalesced PMA range scan)."""
+        if self.vectorized:
+            return self.neighbor_arrays(v)[0].tolist()
         lo, hi = edge_key(v, 0), edge_key(v + 1, 0)
-        return [k & ((1 << _SHIFT) - 1) for k, _ in self._pma.range_items(lo, hi)]
+        return [k & _DST_MASK for k, _ in self._pma.range_items(lo, hi)]
 
     def neighbor_items(self, v: int) -> list[tuple[int, int]]:
         """Sorted ``(neighbor, edge_label)`` pairs."""
+        if self.vectorized:
+            nbrs, lbls = self.neighbor_arrays(v)
+            return list(zip(nbrs.tolist(), lbls.tolist()))
         lo, hi = edge_key(v, 0), edge_key(v + 1, 0)
-        return [(k & ((1 << _SHIFT) - 1), lbl) for k, lbl in self._pma.range_items(lo, hi)]
+        return [(k & _DST_MASK, lbl) for k, lbl in self._pma.range_items(lo, hi)]
+
+    def neighbor_arrays(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``(neighbors, edge_labels)`` arrays of ``v`` — the
+        coalesced range scan without per-element python."""
+        keys, vals = self._pma.range_arrays(edge_key(v, 0), edge_key(v + 1, 0))
+        return keys & _DST_MASK, vals
 
     def has_edge(self, u: int, v: int) -> bool:
         return edge_key(u, v) in self._pma
@@ -148,25 +183,34 @@ class GPMAGraph:
         )
         self.update_count += 1
         params = self.params
-        self._n_vertices = max(
-            [self._n_vertices]
-            + [max(u, v) + 1 for u, v, _ in delta.inserted]
-            + [max(u, v) + 1 for u, v, _ in delta.deleted]
-        )
+        if self.vectorized:
+            ins, dele = delta.inserted_array, delta.deleted_array
+            for arr in (ins, dele):
+                if len(arr):
+                    self._n_vertices = max(
+                        self._n_vertices, int(arr[:, :2].max()) + 1
+                    )
+            keys = np.concatenate((_directed_keys(ins), _directed_keys(dele)))
+        else:
+            self._n_vertices = max(
+                [self._n_vertices]
+                + [max(u, v) + 1 for u, v, _ in delta.inserted]
+                + [max(u, v) + 1 for u, v, _ in delta.deleted]
+            )
+            key_list: list[int] = []
+            for u, v, _ in delta.inserted + delta.deleted:
+                key_list.append(edge_key(u, v))
+                key_list.append(edge_key(v, u))
+            keys = np.asarray(key_list, dtype=np.int64)
 
         # --- leaf location: one tree walk per directed update key ------
         index = SegmentIndex(self._pma, cached_levels=self.top_k_cached)
-        keys: list[int] = []
-        for u, v, _ in delta.inserted + delta.deleted:
-            keys.append(edge_key(u, v))
-            keys.append(edge_key(v, u))
-        touched_leaves: dict[int, int] = {}
-        if keys:
+        uniq = counts = None
+        if len(keys):
             leaves, cost = index.locate_bulk(keys)
             stats.shared_probes += cost.shared_probes
             stats.global_probes += cost.global_probes
             uniq, counts = np.unique(leaves, return_counts=True)
-            touched_leaves = {int(l): int(c) for l, c in zip(uniq, counts)}
         stats.locate_cycles += (
             stats.shared_probes * params.shared_access_cycles
             + stats.global_probes * params.global_transaction_cycles
@@ -175,44 +219,52 @@ class GPMAGraph:
         # --- materialization: per touched segment, strategy by size ----
         seg_size = self._pma.segment_size
         warp = params.warp_size
-        for _leaf, group_n in touched_leaves.items():
-            work = seg_size + group_n  # shift existing + place new entries
+        if uniq is not None:
+            # vectorized pricing of every touched leaf at once; summed in
+            # ascending leaf order so the float accumulation is identical
+            # to the scalar per-leaf loop
+            work = seg_size + counts
+            txn = np.ceil(work / warp) * params.global_transaction_cycles
             if seg_size <= warp:
                 if self.cooperative_groups:
                     # sub-warp groups sized to the segment let one warp
                     # process warp/group segments concurrently
                     group = _pow2_at_least(seg_size, warp)
                     concurrency = warp // group
-                    rounds = ceil(work / group) / concurrency
+                    rounds = np.ceil(work / group) / concurrency
                 else:
-                    rounds = ceil(work / warp) * 1.0  # idle lanes wasted
-                cycles = rounds * params.compute_cycles
-                cycles += ceil(work / warp) * params.global_transaction_cycles
-            elif work <= params.shared_memory_words:
-                # block strategy: stage the segment in shared memory
-                cycles = (
-                    ceil(work / warp) * params.global_transaction_cycles
-                    + work * params.shared_access_cycles / warp
-                )
+                    rounds = np.ceil(work / warp) * 1.0  # idle lanes wasted
+                cycles = rounds * params.compute_cycles + txn
             else:
-                # device strategy: global-memory scratch, pay full price
-                cycles = 2 * ceil(work / warp) * params.global_transaction_cycles
-            stats.materialize_cycles += cycles
-        stats.segments_touched = len(touched_leaves)
+                # block strategy stages the segment in shared memory;
+                # oversized work pays the global-scratch device price
+                block = txn + work * params.shared_access_cycles / warp
+                device = 2 * txn
+                cycles = np.where(work <= params.shared_memory_words, block, device)
+            stats.materialize_cycles += sum(cycles.tolist())
+            stats.segments_touched = len(uniq)
 
         # --- structural mutation (real) + rebalance pricing -------------
         self._pma.opstats.reset()
-        delete_keys: list[int] = []
-        for u, v, _ in delta.deleted:
-            delete_keys.extend((edge_key(u, v), edge_key(v, u)))
-        insert_items: list[tuple[int, int]] = []
-        for u, v, lbl in delta.inserted:
-            insert_items.extend(((edge_key(u, v), lbl), (edge_key(v, u), lbl)))
         esc = 0
-        if delete_keys:
-            esc += self._pma.batch_delete(delete_keys)
-        if insert_items:
-            esc += self._pma.batch_insert(insert_items)
+        if self.vectorized:
+            if len(dele):
+                esc += self._pma.batch_delete(_directed_keys(dele))
+            if len(ins):
+                ins_keys = _directed_keys(ins)
+                ins_vals = np.concatenate((ins[:, 2], ins[:, 2]))
+                esc += self._pma.batch_insert(np.stack((ins_keys, ins_vals), axis=1))
+        else:
+            delete_keys: list[int] = []
+            for u, v, _ in delta.deleted:
+                delete_keys.extend((edge_key(u, v), edge_key(v, u)))
+            insert_items: list[tuple[int, int]] = []
+            for u, v, lbl in delta.inserted:
+                insert_items.extend(((edge_key(u, v), lbl), (edge_key(v, u), lbl)))
+            if delete_keys:
+                esc += self._pma.batch_delete(delete_keys)
+            if insert_items:
+                esc += self._pma.batch_insert(insert_items)
         ops = self._pma.opstats
         stats.escalations = esc
         stats.segments_touched += ops.segments_touched

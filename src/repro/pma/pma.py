@@ -11,6 +11,23 @@ Elements are ``(key, value)`` pairs left-packed inside each segment, so
 the global key order is the concatenation of segment prefixes — the
 layout GPMA uses so GPU warps can scan ranges coalescedly.
 
+Two storage backends share one algorithm:
+
+* ``vectorized=True`` (default) keeps keys/values in flat numpy arrays
+  with a per-segment fill count (the presence mask: slot ``i`` of a
+  segment is live iff ``i < count``). Batch updates run as sorted
+  merges — one ``searchsorted`` over the whole batch, one allocation
+  per run of non-escalating segment groups — and rebalances compute
+  window densities with ``cumsum`` over the counts and redistribute
+  with vectorized index arithmetic.
+* ``vectorized=False`` is the original per-element list-of-lists
+  formulation, kept as the correctness oracle.
+
+Both paths produce identical structures **and byte-identical
+``opstats``** for any successful operation sequence (the array path
+raises *before* mutating on bad batches, where the scalar path raises
+mid-way — the only tolerated divergence).
+
 Rebalance/location work is recorded in ``opstats`` so the GPMA layer
 can translate structural effort into simulated GPU cycles.
 """
@@ -20,6 +37,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterator, Optional
+
+import numpy as np
 
 from repro.errors import PmaError
 
@@ -48,6 +67,17 @@ class PmaOpStats:
         self.segments_touched = 0
 
 
+def _slots_of(counts: np.ndarray, bases: np.ndarray) -> np.ndarray:
+    """Flat storage-slot index of every live element: segment base plus
+    within-segment rank, in global key order."""
+    total = int(counts.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    return np.repeat(bases, counts) + within
+
+
 class PMA:
     """Packed memory array of ``(int key, int value)`` with unique keys."""
 
@@ -59,29 +89,54 @@ class PMA:
     RHO_ROOT = 0.50
     RHO_LEAF = 0.25
 
-    def __init__(self, capacity: int = MIN_CAPACITY) -> None:
+    def __init__(self, capacity: int = MIN_CAPACITY, vectorized: bool = True) -> None:
         capacity = max(self.MIN_CAPACITY, _next_pow2(capacity))
         self._capacity = capacity
         self._segment_size = _segment_size_for(capacity)
-        self._segments: list[list[tuple[int, int]]] = [
-            [] for _ in range(capacity // self._segment_size)
-        ]
-        self._seg_first: list[int] = [_NEG_INF] * len(self._segments)
+        self._vec = bool(vectorized)
+        n_segs = capacity // self._segment_size
         self._n = 0
-        self._height = max(0, (len(self._segments) - 1).bit_length())
+        self._height = max(0, (n_segs - 1).bit_length())
         self.opstats = PmaOpStats()
+        if self._vec:
+            self._alloc_arrays(n_segs)
+            self._seg_first = np.full(n_segs, _NEG_INF, dtype=np.int64)
+        else:
+            self._segments: list[list[tuple[int, int]]] = [[] for _ in range(n_segs)]
+            self._seg_first: list[int] = [_NEG_INF] * n_segs
+
+    def _alloc_arrays(self, n_segs: int) -> None:
+        # one spare slot per segment absorbs the transient overflow a
+        # batch escalation creates before its window rebalance lands
+        stride = self._segment_size + 1
+        self._akeys = np.zeros(n_segs * stride, dtype=np.int64)
+        self._avals = np.zeros(n_segs * stride, dtype=np.int64)
+        self._acounts = np.zeros(n_segs, dtype=np.int64)
+        self._packed_cache: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._last_spread: Optional[tuple[int, int]] = None
 
     @classmethod
-    def bulk_load(cls, items: list[tuple[int, int]]) -> "PMA":
+    def bulk_load(cls, items, vectorized: bool = True) -> "PMA":
         """Build a PMA from sorted-or-not ``(key, value)`` pairs at ~60%
         density (the initialization path: the data graph is loaded once,
         then evolves through batch updates)."""
-        elems = sorted(items)
+        if vectorized:
+            arr = np.asarray(items, dtype=np.int64).reshape(-1, 2)
+            order = np.argsort(arr[:, 0], kind="stable")
+            keys, vals = arr[order, 0], arr[order, 1]
+            dup = keys[1:] == keys[:-1]
+            if dup.any():
+                raise PmaError(f"duplicate key {int(keys[1:][dup][0])} in bulk load")
+            capacity = _next_pow2(max(cls.MIN_CAPACITY, int(len(keys) / 0.6) + 1))
+            pma = cls(capacity, vectorized=True)
+            pma._distribute_evenly(keys, vals)
+            return pma
+        elems = sorted(tuple(e) for e in items)
         for a, b in zip(elems, elems[1:]):
             if a[0] == b[0]:
                 raise PmaError(f"duplicate key {a[0]} in bulk load")
         capacity = _next_pow2(max(cls.MIN_CAPACITY, int(len(elems) / 0.6) + 1))
-        pma = cls(capacity)
+        pma = cls(capacity, vectorized=False)
         n_segs = pma.n_segments
         base, extra = divmod(len(elems), n_segs)
         pos = 0
@@ -92,6 +147,44 @@ class PMA:
         pma._n = len(elems)
         pma._refresh_first_range(0, n_segs)
         return pma
+
+    def _distribute_evenly(self, keys: np.ndarray, vals: np.ndarray) -> None:
+        """Spread sorted key/value arrays evenly over all segments (the
+        bulk-load / resize layout: ``divmod`` base + one extra in the
+        leading segments)."""
+        n_segs = self.n_segments
+        base, extra = divmod(len(keys), n_segs)
+        counts = np.full(n_segs, base, dtype=np.int64)
+        counts[:extra] += 1
+        self._acounts = counts
+        self._scatter(keys, vals)
+        self._n = int(len(keys))
+        self._refresh_first_all()
+
+    def _scatter(self, keys: np.ndarray, vals: np.ndarray) -> None:
+        """Write globally sorted packed arrays into the per-segment
+        left-packed storage slots given by the current counts."""
+        stride = self._segment_size + 1
+        bases = np.arange(self.n_segments, dtype=np.int64) * stride
+        slots = _slots_of(self._acounts, bases)
+        self._akeys[slots] = keys
+        self._avals[slots] = vals
+        offsets = np.empty(self.n_segments + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(self._acounts, out=offsets[1:])
+        self._packed_cache = (keys, vals, offsets)
+
+    def _packed(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Globally sorted live ``(keys, values, segment offsets)``."""
+        if self._packed_cache is None:
+            stride = self._segment_size + 1
+            bases = np.arange(self.n_segments, dtype=np.int64) * stride
+            slots = _slots_of(self._acounts, bases)
+            offsets = np.empty(self.n_segments + 1, dtype=np.int64)
+            offsets[0] = 0
+            np.cumsum(self._acounts, out=offsets[1:])
+            self._packed_cache = (self._akeys[slots], self._avals[slots], offsets)
+        return self._packed_cache
 
     # ------------------------------------------------------------------
     # geometry
@@ -106,7 +199,7 @@ class PMA:
 
     @property
     def n_segments(self) -> int:
-        return len(self._segments)
+        return self._capacity // self._segment_size
 
     @property
     def height(self) -> int:
@@ -142,15 +235,44 @@ class PMA:
         the owning segment is the nearest non-empty one to the left.
         """
         self.opstats.locates += 1
+        if self._vec:
+            i = int(np.searchsorted(self._seg_first, key, side="right")) - 1
+            i = max(0, i)
+            counts = self._acounts
+            while i > 0 and not counts[i]:
+                i -= 1
+            return i
         i = bisect_left(self._seg_first, key + 1) - 1
         i = max(0, i)
         while i > 0 and not self._segments[i]:
             i -= 1
         return i
 
+    def _owners_bulk(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_locate_segment` (no stats: the callers
+        charge locates at the same granularity as the scalar path)."""
+        idx = np.searchsorted(self._seg_first, keys, side="right") - 1
+        np.maximum(idx, 0, out=idx)
+        counts = self._acounts
+        ne = np.where(counts > 0, np.arange(len(counts), dtype=np.int64), -1)
+        np.maximum.accumulate(ne, out=ne)
+        owners = ne[idx]
+        np.maximum(owners, 0, out=owners)
+        return owners
+
     def lookup(self, key: int) -> Optional[int]:
         """Value stored under ``key`` or None."""
-        seg = self._segments[self._locate_segment(key)]
+        seg_idx = self._locate_segment(key)
+        if self._vec:
+            stride = self._segment_size + 1
+            base = seg_idx * stride
+            cnt = int(self._acounts[seg_idx])
+            kseg = self._akeys[base : base + cnt]
+            i = int(np.searchsorted(kseg, key))
+            if i < cnt and kseg[i] == key:
+                return int(self._avals[base + i])
+            return None
+        seg = self._segments[seg_idx]
         i = bisect_left(seg, (key, _NEG_INF))
         if i < len(seg) and seg[i][0] == key:
             return seg[i][1]
@@ -160,16 +282,26 @@ class PMA:
         return self.lookup(key) is not None
 
     def keys(self) -> Iterator[int]:
+        if self._vec:
+            yield from self._packed()[0].tolist()
+            return
         for seg in self._segments:
             for k, _ in seg:
                 yield k
 
     def items(self) -> Iterator[tuple[int, int]]:
+        if self._vec:
+            pk, pv, _ = self._packed()
+            yield from zip(pk.tolist(), pv.tolist())
+            return
         for seg in self._segments:
             yield from seg
 
     def range_items(self, lo: int, hi: int) -> list[tuple[int, int]]:
         """All ``(key, value)`` with ``lo <= key < hi`` in key order."""
+        if self._vec:
+            ks, vs = self.range_arrays(lo, hi)
+            return list(zip(ks.tolist(), vs.tolist()))
         out: list[tuple[int, int]] = []
         s = self._locate_segment(lo)
         for seg_idx in range(s, self.n_segments):
@@ -185,11 +317,28 @@ class PMA:
                 out.append((k, v))
         return out
 
+    def range_arrays(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+        """Array view of :meth:`range_items` (vectorized storage only):
+        ``(keys, values)`` with ``lo <= key < hi``, one binary search
+        over the packed order."""
+        if not self._vec:
+            items = self.range_items(lo, hi)
+            arr = np.asarray(items, dtype=np.int64).reshape(-1, 2)
+            return arr[:, 0], arr[:, 1]
+        self.opstats.locates += 1  # parity with the scalar range scan
+        pk, pv, _ = self._packed()
+        a = int(np.searchsorted(pk, lo))
+        b = int(np.searchsorted(pk, hi))
+        return pk[a:b], pv[a:b]
+
     # ------------------------------------------------------------------
     # single-element updates
     # ------------------------------------------------------------------
     def insert(self, key: int, value: int = 0) -> None:
         """Insert a new key (raises :class:`PmaError` if present)."""
+        if self._vec:
+            self._insert_vec(key, value)
+            return
         if self._n + 1 > self._tau(self.height) * self._capacity:
             self._grow()
         seg_idx = self._locate_segment(key)
@@ -211,8 +360,37 @@ class PMA:
         self._rebalance_up(seg_idx, for_insert=True)
         self.insert(key, value)
 
+    def _insert_vec(self, key: int, value: int) -> None:
+        if self._n + 1 > self._tau(self.height) * self._capacity:
+            self._grow()
+        seg_idx = self._locate_segment(key)
+        stride = self._segment_size + 1
+        base = seg_idx * stride
+        cnt = int(self._acounts[seg_idx])
+        kseg = self._akeys[base : base + cnt]
+        i = int(np.searchsorted(kseg, key))
+        if i < cnt and kseg[i] == key:
+            raise PmaError(f"key {key} already present")
+        if cnt + 1 <= self._segment_size:
+            self._akeys[base + i + 1 : base + cnt + 1] = self._akeys[base + i : base + cnt].copy()
+            self._avals[base + i + 1 : base + cnt + 1] = self._avals[base + i : base + cnt].copy()
+            self._akeys[base + i] = key
+            self._avals[base + i] = value
+            self._acounts[seg_idx] = cnt + 1
+            self._packed_cache = None
+            self._n += 1
+            self.opstats.element_moves += cnt + 1 - i
+            self._refresh_first(seg_idx)
+            if cnt + 1 > self._tau(0) * self._segment_size:
+                self._rebalance_up(seg_idx, for_insert=True)
+            return
+        self._rebalance_up(seg_idx, for_insert=True)
+        self.insert(key, value)
+
     def delete(self, key: int) -> int:
         """Remove ``key``; returns its value. Raises if missing."""
+        if self._vec:
+            return self._delete_vec(key)
         seg_idx = self._locate_segment(key)
         seg = self._segments[seg_idx]
         i = bisect_left(seg, (key, _NEG_INF))
@@ -226,18 +404,44 @@ class PMA:
             self._rebalance_up(seg_idx, for_insert=False)
         return value
 
+    def _delete_vec(self, key: int) -> int:
+        seg_idx = self._locate_segment(key)
+        stride = self._segment_size + 1
+        base = seg_idx * stride
+        cnt = int(self._acounts[seg_idx])
+        kseg = self._akeys[base : base + cnt]
+        i = int(np.searchsorted(kseg, key))
+        if i >= cnt or kseg[i] != key:
+            raise PmaError(f"key {key} not present")
+        value = int(self._avals[base + i])
+        self._akeys[base + i : base + cnt - 1] = self._akeys[base + i + 1 : base + cnt].copy()
+        self._avals[base + i : base + cnt - 1] = self._avals[base + i + 1 : base + cnt].copy()
+        self._acounts[seg_idx] = cnt - 1
+        self._packed_cache = None
+        self._n -= 1
+        self.opstats.element_moves += (cnt - 1) - i
+        self._refresh_first(seg_idx)
+        if cnt - 1 < self._rho(0) * self._segment_size:
+            self._rebalance_up(seg_idx, for_insert=False)
+        return value
+
     # ------------------------------------------------------------------
     # batch updates (GPMA-style: group by leaf segment, escalate windows)
     # ------------------------------------------------------------------
-    def batch_insert(self, items: list[tuple[int, int]]) -> int:
+    def batch_insert(self, items) -> int:
         """Insert many ``(key, value)`` pairs; returns window-escalation
         count (the GPMA layer prices escalations).
 
         Duplicate keys (already present or repeated in ``items``) raise
         :class:`PmaError`. Items are processed sorted, one leaf-group at
-        a time, re-locating after structural changes.
+        a time, re-locating after structural changes. The vectorized
+        path accepts an ``(n, 2)`` int64 array and merges every
+        non-escalating run of groups with one ``searchsorted`` and one
+        allocation.
         """
-        pend = sorted(items)
+        if self._vec:
+            return self._batch_insert_vec(items)
+        pend = sorted(tuple(e) for e in items)
         for a, b in zip(pend, pend[1:]):
             if a[0] == b[0]:
                 raise PmaError(f"duplicate key {a[0]} in batch")
@@ -288,14 +492,300 @@ class PMA:
                 idx += take
         return escalations
 
-    def batch_delete(self, keys: list[int]) -> int:
+    def _batch_insert_vec(self, items) -> int:
+        arr = np.asarray(items, dtype=np.int64).reshape(-1, 2)
+        if not len(arr):
+            return 0
+        order = np.argsort(arr[:, 0], kind="stable")
+        pk, pv = arr[order, 0], arr[order, 1]
+        dup = pk[1:] == pk[:-1]
+        if dup.any():
+            raise PmaError(f"duplicate key {int(pk[1:][dup][0])} in batch")
+        escalations = 0
+        start = 0
+        # pending-key owners survive merges (new elements never lower a
+        # later segment's first key below a pending key), so they are
+        # computed once and re-derived only after a resize (everything
+        # moves) or a spread (keys in the window's range may migrate in)
+        all_owners = self._owners_bulk(pk)
+        while start < len(pk):
+            tau_root = self.TAU_ROOT if self.height else self.TAU_LEAF
+            grew = False
+            while self._n + 1 > tau_root * self._capacity:
+                self._grow()
+                grew = True
+                tau_root = self.TAU_ROOT if self.height else self.TAU_LEAF
+            if grew:
+                all_owners[start:] = self._owners_bulk(pk[start:])
+            rem_k, rem_v = pk[start:], pv[start:]
+            owners = all_owners[start:]
+            change = np.flatnonzero(owners[1:] != owners[:-1]) + 1
+            g_starts = np.concatenate(([0], change))
+            g_ends = np.concatenate((change, [len(owners)]))
+            g_seg = owners[g_starts]
+            g_size = g_ends - g_starts
+            room = self._segment_size - self._acounts[g_seg]
+            # a group is deferred to its own escalation pass when it
+            # overflows its leaf or when the root bound trips first
+            n_before = self._n + np.concatenate(([0], np.cumsum(g_size)[:-1]))
+            blocked = (g_size > room) | (n_before + 1 > tau_root * self._capacity)
+            nb = np.flatnonzero(blocked)
+            k = int(nb[0]) if len(nb) else len(g_seg)
+            if k > 0:
+                upto = int(g_ends[k - 1])
+                self._bulk_merge(rem_k[:upto], rem_v[:upto], g_seg[:k], g_size[:k])
+                start += upto
+                continue
+            # k == 0 always means overflow (the top-of-loop grow check is
+            # exactly the root-bound test for the first group):
+            # escalation on the first group, scalar-identical accounting
+            self.opstats.locates += 1
+            seg_idx = int(g_seg[0])
+            room0 = int(room[0])
+            take = min(int(g_size[0]), max(room0, 1))
+            self._seg_insert_unpriced(seg_idx, rem_k[:take], rem_v[:take])
+            self._n += take
+            # no interim first-key refresh: an insert rebalance always
+            # ends in a spread or a grow, both of which recompute them
+            cap_before = self._capacity
+            self._last_spread = None
+            self._rebalance_up(seg_idx, for_insert=True)
+            escalations += 1
+            start += take
+            if self._capacity != cap_before:
+                all_owners[start:] = self._owners_bulk(pk[start:])
+            elif self._last_spread is not None:
+                # a spread only reassigns keys whose pre-spread owner lay
+                # inside the window (segments left of it keep strictly
+                # smaller firsts, right of it strictly larger ones) —
+                # including pending keys clamped to owner 0
+                ws, we = self._last_spread
+                tail = all_owners[start:]
+                aff = (tail >= ws) & (tail < we)
+                if aff.any():
+                    tail[aff] = self._owners_bulk(pk[start:][aff])
+        return escalations
+
+    def _bulk_merge(
+        self,
+        keys: np.ndarray,
+        vals: np.ndarray,
+        g_seg: np.ndarray,
+        g_size: np.ndarray,
+    ) -> None:
+        """Merge a run of whole groups, each fitting its segment, in one
+        sorted-merge: stats match the scalar per-item inserts exactly.
+
+        Only the touched segments are gathered and rewritten — their
+        concatenation is itself sorted (segments partition the key space
+        in order), so positions, presence and the merge all work on the
+        O(|touched|) view instead of the whole array."""
+        self.opstats.locates += len(g_seg)
+        self.opstats.segments_touched += len(g_seg)
+        stride = self._segment_size + 1
+        counts_t = self._acounts[g_seg]
+        bases_t = g_seg * stride
+        slots_t = _slots_of(counts_t, bases_t)
+        tk = self._akeys[slots_t]
+        tv = self._avals[slots_t]
+        t_offsets = np.empty(len(g_seg) + 1, dtype=np.int64)
+        t_offsets[0] = 0
+        np.cumsum(counts_t, out=t_offsets[1:])
+        n_old = len(tk)
+        pos = np.searchsorted(tk, keys)
+        if n_old:
+            pc = np.minimum(pos, n_old - 1)
+            present = (tk[pc] == keys) & (pos < n_old)
+            if present.any():
+                raise PmaError(f"key {int(keys[np.flatnonzero(present)[0]])} already present")
+        # scalar inserts a group's items smallest-first: the t-th item
+        # lands at within-segment position p_t + t of a segment holding
+        # L + t elements, so its move cost is (L + t + 1) - (p_t + t)
+        gidx = np.repeat(np.arange(len(g_seg), dtype=np.int64), g_size)
+        within = pos - t_offsets[gidx]
+        self.opstats.element_moves += int(np.sum(counts_t[gidx] + 1 - within))
+        total = n_old + len(keys)
+        dst_new = pos + np.arange(len(keys), dtype=np.int64)
+        mk = np.empty(total, dtype=np.int64)
+        mv = np.empty(total, dtype=np.int64)
+        old_mask = np.ones(total, dtype=bool)
+        old_mask[dst_new] = False
+        mk[dst_new] = keys
+        mv[dst_new] = vals
+        mk[old_mask] = tk
+        mv[old_mask] = tv
+        new_counts_t = counts_t + g_size
+        self._acounts[g_seg] = new_counts_t
+        slots2 = _slots_of(new_counts_t, bases_t)
+        self._akeys[slots2] = mk
+        self._avals[slots2] = mv
+        self._packed_cache = None
+        self._n += int(len(keys))
+        self._refresh_first_all()
+
+    def _seg_insert_unpriced(self, seg_idx: int, keys: np.ndarray, vals: np.ndarray) -> None:
+        """Merge ``keys`` into one segment without move accounting (the
+        scalar escalation path prices the subsequent rebalance instead).
+        May overflow into the segment's spare slot."""
+        stride = self._segment_size + 1
+        base = seg_idx * stride
+        cnt = int(self._acounts[seg_idx])
+        kseg = self._akeys[base : base + cnt].copy()
+        vseg = self._avals[base : base + cnt].copy()
+        pos = np.searchsorted(kseg, keys)
+        if cnt:
+            pc = np.minimum(pos, cnt - 1)
+            present = (kseg[pc] == keys) & (pos < cnt)
+            if present.any():
+                raise PmaError(f"key {int(keys[np.flatnonzero(present)[0]])} already present")
+        total = cnt + len(keys)
+        dst_new = pos + np.arange(len(keys), dtype=np.int64)
+        mk = np.empty(total, dtype=np.int64)
+        mv = np.empty(total, dtype=np.int64)
+        old_mask = np.ones(total, dtype=bool)
+        old_mask[dst_new] = False
+        mk[dst_new] = keys
+        mv[dst_new] = vals
+        mk[old_mask] = kseg
+        mv[old_mask] = vseg
+        self._akeys[base : base + total] = mk
+        self._avals[base : base + total] = mv
+        self._acounts[seg_idx] = total
+        self._packed_cache = None
+
+    def batch_delete(self, keys) -> int:
         """Delete many keys; returns escalation count. Missing keys raise."""
+        if self._vec:
+            return self._batch_delete_vec(keys)
         escalations = 0
         for key in sorted(keys, reverse=True):
             before = self.opstats.rebalances
             self.delete(key)
             escalations += self.opstats.rebalances - before
         return escalations
+
+    def _batch_delete_vec(self, keys) -> int:
+        arr = np.asarray(list(keys) if not isinstance(keys, np.ndarray) else keys, dtype=np.int64)
+        if not arr.size:
+            return 0
+        desc = np.sort(arr)[::-1]
+        # a present key's owner is the segment physically holding it, so
+        # owners survive across runs: deletes never move elements between
+        # segments, and only a spread window / resize invalidates them
+        all_owners = self._owners_bulk(desc)
+        escalations = 0
+        start = 0
+        while start < len(desc):
+            rem = desc[start:]
+            owners = all_owners[start:]
+            change = np.flatnonzero(owners[1:] != owners[:-1]) + 1
+            g_starts = np.concatenate(([0], change))
+            g_ends = np.concatenate((change, [len(owners)]))
+            g_seg = owners[g_starts]
+            g_size = g_ends - g_starts
+            counts = self._acounts[g_seg]
+            # rho(0) * segment_size is exact (segment sizes are powers of
+            # two >= 4): a segment underflows at its (L - thr + 1)-th
+            # delete; until then the scalar path never rebalances
+            thr = (self._segment_size // 4) if self.height else 0
+            d_trig = counts - thr + 1
+            np.maximum(d_trig, 1, out=d_trig)
+            trig = g_size >= d_trig
+            nb = np.flatnonzero(trig)
+            if len(nb):
+                g = int(nb[0])
+                n_del = (int(g_ends[g - 1]) if g else 0) + int(d_trig[g])
+                reb_seg = int(g_seg[g])
+            else:
+                n_del = len(rem)
+                reb_seg = None
+            # the rebalance (if any) refreshes first keys itself
+            self._bulk_remove(rem[:n_del], owners[:n_del], refresh=reb_seg is None)
+            start += n_del
+            if reb_seg is not None:
+                before = self.opstats.rebalances
+                cap_before = self._capacity
+                self._last_spread = None
+                self._rebalance_up(reb_seg, for_insert=False)
+                escalations += self.opstats.rebalances - before
+                if self._capacity != cap_before:
+                    # resized: every owner is stale
+                    all_owners[start:] = self._owners_bulk(desc[start:])
+                elif self._last_spread is not None:
+                    # spread moved elements inside one window only
+                    s, e = self._last_spread
+                    tail = all_owners[start:]
+                    aff = (tail >= s) & (tail < e)
+                    if aff.any():
+                        tail[aff] = self._owners_bulk(desc[start:][aff])
+                else:
+                    # shrink no-op at minimum capacity: nothing moved,
+                    # but the skipped refresh must land now
+                    self._refresh_first_all()
+        return escalations
+
+    def _bulk_remove(
+        self, sel_desc: np.ndarray, owners_desc: np.ndarray, refresh: bool = True
+    ) -> None:
+        """Delete a descending run of present keys, none of which
+        underflows its segment except possibly the last; stats match
+        per-key scalar deletes exactly.
+
+        Like :meth:`_bulk_merge`, only the touched segments are
+        gathered, compacted and rewritten."""
+        asc = sel_desc[::-1]
+        own_asc = owners_desc[::-1]
+        # group boundaries along the ascending run (owners ascending)
+        g_change = np.flatnonzero(own_asc[1:] != own_asc[:-1]) + 1
+        g_starts = np.concatenate(([0], g_change))
+        g_sizes = np.concatenate((g_change, [len(asc)])) - g_starts
+        t_seg = own_asc[g_starts]
+        stride = self._segment_size + 1
+        counts_t = self._acounts[t_seg]
+        bases_t = t_seg * stride
+        slots_t = _slots_of(counts_t, bases_t)
+        tk = self._akeys[slots_t]
+        tv = self._avals[slots_t]
+        t_offsets = np.empty(len(t_seg) + 1, dtype=np.int64)
+        t_offsets[0] = 0
+        np.cumsum(counts_t, out=t_offsets[1:])
+        n_old = len(tk)
+        pos = np.searchsorted(tk, asc)
+        pc = np.minimum(pos, max(n_old - 1, 0))
+        found = (pos < n_old) & (tk[pc] == asc) if n_old else np.zeros(len(asc), dtype=bool)
+        # a repeated key in the batch is deleted once, then missing: mark
+        # the earlier ascending twin (the later delete in descending
+        # processing order) as not found
+        dup_prev = np.zeros(len(asc), dtype=bool)
+        dup_prev[:-1] = asc[:-1] == asc[1:]
+        problem = ~found | dup_prev
+        if problem.any():
+            # the scalar loop raises at the first problem in descending
+            # order == the last problem in ascending order
+            bad = int(np.flatnonzero(problem)[-1])
+            raise PmaError(f"key {int(asc[bad])} not present")
+        self.opstats.locates += len(asc)
+        # scalar deletes a segment's keys largest-first: the t-th delete
+        # pops position q_t of a segment holding L - t elements, costing
+        # (L - 1 - t) - q_t moves; summed per group that is
+        # d(L-1) - d(d-1)/2 - sum(positions)
+        gidx = np.repeat(np.arange(len(t_seg), dtype=np.int64), g_sizes)
+        within = pos - t_offsets[gidx]
+        L = counts_t[gidx]
+        self.opstats.element_moves += int(
+            np.sum(L - 1) - int(np.sum(g_sizes * (g_sizes - 1) // 2)) - int(np.sum(within))
+        )
+        keep = np.ones(n_old, dtype=bool)
+        keep[pos] = False
+        new_counts_t = counts_t - g_sizes
+        self._acounts[t_seg] = new_counts_t
+        slots2 = _slots_of(new_counts_t, bases_t)
+        self._akeys[slots2] = tk[keep]
+        self._avals[slots2] = tv[keep]
+        self._packed_cache = None
+        self._n -= int(len(asc))
+        if refresh:
+            self._refresh_first_all()
 
     def _next_first(self, seg_idx: int) -> int:
         """First key of the nearest non-empty segment right of
@@ -318,6 +808,8 @@ class PMA:
         return start, min(start + width, self.n_segments)
 
     def _window_count(self, start: int, end: int) -> int:
+        if self._vec:
+            return int(self._acounts[start:end].sum())
         return sum(len(self._segments[s]) for s in range(start, end))
 
     def _rebalance_up(self, seg_idx: int, for_insert: bool) -> None:
@@ -345,17 +837,36 @@ class PMA:
 
     def _spread(self, start: int, end: int, level: int) -> None:
         """Evenly redistribute the window's elements over its segments."""
-        elems: list[tuple[int, int]] = []
-        for s in range(start, end):
-            elems.extend(self._segments[s])
         n_segs = end - start
-        base, extra = divmod(len(elems), n_segs)
-        pos = 0
-        for s in range(n_segs):
-            take = base + (1 if s < extra else 0)
-            self._segments[start + s] = elems[pos : pos + take]
-            pos += take
-        self.opstats.element_moves += len(elems)
+        if self._vec:
+            stride = self._segment_size + 1
+            bases = np.arange(start, end, dtype=np.int64) * stride
+            counts = self._acounts[start:end]
+            slots = _slots_of(counts, bases)
+            ek = self._akeys[slots]
+            ev = self._avals[slots]
+            base_cnt, extra = divmod(len(ek), n_segs)
+            new_counts = np.full(n_segs, base_cnt, dtype=np.int64)
+            new_counts[:extra] += 1
+            self._acounts[start:end] = new_counts
+            nslots = _slots_of(new_counts, bases)
+            self._akeys[nslots] = ek
+            self._avals[nslots] = ev
+            self._packed_cache = None
+            self._last_spread = (start, end)
+            n_elems = len(ek)
+        else:
+            elems: list[tuple[int, int]] = []
+            for s in range(start, end):
+                elems.extend(self._segments[s])
+            base, extra = divmod(len(elems), n_segs)
+            pos = 0
+            for s in range(n_segs):
+                take = base + (1 if s < extra else 0)
+                self._segments[start + s] = elems[pos : pos + take]
+                pos += take
+            n_elems = len(elems)
+        self.opstats.element_moves += n_elems
         self.opstats.rebalances += 1
         self.opstats.max_rebalance_level = max(self.opstats.max_rebalance_level, level)
         self.opstats.segments_touched += n_segs
@@ -373,6 +884,19 @@ class PMA:
         self.opstats.shrinks += 1
 
     def _resize(self, new_capacity: int) -> None:
+        if self._vec:
+            pk, pv, _ = self._packed()
+            if len(pk) > new_capacity:
+                raise PmaError(f"cannot resize to {new_capacity} with {len(pk)} elements")
+            self._capacity = max(self.MIN_CAPACITY, new_capacity)
+            self._segment_size = _segment_size_for(self._capacity)
+            n_segs = self._capacity // self._segment_size
+            self._height = max(0, (n_segs - 1).bit_length())
+            self._alloc_arrays(n_segs)
+            self._seg_first = np.full(n_segs, _NEG_INF, dtype=np.int64)
+            self._distribute_evenly(pk, pv)
+            self.opstats.element_moves += len(pk)
+            return
         elems = list(self.items())
         if len(elems) > new_capacity:
             raise PmaError(f"cannot resize to {new_capacity} with {len(elems)} elements")
@@ -394,9 +918,25 @@ class PMA:
     def _refresh_first(self, seg_idx: int) -> None:
         self._refresh_first_range(seg_idx, seg_idx + 1)
 
+    def _refresh_first_all(self) -> None:
+        """Vectorized full recompute of the fill-forward first keys:
+        non-empty firsts are non-decreasing, so the fill-forward is a
+        running maximum over ``NEG_INF``-masked segment heads."""
+        stride = self._segment_size + 1
+        n_segs = self.n_segments
+        firsts = np.full(n_segs, _NEG_INF, dtype=np.int64)
+        nonempty = self._acounts > 0
+        heads = np.arange(n_segs, dtype=np.int64) * stride
+        firsts[nonempty] = self._akeys[heads[nonempty]]
+        np.maximum.accumulate(firsts, out=firsts)
+        self._seg_first = firsts
+
     def _refresh_first_range(self, start: int, end: int) -> None:
         """Recompute fill-forward first keys for ``[start, end)`` and any
         trailing empty segments whose inherited value may have changed."""
+        if self._vec:
+            self._refresh_first_all()
+            return
         prev = self._seg_first[start - 1] if start > 0 else _NEG_INF
         for s in range(start, self.n_segments):
             seg = self._segments[s]
@@ -412,6 +952,9 @@ class PMA:
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Raise :class:`PmaError` on any structural violation."""
+        if self._vec:
+            self._check_invariants_vec()
+            return
         last = _NEG_INF
         count = 0
         for s, seg in enumerate(self._segments):
@@ -433,6 +976,40 @@ class PMA:
             if self._seg_first[s] != expect:
                 raise PmaError(f"seg_first[{s}] = {self._seg_first[s]}, expected {expect}")
             prev = expect
+
+    def _check_invariants_vec(self) -> None:
+        counts = self._acounts
+        over = np.flatnonzero((counts > self._segment_size) | (counts < 0))
+        if len(over):
+            s = int(over[0])
+            raise PmaError(
+                f"segment {s} overflows: {int(counts[s])} > {self._segment_size}"
+            )
+        pk, _, offsets = self._packed()
+        bad = np.flatnonzero(np.diff(pk) <= 0)
+        if len(bad):
+            i = int(bad[0]) + 1
+            s = int(np.searchsorted(offsets, i, side="right")) - 1
+            raise PmaError(
+                f"key order violated at segment {s}: {int(pk[i])} <= {int(pk[i - 1])}"
+            )
+        if int(counts.sum()) != self._n:
+            raise PmaError(f"element count mismatch: {int(counts.sum())} != {self._n}")
+        if self._capacity != self.n_segments * self._segment_size:
+            raise PmaError("capacity != n_segments * segment_size")
+        stride = self._segment_size + 1
+        n_segs = self.n_segments
+        expect = np.full(n_segs, _NEG_INF, dtype=np.int64)
+        nonempty = counts > 0
+        heads = np.arange(n_segs, dtype=np.int64) * stride
+        expect[nonempty] = self._akeys[heads[nonempty]]
+        np.maximum.accumulate(expect, out=expect)
+        diff = np.flatnonzero(np.asarray(self._seg_first) != expect)
+        if len(diff):
+            s = int(diff[0])
+            raise PmaError(
+                f"seg_first[{s}] = {int(self._seg_first[s])}, expected {int(expect[s])}"
+            )
 
 
 def _next_pow2(n: int) -> int:

@@ -37,12 +37,12 @@ class SegmentIndex:
 
     def __init__(self, pma: PMA, cached_levels: int = 3) -> None:
         self.cached_levels = cached_levels
-        firsts = list(pma._seg_first)
-        self.levels: list[list[int]] = [firsts]
+        firsts = np.asarray(pma._seg_first, dtype=np.int64)
+        # each level is a stride view of the leaves: window minima are
+        # the first keys of every 2^level-th segment (no copies)
+        self.levels: list[np.ndarray] = [firsts]
         while len(self.levels[-1]) > 1:
-            below = self.levels[-1]
-            above = [below[i] for i in range(0, len(below), 2)]
-            self.levels.append(above)
+            self.levels.append(self.levels[-1][::2])
         self.height = len(self.levels) - 1
 
     def locate(self, key: int) -> tuple[int, LocateCost]:

@@ -32,7 +32,13 @@ from repro.errors import MatchingError
 from repro.filtering import EncodingSchema, EncodingTable
 from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.updates import EffectiveDelta, UpdateBatch, apply_batch, effective_delta
+from repro.graph.updates import (
+    EffectiveDelta,
+    UpdateBatch,
+    apply_batch,
+    apply_effective_delta,
+    effective_delta,
+)
 from repro.gpu.device import VirtualGPU
 from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
 from repro.pma.gpma import GPMAGraph, GpmaUpdateStats
@@ -84,7 +90,7 @@ class DynamicGraphStore:
         self.graph = graph.copy() if copy else graph
         self.params = params
         self.vectorized = vectorized
-        self.gpma = GPMAGraph.from_graph(self.graph, params)
+        self.gpma = GPMAGraph.from_graph(self.graph, params, vectorized=vectorized)
         if schema is None:
             schema = EncodingSchema.for_labels(
                 set(self.graph.label_alphabet()) | set(extra_labels), bits_per_label
@@ -120,9 +126,14 @@ class DynamicGraphStore:
         """Net delta of ``batch`` against the current graph (no mutation).
 
         Negative-match kernels run between :meth:`prepare` and
-        :meth:`commit`, while the pre-update graph is still live.
+        :meth:`commit`, while the pre-update graph is still live. The
+        vectorized path replays the batch as a sorted canonical-edge
+        overlay against the cached CSR snapshot (one bulk lookup, no
+        per-op dict walk).
         """
-        return effective_delta(self.graph, batch)
+        if self.vectorized:
+            return effective_delta(self.graph, batch, csr=self.csr_snapshot())
+        return effective_delta(self.graph, batch, vectorized=False)
 
     def commit(self, batch: UpdateBatch, delta: EffectiveDelta | None = None) -> StoreCommit:
         """Apply ``batch``: one GPMA update, one encoding refresh.
@@ -135,7 +146,12 @@ class DynamicGraphStore:
         # pre-batch snapshot (if warm) seeds the incremental CSR splice
         old_csr = self._csr if self._csr_version == self.version else None
         gpma_stats = self.gpma.apply_delta(delta)
-        apply_batch(self.graph, batch)
+        if self.vectorized:
+            # the host mirror absorbs the validated net delta directly:
+            # each net edge is touched once, cancelling ops cost nothing
+            apply_effective_delta(self.graph, delta)
+        else:
+            apply_batch(self.graph, batch)
         if self.vectorized and delta:
             # refresh the snapshot eagerly — incrementally when the
             # pre-batch snapshot is warm: the encoding refresh reads it

@@ -1,0 +1,390 @@
+"""Array-native batch-update equivalence: PMA/GPMA vs the scalar
+oracle, and the bulk delta overlay vs the op-by-op replay.
+
+The rewrite keeps the scalar formulations alive behind
+``vectorized=False`` and requires three levels of agreement:
+
+* structure — identical ``keys()``/``items()`` and clean
+  ``check_invariants()`` after any successful operation sequence;
+* accounting — **byte-identical** ``PmaOpStats`` and
+  ``GpmaUpdateStats`` (the simulated GPU cost model must not notice the
+  host-side vectorization);
+* history — byte-identical stats against pre-rewrite baselines captured
+  from the scalar-only code (``tests/data/baseline_*.json``), so the
+  oracle itself cannot silently drift.
+"""
+
+import dataclasses
+import json
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PmaError, UpdateError
+from repro.graph import load_dataset
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import attach_labels, power_law_graph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.updates import (
+    UpdateBatch,
+    apply_batch,
+    apply_effective_delta,
+    effective_delta,
+    make_batch,
+)
+from repro.pma.gpma import GPMAGraph
+from repro.pma.pma import PMA
+
+DATA = Path(__file__).parent / "data"
+
+
+def opstats(p: PMA) -> dict:
+    return dataclasses.asdict(p.opstats)
+
+
+def paired(items=()):
+    """One vectorized and one scalar PMA bulk-loaded identically."""
+    items = list(items)
+    return (
+        PMA.bulk_load(items, vectorized=True),
+        PMA.bulk_load(items, vectorized=False),
+    )
+
+
+def assert_identical(pv: PMA, ps: PMA):
+    assert list(pv.keys()) == list(ps.keys())
+    assert list(pv.items()) == list(ps.items())
+    assert opstats(pv) == opstats(ps)
+    assert (pv.capacity, pv.segment_size, pv.height) == (
+        ps.capacity,
+        ps.segment_size,
+        ps.height,
+    )
+    pv.check_invariants()
+    ps.check_invariants()
+
+
+# ---------------------------------------------------------------------------
+# PMA: batch and single-op sequences
+# ---------------------------------------------------------------------------
+class TestPmaArrayEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_batches(self, seed):
+        """Mixed insert/delete batch sequences through growth and
+        shrinkage keep both backends in lockstep, stats included."""
+        rng = random.Random(seed)
+        init = rng.sample(range(5000), rng.randint(0, 300))
+        pv, ps = paired((k, k) for k in init)
+        present = set(init)
+        for step in range(6):
+            if rng.random() < 0.5 or not present:
+                free = rng.sample(range(5000, 9000), rng.randint(1, 400))
+                ins = [(k, step) for k in set(free) - present]
+                assert pv.batch_insert(ins) == ps.batch_insert(ins)
+                present |= {k for k, _ in ins}
+            else:
+                victims = rng.sample(
+                    sorted(present), min(rng.randint(1, 300), len(present))
+                )
+                assert pv.batch_delete(victims) == ps.batch_delete(victims)
+                present -= set(victims)
+            assert_identical(pv, ps)
+            pv.opstats.reset()
+            ps.opstats.reset()
+
+    def test_clustered_batch_escalates_identically(self):
+        """All updates landing in one segment exercise the escalation
+        path (partial insert + window rebalance) on both backends."""
+        pv, ps = paired((k * 100, 0) for k in range(50))
+        items = [(k, 1) for k in range(1, 80)]
+        assert pv.batch_insert(items) == ps.batch_insert(items)
+        assert_identical(pv, ps)
+
+    def test_escalation_heavy_inserts_lockstep(self):
+        """Batches whose groups overflow their leaves one after another
+        exercise the cached pending-key owners across every spread and
+        grow invalidation."""
+        pv, ps = paired((k * 3, 0) for k in range(400))
+        items = [(k * 3 + 1, 1) for k in range(400)] + [
+            (k * 3 + 2, 2) for k in range(100)
+        ]
+        assert pv.batch_insert(items) == ps.batch_insert(items)
+        assert_identical(pv, ps)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_below_minimum_batches_lockstep(self, seed):
+        """Keys below the PMA's global minimum clamp to owner 0; the
+        escalation spread must re-derive their owners, not leave them
+        stuck on segment 0 (regression for the stale-owner spill)."""
+        rng = random.Random(seed)
+        hi = sorted(rng.sample(range(1000, 3000), rng.randint(1, 40)))
+        pv, ps = paired((k, 0) for k in hi)
+        lo = rng.sample(range(0, 1000), rng.randint(20, 120))
+        items = [(k, 1) for k in lo]
+        assert pv.batch_insert(items) == ps.batch_insert(items)
+        assert_identical(pv, ps)
+        victims = rng.sample(lo, len(lo) // 2)
+        assert pv.batch_delete(victims) == ps.batch_delete(victims)
+        assert_identical(pv, ps)
+
+    def test_mass_delete_shrinks_identically(self):
+        pv, ps = paired((k, k) for k in range(512))
+        assert pv.batch_delete(list(range(500))) == ps.batch_delete(list(range(500)))
+        assert_identical(pv, ps)
+        assert pv.capacity < 1024
+
+    def test_single_ops_match(self):
+        pv, ps = paired()
+        for k in range(200, 0, -1):
+            pv.insert(k, k)
+            ps.insert(k, k)
+        for k in range(1, 150):
+            assert pv.delete(k) == ps.delete(k)
+        assert_identical(pv, ps)
+        assert pv.lookup(199) == ps.lookup(199) == 199
+        assert pv.range_items(150, 180) == ps.range_items(150, 180)
+
+    def test_duplicate_in_batch_raises_both(self):
+        pv, ps = paired()
+        for p in (pv, ps):
+            with pytest.raises(PmaError):
+                p.batch_insert([(3, 0), (3, 1)])
+
+    def test_existing_key_raises_both(self):
+        pv, ps = paired([(3, 0)])
+        for p in (pv, ps):
+            with pytest.raises(PmaError):
+                p.batch_insert([(1, 0), (3, 0)])
+
+    def test_missing_delete_raises_both(self):
+        pv, ps = paired([(3, 0)])
+        for p in (pv, ps):
+            with pytest.raises(PmaError):
+                p.batch_delete([3, 4])
+            with pytest.raises(PmaError):
+                p.batch_delete([3, 3])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    initial=st.sets(st.integers(0, 600), max_size=150),
+    to_insert=st.sets(st.integers(601, 1200), max_size=100),
+    del_frac=st.floats(0.0, 1.0),
+)
+def test_pma_property_lockstep(initial, to_insert, del_frac):
+    """Property: any insert-then-delete batch pair leaves both backends
+    structurally equal with byte-identical stats."""
+    pv, ps = paired((k, 0) for k in initial)
+    ins = [(k, 1) for k in sorted(to_insert)]
+    assert pv.batch_insert(ins) == ps.batch_insert(ins)
+    pool = sorted(initial | to_insert)
+    victims = pool[: int(len(pool) * del_frac)]
+    if victims:
+        assert pv.batch_delete(victims) == ps.batch_delete(victims)
+    assert_identical(pv, ps)
+
+
+def test_pma_stats_match_prechange_baseline():
+    """The deterministic grow/shrink/escalation sequence captured from
+    the pre-rewrite scalar-only code must replay byte-identically."""
+    base = json.loads((DATA / "baseline_pma_stats.json").read_text())
+    for vec in (True, False):
+        rng = random.Random(1234)
+        p = PMA.bulk_load([(k, k * 3) for k in range(0, 4000, 4)], vectorized=vec)
+        present = set(range(0, 4000, 4))
+        records = []
+
+        def snap(tag, escal):
+            d = dataclasses.asdict(p.opstats)
+            d.update(tag=tag, n=len(p), capacity=p.capacity, escalations=escal)
+            records.append(d)
+
+        for step in range(30):
+            p.opstats.reset()
+            if step % 3 == 2:
+                victims = rng.sample(sorted(present), min(len(present) // 3, 900))
+                snap(f"del{step}", p.batch_delete(victims))
+                present -= set(victims)
+            else:
+                free = [k for k in range(4001) if k not in present]
+                ins = rng.sample(free, min(700, len(free)))
+                snap(f"ins{step}", p.batch_insert([(k, k + step) for k in ins]))
+                present |= set(ins)
+            if step % 5 == 4:
+                p.opstats.reset()
+                b0 = 10_000 + step * 2000
+                snap(f"cluster{step}", p.batch_insert([(b0 + i, i) for i in range(600)]))
+                present |= {b0 + i for i in range(600)}
+        p.check_invariants()
+        assert list(p.keys()) == sorted(present)
+        assert records == base["records"]
+
+
+# ---------------------------------------------------------------------------
+# GPMA: modeled device cost
+# ---------------------------------------------------------------------------
+class TestGpmaStatsEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_deltas_byte_identical(self, seed):
+        rng = random.Random(seed)
+        g = attach_labels(power_law_graph(60, 3.0, seed=seed), 3, 2, seed=seed + 1)
+        vec = GPMAGraph.from_graph(g, vectorized=True)
+        ref = GPMAGraph.from_graph(g, vectorized=False)
+        gg = g.copy()
+        for _ in range(4):
+            edges = list(gg.edges())
+            rng.shuffle(edges)
+            non = [
+                (a, b)
+                for a in range(gg.n_vertices)
+                for b in range(a + 1, gg.n_vertices)
+                if not gg.has_edge(a, b)
+            ]
+            rng.shuffle(non)
+            batch = make_batch(
+                [("+", a, b, rng.randint(0, 1)) for a, b in non[:8]]
+                + [("-", a, b) for a, b in edges[:5]]
+            )
+            delta = effective_delta(gg, batch)
+            sv = vec.apply_delta(delta)
+            sr = ref.apply_delta(delta)
+            apply_batch(gg, batch)
+            assert dataclasses.asdict(sv) == dataclasses.asdict(sr)
+            vec.check_invariants()
+            ref.check_invariants()
+            for v in gg.vertices():
+                assert vec.neighbors(v) == ref.neighbors(v) == list(gg.neighbors(v))
+
+    def test_stats_match_prechange_baseline(self):
+        """The LJ serving workload captured before the rewrite replays
+        byte-identically on both backends (ISSUE 3 acceptance check)."""
+        from repro.bench.workloads import holdout_stream
+
+        base = json.loads((DATA / "baseline_gpma_stats.json").read_text())
+        w = base["workload"]
+        graph = load_dataset(w["dataset"], scale=w["scale"])
+        g0, stream = holdout_stream(
+            graph, w["rate"], n_batches=w["n_batches"], mode=w["mode"], seed=w["seed"]
+        )
+        assert (g0.n_vertices, g0.n_edges) == (w["n_vertices"], w["n_edges"])
+        for vec in (True, False):
+            gpma = GPMAGraph.from_graph(g0, vectorized=vec)
+            g = g0.copy()
+            for i, batch in enumerate(stream):
+                delta = effective_delta(g, batch, vectorized=vec)
+                stats = dataclasses.asdict(gpma.apply_delta(delta))
+                apply_batch(g, batch)
+                assert stats == base["per_batch_stats"][i], (vec, i)
+            gpma.check_invariants()
+            assert len(gpma._pma) == base["final_n"]
+
+
+# ---------------------------------------------------------------------------
+# effective_delta: bulk overlay vs op-by-op replay
+# ---------------------------------------------------------------------------
+class TestOverlayEquivalence:
+    def _random_batch(self, g, rng, with_invalid=False):
+        """Mixed batch with duplicate-edge runs and cancelling ops."""
+        edges = list(g.edges())
+        rng.shuffle(edges)
+        non = [
+            (a, b)
+            for a in range(g.n_vertices)
+            for b in range(a + 1, g.n_vertices)
+            if not g.has_edge(a, b)
+        ]
+        rng.shuffle(non)
+        ops = []
+        for a, b in non[:6]:
+            ops.append(("+", a, b, rng.randint(0, 2)))
+            if rng.random() < 0.6:  # cancelling pair on the same edge
+                ops.append(("-", b, a))
+                if rng.random() < 0.5:  # triple touch: net insert again
+                    ops.append(("+", a, b, rng.randint(0, 2)))
+        for a, b in edges[:5]:
+            ops.append(("-", a, b))
+            if rng.random() < 0.5:  # delete + reinsert = label change
+                ops.append(("+", b, a, rng.randint(0, 2)))
+        if with_invalid and ops:
+            kind, a, b = ops[-1][0], ops[-1][1], ops[-1][2]
+            ops.append((kind, a, b))  # repeat last op: always invalid
+        return make_batch(ops)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_overlay_matches_replay(self, seed):
+        rng = random.Random(seed)
+        g = attach_labels(power_law_graph(40, 3.0, seed=seed), 3, 3, seed=seed + 2)
+        batch = self._random_batch(g, rng)
+        ref = effective_delta(g, batch, vectorized=False)
+        assert effective_delta(g, batch) == ref
+        csr = CSRGraph.from_graph(g)
+        assert effective_delta(g, batch, csr=csr) == ref
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_invalid_batches_raise_same_error(self, seed):
+        rng = random.Random(seed + 40)
+        g = attach_labels(power_law_graph(30, 3.0, seed=seed), 2, 1, seed=seed)
+        batch = self._random_batch(g, rng, with_invalid=True)
+        with pytest.raises(UpdateError) as ref_err:
+            effective_delta(g, batch, vectorized=False)
+        with pytest.raises(UpdateError) as vec_err:
+            effective_delta(g, batch)
+        assert str(vec_err.value) == str(ref_err.value)
+
+    def test_mixed_invalid_batch_error_order(self):
+        """An invalid op on a good edge before an out-of-range endpoint
+        must raise the replay's UpdateError, not the range GraphError —
+        and vice versa when the bad endpoint comes first."""
+        from repro.errors import GraphError
+
+        g = LabeledGraph([0, 0, 0])
+        g.add_edge(0, 1)
+        early_invalid = make_batch([("-", 0, 2), ("+", 1, 99)])
+        for kw in ({"vectorized": False}, {}):
+            with pytest.raises(UpdateError) as err:
+                effective_delta(g, early_invalid, **kw)
+            assert "delete of missing edge (0, 2)" in str(err.value)
+        early_range = make_batch([("+", 1, 99), ("-", 0, 2)])
+        for kw in ({"vectorized": False}, {}):
+            with pytest.raises(GraphError) as err:
+                effective_delta(g, early_range, **kw)
+            assert "vertex 99 out of range" in str(err.value)
+
+    def test_net_noop_batch(self):
+        g = attach_labels(power_law_graph(20, 3.0, seed=1), 2, 1, seed=1)
+        u, v = next(iter(g.edges()))
+        batch = make_batch([("-", u, v), ("+", u, v, g.edge_label(u, v))])
+        delta = effective_delta(g, batch)
+        assert delta == effective_delta(g, batch, vectorized=False)
+        assert not delta  # same label back: no net change
+
+    def test_label_change_in_both_lists(self):
+        g = attach_labels(power_law_graph(20, 3.0, seed=2), 2, 1, seed=2)
+        u, v = next(iter(g.edges()))
+        old = g.edge_label(u, v)
+        batch = make_batch([("-", u, v), ("+", u, v, old + 7)])
+        delta = effective_delta(g, batch)
+        assert delta == effective_delta(g, batch, vectorized=False)
+        assert (u, v, old) in delta.deleted
+        assert (u, v, old + 7) in delta.inserted
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_apply_effective_delta_equals_apply_batch(self, seed):
+        rng = random.Random(seed + 9)
+        g = attach_labels(power_law_graph(35, 3.0, seed=seed), 3, 2, seed=seed)
+        batch = self._random_batch(g, rng)
+        delta = effective_delta(g, batch)
+        g_replay = g.copy()
+        apply_batch(g_replay, batch)
+        g_overlay = g.copy()
+        apply_effective_delta(g_overlay, delta)
+        assert g_overlay == g_replay
+
+    def test_empty_batch(self):
+        g = attach_labels(power_law_graph(10, 3.0, seed=5), 2, 1, seed=5)
+        assert not effective_delta(g, UpdateBatch())
+        assert effective_delta(g, UpdateBatch()) == effective_delta(
+            g, UpdateBatch(), vectorized=False
+        )
