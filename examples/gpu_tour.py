@@ -9,19 +9,24 @@ This example demonstrates the pieces GAMMA's kernel is built from:
 2. coalesced vs scattered memory pricing;
 3. a skewed workload, first unbalanced, then with an idle-handler
    implementing a minimal work-stealing protocol;
-4. GPMA batch updates with the §V-C optimizations toggled.
+4. GPMA batch updates with the §V-C optimizations toggled;
+5. the pooled array-native launch path vs its generator oracle —
+   same modeled stats, fraction of the simulation cost.
 
 Run:
     python examples/gpu_tour.py
 """
 
+import dataclasses
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import DeviceParams, GPMAGraph, VirtualGPU, load_dataset
 from repro.graph.updates import effective_delta, make_batch
+from repro.gpu import TraceBuilder
 
 PARAMS = DeviceParams(num_sms=4, warps_per_block=4)
 
@@ -132,8 +137,54 @@ def part4_gpma() -> None:
               f"({stats.global_probes} global tree probes)")
 
 
+def part5_pooled_launch() -> None:
+    print("\n== 5. pooled array-native launches vs the generator oracle ==")
+    # A warp program in array form: the cost trace records the same
+    # primitives part 1 charged, but as flat (op, amount) arrays with
+    # explicit yield boundaries. The pooled scheduler prices whole
+    # segments from cached totals; vectorized=False replays the ops
+    # one by one through a real generator — the scalar oracle.
+    trace = (
+        TraceBuilder()
+        .read_global_consecutive(256)
+        .yield_()
+        .charge_lanes(64)
+        .read_global_scattered(12)
+        .build()
+    )
+
+    def generator_equivalent(ctx):
+        ctx.read_global_consecutive(256)
+        yield
+        ctx.charge_lanes(64)
+        ctx.read_global_scattered(12)
+
+    # two all-trace blocks followed by two generator blocks (4 warps
+    # per block here), launched many times: the pool (reset, don't
+    # reconstruct) serves every block and the all-trace blocks are
+    # memoized outright after the first launch
+    tasks = [trace] * 8 + [generator_equivalent] * 8
+    n_launches, stats = 200, {}
+    for label, vectorized in (("generator oracle", False), ("pooled fast path", True)):
+        gpu = VirtualGPU(PARAMS, vectorized=vectorized)
+        t0 = time.perf_counter()
+        for _ in range(n_launches):
+            res = gpu.launch(tasks)
+        wall = time.perf_counter() - t0
+        stats[label] = (dataclasses.asdict(res.stats), wall, gpu.blocks_memoized)
+        print(f"  {label:16s}: {res.stats.kernel_cycles:6.0f} model cycles/launch, "
+              f"{wall * 1e3:6.1f}ms wall for {n_launches} launches "
+              f"({gpu.blocks_memoized} blocks memoized)")
+    identical = stats["generator oracle"][0] == stats["pooled fast path"][0]
+    print(f"  KernelStats byte-identical: {identical} "
+          f"(launch machinery {stats['generator oracle'][1] / stats['pooled fast path'][1]:.1f}x faster)")
+    assert identical, "scalar and vectorized launch stats must match"
+    assert stats["pooled fast path"][2] > 0, "memoization should have engaged"
+
+
 if __name__ == "__main__":
     part1_primitives()
     part2_memory_pricing()
     part3_work_stealing()
     part4_gpma()
+    part5_pooled_launch()

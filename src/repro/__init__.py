@@ -61,7 +61,7 @@ from repro.graph import (
     load_dataset,
 )
 from repro.graph.updates import apply_batch, effective_delta, make_batch
-from repro.gpu import DeviceParams, VirtualGPU
+from repro.gpu import CostTrace, DeviceParams, TraceBuilder, VirtualGPU
 from repro.pma import GPMAGraph, PMA
 from repro.filtering import CandidateTable, EncodingSchema, EncodingTable
 from repro.matching import (
@@ -107,7 +107,9 @@ __all__ = [
     "load_dataset",
     "dataset_summary",
     # substrates
+    "CostTrace",
     "DeviceParams",
+    "TraceBuilder",
     "VirtualGPU",
     "PMA",
     "GPMAGraph",

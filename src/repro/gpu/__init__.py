@@ -9,12 +9,20 @@ scheduler whose idle hook implements work stealing.
 Latency reported by kernels is ``cycles / clock`` ("model seconds"),
 comparable against the CPU baselines through the shared cost model in
 ``repro.bench.cost``.
+
+Simulation itself runs on two host-side paths behind the repo's
+``vectorized`` flag-with-oracle convention: a pooled, array-native
+fast path (scheduler/context/shared-memory objects reused across
+launches; non-interacting warp programs priced from flat cost-trace
+arrays) and the original per-block generator oracle. Modeled stats are
+byte-identical between the two — see ``docs/ARCHITECTURE.md``.
 """
 
 from repro.gpu.params import DeviceParams
 from repro.gpu.stats import KernelStats, BlockStats
 from repro.gpu.memory import GlobalMemory, SharedMemory, HostDeviceLink
 from repro.gpu.warp import WarpContext
+from repro.gpu.trace import CostTrace, TraceBuilder
 from repro.gpu.scheduler import BlockScheduler, WarpTask
 from repro.gpu.device import VirtualGPU, LaunchResult
 from repro.gpu.cooperative_groups import tiled_partition, ThreadGroup
@@ -27,6 +35,8 @@ __all__ = [
     "SharedMemory",
     "HostDeviceLink",
     "WarpContext",
+    "CostTrace",
+    "TraceBuilder",
     "BlockScheduler",
     "WarpTask",
     "VirtualGPU",

@@ -5,6 +5,15 @@ than a warp by splitting a warp into cooperative groups sized by
 powers of two (16, 8, ...) and assigning each group its own segment.
 Here a :class:`ThreadGroup` prices data-parallel work in rounds of
 ``group size`` lanes, and :func:`tiled_partition` validates the split.
+
+Groups charge through their parent :class:`WarpContext`, so their
+cycles land in the same integer cost model as every other primitive
+and stay on the scalar charging path — group-level work is shaped by
+runtime segment sizes (GPMA's adaptive allocation), so it is priced
+where it happens rather than pre-recorded as a cost trace. The GPMA
+update kernels that use these groups do their *bulk* pricing in array
+form on their own side (``pma/gpma.py``); what remains here is the
+per-group residual.
 """
 
 from __future__ import annotations

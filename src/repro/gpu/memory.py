@@ -1,11 +1,15 @@
 """Memory hierarchy of the virtual GPU.
 
 ``GlobalMemory`` tracks allocation against device capacity (the BFS
-kernel's spill behaviour in Figure 5 comes from here). ``SharedMemory``
-is the block-scoped scratchpad: it stores real Python values (the work
-stealing protocol reads and writes sibling warp state through it) while
-accounting capacity and access counts. ``HostDeviceLink`` prices PCIe
-transfers.
+kernel's spill behaviour in Figure 5 comes from here) and lives as
+long as the device — launches share it, so peak usage spans a whole
+experiment. ``SharedMemory`` is the block-scoped scratchpad: it stores
+real Python values (the work stealing protocol reads and writes
+sibling warp state through it) while accounting capacity and access
+counts; pooled launches :meth:`SharedMemory.reset` one instance per
+block instead of reallocating it. ``HostDeviceLink`` prices PCIe
+transfers — its cycles land in ``KernelStats.transfer_cycles`` and
+become the Comm share of the Figure 5 breakdown.
 """
 
 from __future__ import annotations
@@ -79,6 +83,18 @@ class SharedMemory:
     @property
     def used_words(self) -> int:
         return self._used
+
+    def reset(self) -> None:
+        """Forget every allocation (pooled reuse between blocks).
+
+        Equivalent to constructing a fresh instance: the next block's
+        ``alloc`` calls see an empty scratchpad and a zeroed access
+        counter, exactly as the per-block-construction oracle does.
+        """
+        self._store.clear()
+        self._sizes.clear()
+        self._used = 0
+        self.accesses = 0
 
     def alloc(self, name: str, value: Any, words: int) -> None:
         """Declare a named shared allocation of ``words`` words."""

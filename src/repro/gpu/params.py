@@ -4,6 +4,15 @@ Defaults are loosely shaped after the paper's RTX 3090 (83 SMs, 24 GB)
 but scaled down so pure-Python simulation stays fast; what matters for
 the reproduction is the *ratios* between compute, shared-memory and
 global-memory costs, which follow CUDA folklore (global ≈ 100× shared).
+
+Every cost field is an **integer** number of cycles. That is a load-
+bearing property, not a convenience: the pooled launch path prices
+whole cost-trace segments with batched ``int64`` sums, and integer
+cycle charges are what make those sums byte-identical to the generator
+oracle's sequential float adds (``cycles / clock_hz`` — a "model
+second" — is only computed at the reporting boundary). ``DeviceParams``
+is frozen and hashable so priced traces can cache per-parameter-set
+segment totals.
 """
 
 from __future__ import annotations

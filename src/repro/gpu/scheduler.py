@@ -1,10 +1,29 @@
 """Block scheduler: interleaves warp coroutines by minimum local clock.
 
-A warp task is a generator function ``task(ctx) -> Generator``; every
-``yield`` is a potential context switch (in hardware: the warp stalls
-on memory and the SM issues another warp). The scheduler always resumes
-the warp with the smallest local clock, which produces a deterministic,
-contention-free parallel trace.
+A warp task is either a generator function ``task(ctx) -> Generator``
+— every ``yield`` is a potential context switch (in hardware: the warp
+stalls on memory and the SM issues another warp) — or an array-form
+:class:`~repro.gpu.trace.CostTrace`, whose yield boundaries play the
+same role but whose inter-yield cost is precomputed. The scheduler
+always resumes the warp with the smallest local clock, which produces
+a deterministic, contention-free parallel trace.
+
+Two execution paths, selected by ``vectorized`` (the repo-wide
+flag-with-oracle convention):
+
+* ``vectorized=True`` — the pooled fast path: trace tasks advance by
+  one priced segment per resumption (a handful of scalar adds from the
+  cached segment totals; no generator object exists), and the
+  scheduler itself is reused across blocks via :meth:`reset`;
+* ``vectorized=False`` — the generator oracle: trace tasks are
+  replayed op-by-op through :meth:`CostTrace.replay` inside a real
+  generator, and callers construct a fresh scheduler per block.
+
+Both paths fill **byte-identical** :class:`BlockStats` — the trace
+cost model is integer cycles, so batched sums equal op-by-op sums
+exactly (``tests/test_gpu_pooling.py`` asserts this under randomized
+mixed schedules). Generator tasks (anything that touches sibling
+state) behave identically under both flags.
 
 Two hooks implement the paper's §V-A load balancing:
 
@@ -14,26 +33,40 @@ Two hooks implement the paper's §V-A load balancing:
 * parked warps own a *mailbox*; a running warp may push work to an idle
   sibling (passive stealing). The scheduler revives the parked warp at
   ``max(parked_clock, donor_clock)`` plus the hand-off cost.
+
+Stealing and mailbox traffic are genuinely divergent interactions —
+their timing depends on every sibling's clock — which is exactly why
+they stay on the generator path and are never expressed as traces.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Generator, Iterable, Optional
+from typing import Callable, Generator, Iterable, Optional, Union
 
 from repro.errors import GpuError
 from repro.gpu.memory import GlobalMemory, SharedMemory
 from repro.gpu.params import DeviceParams
 from repro.gpu.stats import BlockStats
+from repro.gpu.trace import CostTrace, TraceCursor
 from repro.gpu.warp import WarpContext
 
-WarpTask = Callable[[WarpContext], Generator[None, None, None]]
+#: a warp task: a generator function over a context, or an array-form
+#: cost trace (reusable across warps and launches)
+WarpTask = Union[Callable[[WarpContext], Generator[None, None, None]], CostTrace]
 IdleHandler = Callable[[WarpContext], Optional[Generator[None, None, None]]]
 
 
 class BlockScheduler:
-    """Runs one block's warps to completion and fills a BlockStats."""
+    """Runs one block's warps to completion and fills a BlockStats.
+
+    With ``vectorized=True`` the instance is pool-friendly: call
+    :meth:`reset` with the next block's tasks to reuse the contexts,
+    shared memory, and mailbox structures without reconstruction (the
+    per-block ``BlockStats`` is always fresh — it escapes into the
+    launch result).
+    """
 
     def __init__(
         self,
@@ -43,19 +76,58 @@ class BlockScheduler:
         shared: SharedMemory | None = None,
         idle_handler: IdleHandler | None = None,
         shared_setup: Callable[[SharedMemory, list[WarpContext]], None] | None = None,
+        vectorized: bool = True,
     ) -> None:
         self.params = params
-        self.tasks: list[WarpTask] = list(tasks)
         self.global_mem = global_mem or GlobalMemory(params)
         self.shared = shared or SharedMemory(params)
-        self.idle_handler = idle_handler
-        self.stats = BlockStats(n_warps=min(params.warps_per_block, max(len(self.tasks), 1)))
-        self.contexts: list[WarpContext] = [
-            WarpContext(w, params, self.shared, self.global_mem, self.stats)
-            for w in range(self.stats.n_warps)
-        ]
+        self.vectorized = vectorized
+        #: all contexts ever built for this scheduler; ``reset`` re-arms
+        #: a prefix of them instead of reconstructing
+        self._ctx_pool: list[WarpContext] = []
         self._mailboxes: dict[int, list[tuple[Generator, float]]] = {}
         self._parked: set[int] = set()
+        self.reset(tasks, shared_setup=shared_setup, idle_handler=idle_handler)
+
+    def reset(
+        self,
+        tasks: Iterable[WarpTask],
+        shared_setup: Callable[[SharedMemory, list[WarpContext]], None] | None = None,
+        idle_handler: IdleHandler | None = None,
+    ) -> None:
+        """Re-arm for another block: new tasks, fresh stats, same pool.
+
+        Restores everything :meth:`run` mutates — shared memory is
+        cleared, mailboxes and the parked set are emptied, and every
+        context is reset against a fresh :class:`BlockStats` — so a
+        pooled run is indistinguishable from a freshly constructed one.
+        """
+        self.tasks: list[WarpTask] = list(tasks)
+        self.idle_handler = idle_handler
+        self.shared.reset()
+        self.stats = BlockStats(
+            n_warps=min(self.params.warps_per_block, max(len(self.tasks), 1))
+        )
+        n_warps = self.stats.n_warps
+        while len(self._ctx_pool) < n_warps:
+            self._ctx_pool.append(
+                WarpContext(
+                    len(self._ctx_pool),
+                    self.params,
+                    self.shared,
+                    self.global_mem,
+                    self.stats,
+                )
+            )
+        self.contexts: list[WarpContext] = self._ctx_pool[:n_warps]
+        for ctx in self.contexts:
+            ctx.reset(self.stats)
+        self._mailboxes.clear()
+        self._parked.clear()
+        #: warps whose current generator came from the idle handler
+        #: (pollers / thieves) rather than a queued task — kernels use
+        #: this to prove an idle-spin pricing window is interaction-free
+        self.idle_sourced: set[int] = set()
         #: True while any mailbox may hold deliverable work: set by
         #: push_work, cleared by a drain that empties every mailbox —
         #: the run loop skips the drain entirely between pushes
@@ -78,18 +150,37 @@ class BlockScheduler:
         self._mailbox_pending = True
 
     # ------------------------------------------------------------------
+    # task spawning (generator vs priced-trace form)
+    # ------------------------------------------------------------------
+    def _spawn(self, task: WarpTask, ctx: WarpContext):
+        """Instantiate a task for one warp.
+
+        A generator function becomes a generator; a :class:`CostTrace`
+        becomes a :class:`TraceCursor` on the fast path or its
+        op-by-op :meth:`~CostTrace.replay` generator under the oracle.
+        """
+        if isinstance(task, CostTrace):
+            if self.vectorized:
+                return task.cursor(self.params)
+            return task.replay(ctx)
+        return task(ctx)
+
+    # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> BlockStats:
         n_warps = self.stats.n_warps
         pending = deque(range(n_warps, len(self.tasks)))  # task queue beyond first wave
-        generators: dict[int, Generator] = {}
+        generators: dict[int, object] = {}
         heap: list[tuple[float, int]] = []
+        # exposed for idle-handler batch-pricing queries (valid mid-run)
+        self.pending_tasks = pending
+        self.generators = generators
 
         for w in range(n_warps):
             ctx = self.contexts[w]
             if w < len(self.tasks):
-                generators[w] = self.tasks[w](ctx)
+                generators[w] = self._spawn(self.tasks[w], ctx)
                 heapq.heappush(heap, (ctx.clock, w))
             else:
                 self._parked.add(w)
@@ -104,12 +195,21 @@ class BlockScheduler:
                 heapq.heappush(heap, (ctx.clock, w))
                 continue
             gen = generators[w]
-            try:
-                next(gen)
-                heapq.heappush(heap, (ctx.clock, w))
-            except StopIteration:
-                self.stats.tasks_completed += 1
-                self._dispatch_next(w, generators, heap, pending, finish_clock)
+            if type(gen) is TraceCursor:
+                # priced segment: same clock advance and completion
+                # timing as the equivalent generator resumption
+                if gen.step(ctx):
+                    self.stats.tasks_completed += 1
+                    self._dispatch_next(w, generators, heap, pending, finish_clock)
+                else:
+                    heapq.heappush(heap, (ctx.clock, w))
+            else:
+                try:
+                    next(gen)
+                    heapq.heappush(heap, (ctx.clock, w))
+                except StopIteration:
+                    self.stats.tasks_completed += 1
+                    self._dispatch_next(w, generators, heap, pending, finish_clock)
             # revive any parked warps that received pushed work; skipped
             # outright unless a push landed since the last full drain
             if self._mailbox_pending:
@@ -119,12 +219,18 @@ class BlockScheduler:
             (ctx.clock for ctx in self.contexts), default=0.0
         )
         self.stats.busy_cycles = sum(ctx.busy_cycles for ctx in self.contexts)
+        # drop the run's working set now rather than at the next reset:
+        # a pooled scheduler outlives the launch, and exhausted worker
+        # generators/task closures would otherwise pin the whole
+        # kernel's environment (match sets, DFS items) while idle
+        generators.clear()
+        self.tasks = []
         return self.stats
 
     def _dispatch_next(
         self,
         w: int,
-        generators: dict[int, Generator],
+        generators: dict[int, object],
         heap: list[tuple[float, int]],
         pending: deque[int],
         finish_clock: list[float],
@@ -133,13 +239,15 @@ class BlockScheduler:
         ctx = self.contexts[w]
         if pending:
             task_idx = pending.popleft()
-            generators[w] = self.tasks[task_idx](ctx)
+            generators[w] = self._spawn(self.tasks[task_idx], ctx)
+            self.idle_sourced.discard(w)
             heapq.heappush(heap, (ctx.clock, w))
             return
         if self.idle_handler is not None:
             stolen = self.idle_handler(ctx)
             if stolen is not None:
                 generators[w] = stolen
+                self.idle_sourced.add(w)
                 heapq.heappush(heap, (ctx.clock, w))
                 return
         finish_clock[w] = ctx.clock
@@ -147,7 +255,7 @@ class BlockScheduler:
 
     def _drain_mailboxes(
         self,
-        generators: dict[int, Generator],
+        generators: dict[int, object],
         heap: list[tuple[float, int]],
         finish_clock: list[float],
     ) -> None:
@@ -165,6 +273,7 @@ class BlockScheduler:
             ctx.clock += self.params.steal_check_cycles
             self._parked.discard(w)
             generators[w] = gen
+            self.idle_sourced.discard(w)  # donated work, not an idle spin
             heapq.heappush(heap, (ctx.clock, w))
             extra = items[1:]
             if extra:

@@ -3,7 +3,20 @@
 ``BlockStats`` is filled by one :class:`~repro.gpu.scheduler.BlockScheduler`
 run; ``KernelStats`` merges blocks into device-level numbers, including
 the GPU-utilization metric reported in the paper's Figure 13:
-``Σ busy warp cycles / (makespan × warps)``.
+``Σ busy warp cycles / (makespan × warps)``. A "model second" is
+``total_cycles / DeviceParams.clock_hz`` — the unit every benchmark
+table reports.
+
+These objects are the byte-identity contract of the launch rewrite:
+whether a block ran on the pooled array-native path or the generator
+oracle (``vectorized`` flag), and whether a warp's cost came from a
+priced :class:`~repro.gpu.trace.CostTrace` segment or op-by-op
+charging, the filled counters must compare equal field-for-field.
+That holds because every charge is an integer number of cycles, so
+batched ``int64`` sums equal sequential float adds exactly. Stats
+objects are therefore never pooled — each block gets a fresh
+``BlockStats`` (they escape into the launch result); only the
+scheduler, contexts, and shared memory are reused.
 """
 
 from __future__ import annotations

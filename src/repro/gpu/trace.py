@@ -1,0 +1,258 @@
+"""Array-form warp programs: cost traces priced by segment reductions.
+
+The generator-based scheduler steps a Python coroutine once per
+``yield`` and charges the warp clock op by op — faithful, but the
+interpreter cost dominates once the matching stack itself runs on flat
+arrays (ROADMAP: ~35k generator resumptions per 3-batch LJ stream).
+A :class:`CostTrace` is the array-native alternative for warp programs
+whose cost is *data-independent of their siblings*: the program is
+emitted once as flat arrays (op kind, amount) with explicit yield
+boundaries, and the scheduler prices a whole inter-yield segment in one
+step — segment totals are precomputed with ``cumsum`` differences over
+the per-op cycle arrays, so replay is a handful of scalar adds.
+
+Two execution paths consume the same trace:
+
+* the **pooled fast path** (``BlockScheduler(vectorized=True)``)
+  applies the precomputed per-segment totals directly to the warp
+  clock and :class:`~repro.gpu.stats.BlockStats` counters;
+* the **generator oracle** (``vectorized=False``) replays the ops one
+  by one through the ordinary :class:`~repro.gpu.warp.WarpContext`
+  charging methods, inside a real generator.
+
+Every amount is an integer and every per-op cycle cost is an integer
+multiple of a :class:`~repro.gpu.params.DeviceParams` field, so the
+segment sums are exact in ``int64`` and the two paths produce
+**byte-identical** stats (asserted by ``tests/test_gpu_pooling.py``).
+Programs that genuinely interact with sibling warps — work-stealing
+pushes, mailbox drains, shared-memory reads of another warp's DFS
+state — cannot be traced and stay on the generator path.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.errors import GpuError
+from repro.gpu.params import DeviceParams
+from repro.gpu.warp import WarpContext
+
+#: op kinds of the flat trace arrays (``amount`` semantics per kind)
+OP_COMPUTE = 0  # amount = warp-wide ALU rounds
+OP_LANES = 1  # amount = data-parallel items (ceil(n / warp_size) rounds)
+OP_COALESCED = 2  # amount = consecutive words read/written
+OP_SCATTERED = 3  # amount = divergent accesses (one transaction each)
+OP_IDLE = 4  # amount = cycles of non-busy local time (spin-wait)
+N_OPS = 5
+
+
+class TraceBuilder:
+    """Records warp-primitive calls into flat arrays.
+
+    Mirrors the charging surface of :class:`WarpContext` — one method
+    per op kind, same argument meaning — but appends ``(kind, amount)``
+    instead of advancing a clock. ``yield_()`` marks a scheduler
+    boundary (the trace analogue of a generator ``yield``); everything
+    between two marks is priced as one segment. All methods return
+    ``self`` so short traces can be built in one expression.
+    """
+
+    def __init__(self) -> None:
+        self._kinds: list[int] = []
+        self._amounts: list[int] = []
+        self._bounds: list[int] = []
+
+    def _op(self, kind: int, amount: int) -> "TraceBuilder":
+        if amount < 0:
+            raise GpuError(f"negative trace amount {amount} for op {kind}")
+        self._kinds.append(kind)
+        self._amounts.append(int(amount))
+        return self
+
+    def charge_compute(self, warp_rounds: int) -> "TraceBuilder":
+        return self._op(OP_COMPUTE, warp_rounds)
+
+    def charge_lanes(self, n_items: int) -> "TraceBuilder":
+        return self._op(OP_LANES, n_items)
+
+    def read_global_consecutive(self, n_words: int) -> "TraceBuilder":
+        return self._op(OP_COALESCED, n_words)
+
+    def write_global_consecutive(self, n_words: int) -> "TraceBuilder":
+        return self._op(OP_COALESCED, n_words)
+
+    def read_global_scattered(self, n_accesses: int) -> "TraceBuilder":
+        return self._op(OP_SCATTERED, n_accesses)
+
+    def advance_idle(self, cycles: int) -> "TraceBuilder":
+        return self._op(OP_IDLE, cycles)
+
+    def yield_(self) -> "TraceBuilder":
+        """Mark a scheduler boundary before the next recorded op."""
+        self._bounds.append(len(self._kinds))
+        return self
+
+    def build(self) -> "CostTrace":
+        return CostTrace(
+            np.asarray(self._kinds, dtype=np.int64),
+            np.asarray(self._amounts, dtype=np.int64),
+            np.asarray(self._bounds, dtype=np.int64),
+        )
+
+
+class _PricedTrace:
+    """Per-segment totals of one trace under one parameter set.
+
+    Stored as plain Python lists (one scalar read per replayed segment
+    beats ``ndarray`` item extraction in the scheduler's hot loop).
+    """
+
+    __slots__ = (
+        "n_segments",
+        "clock",
+        "busy",
+        "compute",
+        "transactions",
+        "coalesced",
+        "scattered",
+    )
+
+    def __init__(self, trace: "CostTrace", params: DeviceParams) -> None:
+        kinds, amounts = trace.kinds, trace.amounts
+        warp = params.warp_size
+        # per-op integer cycle/transaction costs, mirroring WarpContext
+        rounds = np.where(
+            kinds == OP_LANES, -(-np.maximum(amounts, 1) // warp), amounts
+        )
+        is_compute = (kinds == OP_COMPUTE) | (kinds == OP_LANES)
+        compute_cy = np.where(is_compute, rounds * params.compute_cycles, 0)
+        coal_tx = np.where(
+            kinds == OP_COALESCED, -(-np.maximum(amounts, 1) // warp), 0
+        )
+        scat_tx = np.where(kinds == OP_SCATTERED, np.maximum(amounts, 1), 0)
+        tx_cy = (coal_tx + scat_tx) * params.global_transaction_cycles
+        busy = compute_cy + tx_cy
+        idle = np.where(kinds == OP_IDLE, amounts, 0)
+
+        # segment reduction: cumsum differences at the yield boundaries
+        # (robust to empty segments, exact in int64)
+        starts = np.empty(len(trace.bounds) + 2, dtype=np.int64)
+        starts[0] = 0
+        starts[1:-1] = trace.bounds
+        starts[-1] = len(kinds)
+
+        def seg(per_op: np.ndarray) -> list[int]:
+            cum = np.zeros(len(per_op) + 1, dtype=np.int64)
+            np.cumsum(per_op, out=cum[1:])
+            return (cum[starts[1:]] - cum[starts[:-1]]).tolist()
+
+        self.n_segments = len(starts) - 1
+        self.busy = seg(busy)
+        self.clock = seg(busy + idle)
+        self.compute = seg(compute_cy)
+        self.coalesced = seg(coal_tx)
+        self.scattered = seg(scat_tx)
+        self.transactions = seg(coal_tx + scat_tx)
+
+
+class TraceCursor:
+    """Replay state of one trace task on one warp (fast path only)."""
+
+    __slots__ = ("priced", "segment")
+
+    def __init__(self, priced: _PricedTrace) -> None:
+        self.priced = priced
+        self.segment = 0
+
+    def step(self, ctx: WarpContext) -> bool:
+        """Apply the next segment to ``ctx``; True when the task is done.
+
+        Equivalent to one generator resumption: the warp's clock, busy
+        cycles and block counters advance by the segment totals, which
+        equal the op-by-op sums exactly (integer cycle model).
+        """
+        p, s = self.priced, self.segment
+        busy = p.busy[s]
+        ctx.clock += p.clock[s]
+        ctx.busy_cycles += busy
+        stats = ctx.stats
+        stats.compute_cycles += p.compute[s]
+        stats.global_transactions += p.transactions[s]
+        stats.coalesced_transactions += p.coalesced[s]
+        stats.scattered_transactions += p.scattered[s]
+        self.segment = s + 1
+        return self.segment >= p.n_segments
+
+
+class CostTrace:
+    """One warp program in array form: ``(kinds, amounts)`` plus the
+    indices (into the op arrays) where the program yields.
+
+    A trace is immutable and reusable: the same instance may be passed
+    as the task of any number of warps across any number of launches
+    (the WBM kernel's no-op probe is one module-level trace shared by
+    every update edge that maps to no work item). Pricing against a
+    :class:`DeviceParams` is cached on the trace, so a reused trace is
+    priced once per parameter set ever.
+    """
+
+    __slots__ = ("kinds", "amounts", "bounds", "_priced")
+
+    def __init__(
+        self, kinds: np.ndarray, amounts: np.ndarray, bounds: np.ndarray
+    ) -> None:
+        if len(kinds) != len(amounts):
+            raise GpuError("trace kinds/amounts length mismatch")
+        if len(bounds) and (
+            bounds[0] < 0 or bounds[-1] > len(kinds) or np.any(np.diff(bounds) < 0)
+        ):
+            raise GpuError("trace yield bounds out of order")
+        if len(kinds) and (kinds.min() < 0 or kinds.max() >= N_OPS):
+            raise GpuError("unknown trace op kind")
+        self.kinds = kinds
+        self.amounts = amounts
+        self.bounds = bounds
+        self._priced: dict[DeviceParams, _PricedTrace] = {}
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.bounds) + 1
+
+    def priced(self, params: DeviceParams) -> _PricedTrace:
+        """Per-segment totals under ``params`` (cached per parameter set)."""
+        entry = self._priced.get(params)
+        if entry is None:
+            entry = self._priced[params] = _PricedTrace(self, params)
+        return entry
+
+    def cursor(self, params: DeviceParams) -> TraceCursor:
+        return TraceCursor(self.priced(params))
+
+    def replay(self, ctx: WarpContext) -> Generator[None, None, None]:
+        """Generator-oracle replay: every op goes through the ordinary
+        :class:`WarpContext` charging methods, yielding at each bound —
+        exactly what a handwritten generator task would have done."""
+        kinds = self.kinds
+        amounts = self.amounts
+        bounds = self.bounds
+        b, n_b = 0, len(bounds)
+        for i in range(len(kinds)):
+            while b < n_b and bounds[b] == i:
+                yield
+                b += 1
+            kind, amount = int(kinds[i]), int(amounts[i])
+            if kind == OP_COMPUTE:
+                ctx.charge_compute(amount)
+            elif kind == OP_LANES:
+                ctx.charge_lanes(amount)
+            elif kind == OP_COALESCED:
+                ctx.read_global_consecutive(amount)
+            elif kind == OP_SCATTERED:
+                ctx.read_global_scattered(amount)
+            else:
+                ctx.advance_idle(float(amount))
+        while b < n_b:
+            yield
+            b += 1

@@ -5,7 +5,17 @@ lanes are never simulated individually. Each primitive applies the
 vectorized cost formula of its CUDA counterpart (rounds of
 ``ceil(n / 32)`` lanes, coalesced vs. scattered transactions) and
 advances the warp's local clock, which drives the min-clock block
-scheduler.
+scheduler. Cycle totals divided by ``DeviceParams.clock_hz`` are the
+"model seconds" every benchmark reports.
+
+Contexts are pooled: a :class:`~repro.gpu.device.VirtualGPU` running
+the array-native fast path keeps one context per resident warp alive
+across launches and calls :meth:`WarpContext.reset` per block instead
+of reconstructing (the generator-oracle path builds fresh contexts, so
+``tests/test_gpu_pooling.py`` can assert reuse leaks no state). The
+op-by-op charging methods here are the scalar oracle of the cost
+model; :mod:`repro.gpu.trace` prices the same formulas in batched
+array form for non-interacting warp programs.
 """
 
 from __future__ import annotations
@@ -41,6 +51,32 @@ class WarpContext:
         self.stats = stats
         self.clock = 0.0  # local time (may jump forward when parked)
         self.busy_cycles = 0.0  # cycles actually spent working
+        #: engine scratch: busy cycles already folded into a launch-wide
+        #: budget (see WBM's ``check_budget``); lives here so pooled
+        #: contexts reset it with the rest of the warp state
+        self.env_busy_mark = 0.0
+        #: True while this warp's *next* resumption will mutate sibling-
+        #: observable shared state even though its DFS state reads as
+        #: inactive (a thief holding stolen work it has not yet started).
+        #: Idle-spin batch pricing must not skip past such a resumption.
+        self.resume_mutates_shared = False
+
+    def reset(self, stats: BlockStats) -> None:
+        """Re-arm this context for another block (pooled launches).
+
+        Everything a block run mutates is restored to construction
+        state: the clock, busy counters, the budget mark, and the stats
+        sink (a fresh :class:`BlockStats` per block — stats objects
+        escape into the launch result and are never pooled). The shared
+        and global memory handles are intentionally kept: shared memory
+        is cleared by the scheduler's own reset, global memory is
+        device-lifetime state.
+        """
+        self.stats = stats
+        self.clock = 0.0
+        self.busy_cycles = 0.0
+        self.env_busy_mark = 0.0
+        self.resume_mutates_shared = False
 
     # ------------------------------------------------------------------
     # raw charges

@@ -69,6 +69,10 @@ class BFSEngine:
         )
         self.plan = trivial_plan(query)
         self._csr: CSRGraph | None = None  # phase-local snapshot cache
+        #: pooled pricing context (vectorized path): one WarpContext and
+        #: its memories reused across phases, reset instead of rebuilt —
+        #: the BFS analogue of the launch pool in repro.gpu.device
+        self._phase_ctx: WarpContext | None = None
 
     # ------------------------------------------------------------------
     def process_batch(self, batch: UpdateBatch) -> BFSResult:
@@ -91,6 +95,35 @@ class BFSEngine:
         return result
 
     # ------------------------------------------------------------------
+    def _pricing_context(self) -> WarpContext:
+        """The warp context all of a phase's expansion costs accrue to.
+
+        Vectorized mode pools one context across phases (reset with a
+        fresh ``BlockStats``); scalar mode reconstructs it each phase,
+        as the original formulation did. Either way the phase starts
+        from a zero clock, so ``comp_cycles`` deltas are unaffected.
+        """
+        if not self.vectorized:
+            return WarpContext(
+                0,
+                self.params,
+                SharedMemory(self.params),
+                GlobalMemory(self.params),
+                BlockStats(n_warps=1),
+            )
+        if self._phase_ctx is None:
+            self._phase_ctx = WarpContext(
+                0,
+                self.params,
+                SharedMemory(self.params),
+                GlobalMemory(self.params),
+                BlockStats(n_warps=1),
+            )
+        else:
+            self._phase_ctx.shared.reset()
+            self._phase_ctx.reset(BlockStats(n_warps=1))
+        return self._phase_ctx
+
     def _expand_phase(
         self,
         edges: list[tuple[int, int, int]],
@@ -112,7 +145,7 @@ class BFSEngine:
             out,
             csr=self._csr,
         )
-        ctx = WarpContext(0, params, SharedMemory(params), GlobalMemory(params), BlockStats(n_warps=1))
+        ctx = self._pricing_context()
         mem = GlobalMemory(params)
 
         # level 0/1: seed partials from update-edge mappings

@@ -42,6 +42,7 @@ from repro.gpu.device import VirtualGPU
 from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
 from repro.gpu.scheduler import BlockScheduler
 from repro.gpu.stats import KernelStats
+from repro.gpu.trace import TraceBuilder, TraceCursor
 from repro.gpu.warp import WarpContext
 from repro.matching.coalesced import CoalescedGroup, CoalescedPlan, build_coalesced_plan, trivial_plan
 from repro.matching.intersect import gather_column, intersect_sorted, mask_members, positions_in
@@ -61,9 +62,10 @@ class WBMConfig:
     max_k: int = 2
     bits_per_label: int = 2
     #: CSR-backed array kernels for Gen-Candidates and the filtering
-    #: stack; False selects the original dict-walk scalar path, kept as
-    #: the correctness oracle (identical matches AND identical modeled
-    #: cycle accounting)
+    #: stack, plus the pooled array-native virtual-GPU launch path;
+    #: False selects the original dict-walk / per-block-construction
+    #: scalar path, kept as the correctness oracle (identical matches
+    #: AND identical modeled cycle accounting)
     vectorized: bool = True
     # engine-wide busy-cycle allowance per launch (the timeout analogue;
     # exceeded -> BudgetExceeded -> the query counts as unsolved)
@@ -251,9 +253,8 @@ class _Env:
     def check_budget(self, ctx: WarpContext) -> None:
         """Accumulate this warp's new busy cycles into the launch-wide
         total and abort once the work allowance (or wall guard) is hit."""
-        last = getattr(ctx, "_env_seen_busy", 0.0)
-        self.spent_cycles += ctx.busy_cycles - last
-        ctx._env_seen_busy = ctx.busy_cycles
+        self.spent_cycles += ctx.busy_cycles - ctx.env_busy_mark
+        ctx.env_busy_mark = ctx.busy_cycles
         budget = self.config.cycle_budget
         if budget is not None and self.spent_cycles > budget:
             self.out.aborted = True
@@ -480,6 +481,7 @@ def _ensure_state(ctx: WarpContext) -> dict:
 def _worker(ctx: WarpContext, env: _Env, items: list[dict]) -> Generator[None, None, None]:
     """Process work items (initial mappings, boundary partials, or
     stolen slices) until the local queue drains."""
+    ctx.resume_mutates_shared = False  # the mutation is happening now
     state = _ensure_state(ctx)
     state["queue"].extend(items)
     state["active"] = True
@@ -621,6 +623,15 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
     A warp that finds active siblings but nothing stealable *right now*
     spin-waits (idle cycles, not busy) and retries — persistent-warp
     style — instead of retiring while work remains.
+
+    On the pooled fast path the spin is priced in batch: sibling DFS
+    state can only change when a sibling resumes, and the scheduler
+    knows the clock of the next such event, so every re-scan strictly
+    before that horizon provably observes the same nothing-to-steal
+    state. Those cycles are charged in one O(1) step (attempts, scan
+    busy cycles, shared probes, idle time — the exact per-cycle sums)
+    instead of being replayed; the generator oracle keeps the scan-by-
+    scan loop, and the two stay byte-identical.
     """
 
     names = [_state_name(w) for w in range(sched.stats.n_warps)]
@@ -630,7 +641,8 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
         ctx._charge(ctx.params.steal_check_cycles)
         best_state: Optional[dict] = None
         best_est = 0
-        any_active = False
+        active_warps: list[int] = []
+        n_read = 0  # sibling states probed by this scan
         for w in range(sched.stats.n_warps):
             if w == ctx.warp_id:
                 continue
@@ -638,23 +650,47 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
             if name not in sched.shared:
                 continue
             st = ctx.shared_read(name)
+            n_read += 1
             if not st["active"]:
                 continue
-            any_active = True
+            active_warps.append(w)
             est = _estimate_remaining(st)
             if est > best_est:
                 best_est, best_state = est, st
         loot = _steal_from(best_state, env) if best_state is not None else None
         if loot is None:
-            if not any_active:
+            if not active_warps:
                 return None
+            batched = _batchable_polls(sched, ctx, names, active_warps, n_read)
 
-            def poll(c: WarpContext = ctx) -> Generator[None, None, None]:
+            def poll(
+                c: WarpContext = ctx, k: int = batched, m: int = n_read
+            ) -> Generator[None, None, None]:
+                if k:
+                    # k full (idle + rescan) cycles, summed exactly:
+                    # each was one completed poll task plus one scan
+                    stats = c.stats
+                    stats.steal_attempts += k
+                    stats.tasks_completed += k
+                    stats.shared_accesses += k * m
+                    c.shared.accesses += k * m
+                    c._charge(
+                        k
+                        * (
+                            c.params.steal_check_cycles
+                            + c.params.shared_access_cycles * m
+                        )
+                    )
+                    c.advance_idle(k * _POLL_CYCLES)
                 c.advance_idle(_POLL_CYCLES)
                 yield
 
             return poll()
         ctx.stats.steals += 1
+        # the thief's DFS state still reads inactive until its stolen
+        # generator first resumes; flag the pending mutation so sibling
+        # poll batching does not price past it
+        ctx.resume_mutates_shared = True
         if "items" in loot:
             return _worker(ctx, env, loot["items"])
         item = {
@@ -669,6 +705,64 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
         return _worker(ctx, env, [item])
 
     return handler
+
+
+def _batchable_polls(
+    sched: BlockScheduler,
+    ctx: WarpContext,
+    names: list[str],
+    active_warps: list[int],
+    n_read: int,
+) -> int:
+    """How many future (idle-spin + re-scan) cycles provably observe the
+    exact state this scan just saw — priced in one step on the pooled
+    fast path, replayed one by one under the generator oracle.
+
+    Sibling DFS state only mutates when a sibling warp resumes, so the
+    horizon is the earliest next resumption that can mutate: the
+    minimum clock over *active* siblings plus any inactive thief whose
+    stolen work is pending (``resume_mutates_shared``). Pure pollers
+    are ignorable — their no-loot scans observe without mutating. The
+    batch is abandoned (0) whenever an unaccounted actor exists: tasks
+    still queue in the block (a completion could spawn a fresh worker),
+    or a non-parked sibling has no DFS state yet (its first resumption
+    would create one).
+    """
+    if not sched.vectorized or sched.pending_tasks:
+        return 0
+    horizon = float("inf")
+    for w in range(sched.stats.n_warps):
+        if w == ctx.warp_id or w in sched._parked:
+            continue
+        c = sched.contexts[w]
+        if c.resume_mutates_shared:
+            # a thief with undelivered loot: its next resumption writes
+            # its DFS state, so the window may not extend past it
+            horizon = min(horizon, c.clock)
+            continue
+        if names[w] in sched.shared:
+            continue  # scanned: active -> horizon below, inactive -> poller
+        if w in sched.idle_sourced:
+            continue  # stateless poller: observes, never mutates
+        if type(sched.generators.get(w)) is TraceCursor:
+            continue  # trace task: pure pricing, touches no shared state
+        return 0  # un-started worker: next resumption allocates state
+    for w in active_warps:
+        c = sched.contexts[w]
+        if c.clock < horizon:
+            horizon = c.clock
+    if horizon == float("inf"):
+        return 0
+    scan_busy = (
+        ctx.params.steal_check_cycles + ctx.params.shared_access_cycles * n_read
+    )
+    period = _POLL_CYCLES + scan_busy
+    # re-scan i (i >= 1) starts at clock + i*poll + (i-1)*scan_busy;
+    # batch every one that starts strictly before the horizon
+    span = horizon - ctx.clock + scan_busy
+    if span <= period:
+        return 0
+    return int(-(-span // period)) - 1
 
 
 def _passive_donate(ctx: WarpContext, env: _Env, state: dict) -> None:
@@ -834,14 +928,21 @@ def _initial_items_bulk(
     return items_per_edge
 
 
+# an update edge that maps onto no work item still pays its probe: one
+# warp-wide compute round. In the serving workload the vast majority of
+# tasks are such probes, so they are expressed as ONE shared cost trace
+# — the pooled scheduler prices it from cached segment totals with no
+# generator object, and the oracle replays it op-by-op (same modeled
+# trace either way: a single-segment trace completes on its first
+# resumption, exactly like the yield-free generator it replaces).
+_NOOP_PROBE = TraceBuilder().charge_compute(1).build()
+
+
 def _make_task(env: _Env, items: list[dict]):
+    if not items:
+        return _NOOP_PROBE
+
     def task(ctx: WarpContext) -> Generator[None, None, None]:
-        if not items:
-            # charge the no-op probe and finish without a scheduler
-            # round-trip (no clock advance happens at a bare yield, so
-            # the modeled trace is identical)
-            ctx.charge_compute(1)
-            return
         yield from _worker(ctx, env, items)
 
     return task
@@ -881,6 +982,13 @@ def launch_kernel(
         if config.work_stealing == "active":
             return _active_idle_handler(sched, env)
         return None
+
+    # On an all-trace block (every update edge a no-op probe) no warp
+    # ever allocates DFS state, so the idle handler scans empty shared
+    # memory and the whole block run is a pure function of the device
+    # params, the task list, and the stealing mode — declare that so
+    # the launch path can memoize such blocks (env is never consulted).
+    block_hook.trace_pure = ("wbm", config.work_stealing)
 
     try:
         launch = gpu.launch(tasks, block_hook=block_hook)
@@ -925,7 +1033,9 @@ class QueryRuntime:
         self.params = params
         self.config = config
         self.name = name
-        self.gpu = VirtualGPU(params)
+        # the virtual GPU follows the query's vectorized flag: pooled
+        # array-native launch path, or per-block generator oracle
+        self.gpu = VirtualGPU(params, vectorized=config.vectorized)
         self.table = CandidateTable(
             query, store.graph, store.encodings, vectorized=config.vectorized
         )

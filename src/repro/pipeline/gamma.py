@@ -9,6 +9,11 @@ update, the WBM computational kernel, and postprocessing, and prices
 every stage so the asynchronous pipeline model can overlap them. This
 is the class a downstream user instantiates for one query; concurrent
 queries over one graph go through ``MatchingService`` directly.
+
+Kernel stages launch on the pooled array-native virtual-GPU path
+(``WBMConfig.vectorized``, the default) or its generator oracle; the
+stage model-seconds reported here are byte-derived from identical
+``KernelStats`` either way, so the flag never moves a figure.
 """
 
 from __future__ import annotations

@@ -15,6 +15,12 @@ per-query results plus a stage-priced view: the shared ``preprocess``
 contributes its own ``kernel:<name>`` GPU stage, which is exactly what
 :class:`~repro.pipeline.async_exec.PipelineModel` schedules to model
 multi-query overlap on the virtual GPU.
+
+Each runtime's kernels launch on the pooled array-native virtual-GPU
+path when its ``WBMConfig.vectorized`` flag is set (the default) and
+on the per-block generator oracle otherwise; either way the modeled
+stage seconds are identical — :meth:`MatchingService.launch_wall_seconds`
+exposes the *host-side* simulator cost the pooled path removes.
 """
 
 from __future__ import annotations
@@ -199,6 +205,14 @@ class MatchingService:
         """Current match set of one registered query (bootstrap state
         plus every observed birth/death)."""
         return self.runtime(name).current_matches()
+
+    def launch_wall_seconds(self) -> float:
+        """Host wall-clock spent inside the virtual-GPU launch machinery
+        across every registered query's device (simulator overhead
+        instrumentation — *not* model seconds). This is the quantity
+        the pooled array-native launch path shrinks; model-second stage
+        pricing is identical on both paths."""
+        return sum(rt.gpu.launch_wall_seconds for rt in self._runtimes.values())
 
     # ------------------------------------------------------------------
     # batch processing

@@ -103,7 +103,9 @@ class DynamicGraphStore:
         # kernels will; scalar mode (the oracle) walks the dicts
         csr = self.csr_snapshot() if vectorized else None
         self.encodings = EncodingTable(schema, self.graph, csr, vectorized=vectorized)
-        self.gpu = VirtualGPU(params)  # prices the (single) shared upload
+        # prices the (single) shared upload; follows the store's flag so
+        # the scalar-oracle store exercises the generator launch path too
+        self.gpu = VirtualGPU(params, vectorized=vectorized)
 
     # ------------------------------------------------------------------
     @property

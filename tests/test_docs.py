@@ -1,0 +1,39 @@
+"""Docs smoke: runnable fenced examples + unbroken intra-repo links.
+
+Runs the same checks CI's docs-smoke step runs (``tools/check_docs.py``)
+so a broken README/ARCHITECTURE example or a dangling link fails
+tier-1 locally, not just in CI.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_docs  # noqa: E402
+
+DOCS = [REPO / f for f in check_docs.DEFAULT_FILES]
+
+
+@pytest.mark.parametrize("md", DOCS, ids=[f.name for f in DOCS])
+def test_doc_exists(md):
+    assert md.exists(), f"{md} is referenced by the docs smoke but missing"
+
+
+@pytest.mark.parametrize("md", DOCS, ids=[f.name for f in DOCS])
+def test_intra_repo_links_resolve(md):
+    assert check_docs.check_links(md) == []
+
+
+@pytest.mark.parametrize("md", DOCS, ids=[f.name for f in DOCS])
+def test_python_examples_run(md):
+    assert check_docs.check_examples(md) == []
+
+
+def test_readme_links_new_docs():
+    text = (REPO / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in text
+    assert "benchmarks/README.md" in text

@@ -49,6 +49,7 @@ def test_gpu_tour():
     assert "coalesced" in out
     assert "with stealing" in out
     assert "plain GPMA" in out
+    assert "KernelStats byte-identical: True" in out
 
 
 @pytest.mark.parametrize(

@@ -1,0 +1,363 @@
+"""Pooled / array-native launch path vs the generator oracle.
+
+The launch rewrite (pooled ``BlockScheduler``/``WarpContext`` reuse,
+``CostTrace`` segment pricing, all-trace block memoization, and the
+WBM idle-spin batch pricing) must be invisible in the modeled results:
+``KernelStats`` / ``BlockStats`` byte-identical to the per-block
+generator-oracle formulation, across randomized mixed schedules,
+steal-heavy workloads, and pool reuse over many launches.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.graph.generators import attach_labels, power_law_graph
+from repro.graph.updates import make_batch
+from repro.gpu import (
+    BlockScheduler,
+    CostTrace,
+    DeviceParams,
+    TraceBuilder,
+    VirtualGPU,
+)
+from repro.matching import WBMConfig
+from repro.service import MatchingService
+
+PARAMS = DeviceParams(num_sms=2, warps_per_block=4)
+
+
+def stats_dict(kernel_stats):
+    return dataclasses.asdict(kernel_stats)
+
+
+# ---------------------------------------------------------------------------
+# synthetic task material (regenerated identically per arm)
+# ---------------------------------------------------------------------------
+def random_script(rng: random.Random) -> list[tuple[str, int]]:
+    """A warp program as a list of (op, amount) with yield marks."""
+    ops = []
+    for _ in range(rng.randint(1, 12)):
+        kind = rng.choice(
+            ["compute", "lanes", "coalesced", "scattered", "idle", "yield"]
+        )
+        ops.append((kind, rng.randint(0, 200)))
+    return ops
+
+
+def script_trace(script) -> CostTrace:
+    b = TraceBuilder()
+    for kind, amount in script:
+        if kind == "yield":
+            b.yield_()
+        elif kind == "compute":
+            b.charge_compute(amount)
+        elif kind == "lanes":
+            b.charge_lanes(amount)
+        elif kind == "coalesced":
+            b.read_global_consecutive(amount)
+        elif kind == "scattered":
+            b.read_global_scattered(amount)
+        else:
+            b.advance_idle(amount)
+    return b.build()
+
+
+def script_generator_task(script):
+    """The handwritten-generator equivalent of ``script_trace``."""
+
+    def task(ctx):
+        for kind, amount in script:
+            if kind == "yield":
+                yield
+            elif kind == "compute":
+                ctx.charge_compute(amount)
+            elif kind == "lanes":
+                ctx.charge_lanes(amount)
+            elif kind == "coalesced":
+                ctx.read_global_consecutive(amount)
+            elif kind == "scattered":
+                ctx.read_global_scattered(amount)
+            else:
+                ctx.advance_idle(float(amount))
+
+    return task
+
+
+def random_tasks(seed: int, n: int, as_trace_prob: float = 0.5):
+    """A mixed task list; traces and generators drawn from one stream."""
+    rng = random.Random(seed)
+    tasks = []
+    for _ in range(n):
+        script = random_script(rng)
+        if rng.random() < as_trace_prob:
+            tasks.append(script_trace(script))
+        else:
+            tasks.append(script_generator_task(script))
+    return tasks
+
+
+# ---------------------------------------------------------------------------
+# trace pricing vs op-by-op replay
+# ---------------------------------------------------------------------------
+class TestTracePricing:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_segment_pricing_matches_replay(self, seed):
+        rng = random.Random(seed)
+        script = random_script(rng)
+        trace = script_trace(script)
+        runs = {}
+        for vec in (False, True):
+            sched = BlockScheduler(PARAMS, [trace], vectorized=vec)
+            runs[vec] = dataclasses.asdict(sched.run())
+        assert runs[True] == runs[False]
+
+    def test_empty_and_trailing_yield_segments(self):
+        trace = (
+            TraceBuilder()
+            .yield_()
+            .charge_compute(3)
+            .yield_()
+            .yield_()
+            .read_global_scattered(5)
+            .yield_()
+            .build()
+        )
+        assert trace.n_segments == 5
+        runs = {}
+        for vec in (False, True):
+            sched = BlockScheduler(PARAMS, [trace], vectorized=vec)
+            runs[vec] = dataclasses.asdict(sched.run())
+        assert runs[True] == runs[False]
+        assert runs[True]["scattered_transactions"] == 5
+
+    def test_priced_cache_is_per_params(self):
+        trace = TraceBuilder().charge_lanes(100).build()
+        p_a = DeviceParams(warp_size=32)
+        p_b = DeviceParams(warp_size=16)
+        assert trace.priced(p_a) is trace.priced(p_a)
+        assert trace.priced(p_a).busy != trace.priced(p_b).busy
+
+
+# ---------------------------------------------------------------------------
+# randomized launches, mixed task forms, pool reuse
+# ---------------------------------------------------------------------------
+class TestLaunchEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pooled_matches_oracle_across_launches(self, seed):
+        """Same task stream through one pooled device and one oracle
+        device: every launch's stats identical, even though the pooled
+        device reuses its scheduler/contexts across launches."""
+        pooled = VirtualGPU(PARAMS, vectorized=True)
+        oracle = VirtualGPU(PARAMS, vectorized=False)
+        for launch_no in range(4):
+            n = 3 + (seed + launch_no) % 7
+            a = pooled.launch(random_tasks(seed * 31 + launch_no, n))
+            b = oracle.launch(random_tasks(seed * 31 + launch_no, n))
+            assert stats_dict(a.stats) == stats_dict(b.stats)
+        assert pooled.blocks_pooled > 0
+
+    def test_pool_reuse_leaks_no_state(self):
+        """A polluted pool (previous launches with stealing and shared
+        state) must price a later launch exactly like a fresh device."""
+
+        def steal_hook(sched):
+            def idle_handler(ctx):
+                ctx.stats.steal_attempts += 1
+                return None
+
+            return idle_handler
+
+        pooled = VirtualGPU(PARAMS, vectorized=True)
+        for i in range(3):  # pollute the pool
+            pooled.launch(random_tasks(900 + i, 9), block_hook=steal_hook)
+        fresh = VirtualGPU(PARAMS, vectorized=True)
+        a = pooled.launch(random_tasks(77, 10))
+        b = fresh.launch(random_tasks(77, 10))
+        assert stats_dict(a.stats) == stats_dict(b.stats)
+
+    def test_memoized_all_trace_blocks(self):
+        """All-trace blocks replay from the cache with identical stats."""
+        trace = TraceBuilder().charge_compute(1).build()
+
+        def hook(sched):
+            return None
+
+        hook.trace_pure = ("test", "none")
+        pooled = VirtualGPU(PARAMS, vectorized=True)
+        oracle = VirtualGPU(PARAMS, vectorized=False)
+        a = pooled.launch([trace] * 16, block_hook=hook)
+        b = oracle.launch([trace] * 16, block_hook=hook)
+        assert stats_dict(a.stats) == stats_dict(b.stats)
+        assert pooled.blocks_memoized == 3  # first of 4 identical blocks runs
+        c = pooled.launch([trace] * 16, block_hook=hook)
+        assert pooled.blocks_memoized == 7  # later launches hit the cache too
+        assert stats_dict(c.stats) == stats_dict(a.stats)
+
+    def test_undeclared_hook_disables_memoization(self):
+        trace = TraceBuilder().charge_compute(1).build()
+
+        def hook(sched):
+            return None
+
+        pooled = VirtualGPU(PARAMS, vectorized=True)
+        pooled.launch([trace] * 16, block_hook=hook)
+        assert pooled.blocks_memoized == 0
+
+    def test_passive_push_schedule_equivalence(self):
+        """Mailbox pushes (genuinely divergent) run on the generator
+        path in both arms and stay identical."""
+
+        def build_tasks():
+            def short(ctx):
+                ctx.charge_compute(1)
+                yield
+
+            def donor_gen(ctx):
+                ctx.charge_compute(7)
+                yield
+
+            holder = {}
+
+            def hook(sched):
+                holder["sched"] = sched
+                return None
+
+            def long_task(ctx):
+                ctx.charge_compute(50)
+                yield
+                sched = holder["sched"]
+                parked = sched.parked_warps() - {ctx.warp_id}
+                if parked:
+                    target = min(parked)
+                    sched.push_work(
+                        target, donor_gen(sched.contexts[target]), ctx.clock
+                    )
+                ctx.charge_compute(50)
+                yield
+
+            trace = TraceBuilder().charge_compute(2).build()
+            return [short, long_task, trace, trace], hook
+
+        runs = {}
+        for vec in (False, True):
+            tasks, hook = build_tasks()
+            gpu = VirtualGPU(PARAMS, vectorized=vec)
+            runs[vec] = stats_dict(gpu.launch(tasks, block_hook=hook).stats)
+        assert runs[True] == runs[False]
+        assert runs[True]["blocks"][0]["tasks_completed"] >= 5  # donated gen ran
+
+
+# ---------------------------------------------------------------------------
+# end-to-end WBM lockstep over mixed update streams
+# ---------------------------------------------------------------------------
+def random_graph(seed, n=36, n_labels=2):
+    return attach_labels(power_law_graph(n, 3.0, seed=seed), n_labels, 1, seed=seed + 1)
+
+
+def random_batch(g, rng, k=10):
+    edges = list(g.edges())
+    rng.shuffle(edges)
+    non = [
+        (u, v)
+        for u in range(g.n_vertices)
+        for v in range(u + 1, g.n_vertices)
+        if not g.has_edge(u, v)
+    ]
+    rng.shuffle(non)
+    ops = [("+", u, v, 0) for u, v in non[: k // 2]] + [
+        ("-", u, v) for u, v in edges[: k // 2]
+    ]
+    return make_batch(ops)
+
+
+QUERY = {  # a labeled path-with-chord: matches on most random graphs
+    "labels": [0, 1, 0, 1],
+    "edges": [(0, 1), (1, 2), (2, 3), (0, 2)],
+}
+
+
+class TestWbmLockstep:
+    @pytest.mark.parametrize("stealing", ["active", "passive", "off"])
+    @pytest.mark.parametrize("seed", [3, 9])
+    def test_service_stream_lockstep(self, stealing, seed):
+        """Pooled vs oracle launch path under the full serving loop:
+        byte-identical kernel stats and identical match deltas on a
+        mixed insert/delete stream."""
+        from repro.graph.labeled_graph import LabeledGraph
+
+        g0 = random_graph(seed)
+        query = LabeledGraph.from_edges(QUERY["labels"], QUERY["edges"])
+        rng = random.Random(seed + 1)
+        batches = []
+        g = g0.copy()
+        for _ in range(3):
+            batch = random_batch(g, rng)
+            batches.append(batch)
+            from repro.graph.updates import apply_batch
+
+            apply_batch(g, batch)
+
+        results = {}
+        for vec_launch in (False, True):
+            svc = MatchingService(g0, params=PARAMS)
+            cfg = WBMConfig(work_stealing=stealing)
+            svc.register_query(query, cfg, name="q", bootstrap=False)
+            if not vec_launch:
+                svc.runtime("q").gpu = VirtualGPU(PARAMS, vectorized=False)
+            stream = []
+            for batch in batches:
+                rep = svc.process_batch(batch)
+                qr = rep.queries["q"]
+                stream.append(
+                    (
+                        sorted(qr.result.positives),
+                        sorted(qr.result.negatives),
+                        stats_dict(qr.result.kernel_stats),
+                    )
+                )
+            results[vec_launch] = stream
+        assert results[True] == results[False]
+
+    def test_steal_heavy_schedule_lockstep(self):
+        """A dense unlabeled query on a small dense graph forces real
+        DFS work plus actual steals; both paths must still agree."""
+        from repro.graph.labeled_graph import LabeledGraph
+
+        g0 = power_law_graph(30, 1.8, seed=2)
+        query = LabeledGraph.from_edges(
+            [0, 0, 0, 0], [(0, 1), (1, 2), (2, 3), (0, 2), (0, 3)]
+        )
+        rng = random.Random(7)
+        non = [
+            (u, v)
+            for u in range(g0.n_vertices)
+            for v in range(u + 1, g0.n_vertices)
+            if not g0.has_edge(u, v)
+        ]
+        rng.shuffle(non)
+        batch = make_batch([("+", u, v, 0) for u, v in non[:24]])
+
+        results = {}
+        for vec_launch in (False, True):
+            svc = MatchingService(g0, params=PARAMS)
+            svc.register_query(
+                query, WBMConfig(work_stealing="active"), name="q", bootstrap=False
+            )
+            if not vec_launch:
+                svc.runtime("q").gpu = VirtualGPU(PARAMS, vectorized=False)
+            rep = svc.process_batch(batch)
+            qr = rep.queries["q"]
+            results[vec_launch] = (
+                sorted(qr.result.positives),
+                sorted(qr.result.negatives),
+                stats_dict(qr.result.kernel_stats),
+            )
+        assert results[True] == results[False]
+        assert results[True][2]["blocks"], "expected at least one block"
+        steals = sum(b["steals"] for b in results[True][2]["blocks"])
+        attempts = sum(b["steal_attempts"] for b in results[True][2]["blocks"])
+        assert attempts > 0
+        # the schedule must actually exercise stealing to be a guard
+        assert steals > 0

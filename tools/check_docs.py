@@ -1,0 +1,117 @@
+"""Docs smoke checker: runnable examples + unbroken intra-repo links.
+
+Two guarantees, enforced in CI (and in tier-1 via ``tests/test_docs.py``)
+so the documentation cannot rot silently:
+
+* every fenced ``python`` code block in the checked Markdown files
+  executes without raising — blocks in one file share a namespace, in
+  order, like a doctest session (``python -m doctest`` wants ``>>>``
+  prompts; fenced blocks are what our docs actually use);
+* every relative Markdown link ``[text](path)`` resolves to an
+  existing file or directory (http(s)/mailto/anchor links are skipped).
+
+Usage::
+
+    python tools/check_docs.py [file.md ...]   # default: README.md,
+                                               # docs/ARCHITECTURE.md,
+                                               # benchmarks/README.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_FILES = ["README.md", "docs/ARCHITECTURE.md", "benchmarks/README.md"]
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+# [text](target) — excluding images' alt text is irrelevant, images count too
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def python_blocks(text: str) -> list[tuple[int, str]]:
+    """(start_line, source) for every fenced ``python`` block."""
+    blocks = []
+    lines = text.splitlines()
+    in_block = False
+    lang = ""
+    start = 0
+    buf: list[str] = []
+    for i, line in enumerate(lines, 1):
+        m = FENCE_RE.match(line.strip())
+        if m and not in_block:
+            in_block, lang, start, buf = True, m.group(1).lower(), i + 1, []
+        elif line.strip() == "```" and in_block:
+            if lang == "python":
+                blocks.append((start, "\n".join(buf)))
+            in_block = False
+        elif in_block:
+            buf.append(line)
+    return blocks
+
+
+def check_examples(md_path: Path) -> list[str]:
+    """Execute the file's python blocks in one shared namespace."""
+    errors = []
+    src = str(REPO / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    namespace: dict = {"__name__": f"docs_example:{md_path.name}"}
+    for start, code in python_blocks(md_path.read_text()):
+        try:
+            exec(compile(code, f"{md_path}:{start}", "exec"), namespace)
+        except Exception:
+            tb = traceback.format_exc(limit=2)
+            errors.append(f"{md_path}:{start}: example block raised\n{tb}")
+    return errors
+
+
+def check_links(md_path: Path) -> list[str]:
+    """Every relative link must resolve from the file's directory.
+
+    Fenced code blocks are skipped (link-shaped text in examples is
+    not a document link); absolute paths resolve from the repo root.
+    """
+    errors = []
+    in_fence = False
+    for i, line in enumerate(md_path.read_text().splitlines(), 1):
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            base = REPO if path.startswith("/") else md_path.parent
+            resolved = (base / path.lstrip("/")).resolve()
+            if not resolved.exists():
+                errors.append(f"{md_path}:{i}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv] if argv else [REPO / f for f in DEFAULT_FILES]
+    errors: list[str] = []
+    for f in files:
+        if not f.exists():
+            errors.append(f"{f}: file does not exist")
+            continue
+        errors += check_links(f)
+        errors += check_examples(f)
+        print(f"checked {f}")
+    for e in errors:
+        print(f"FAIL: {e}", file=sys.stderr)
+    print(f"{len(files)} file(s), {len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
