@@ -47,6 +47,13 @@ class MatchingError(ReproError):
     """Matching engine misuse (query/data mismatch, bad matching order)."""
 
 
+class ConfigMismatchError(MatchingError):
+    """A per-query :class:`~repro.matching.wbm.WBMConfig` disagrees with
+    the execution flags of the shared store it is layered on (e.g. a
+    vectorized query runtime over a scalar-oracle store). Raised at
+    construction so the mismatch cannot silently downgrade mid-run."""
+
+
 class BudgetExceeded(ReproError):
     """An engine exceeded its operation budget (the reproduction's
     analogue of the paper's 30-minute timeout). The harness marks the

@@ -20,9 +20,9 @@ byte-identical between the two — see ``docs/ARCHITECTURE.md``.
 
 from repro.gpu.params import DeviceParams
 from repro.gpu.stats import KernelStats, BlockStats
-from repro.gpu.memory import GlobalMemory, SharedMemory, HostDeviceLink
-from repro.gpu.warp import WarpContext
-from repro.gpu.trace import CostTrace, TraceBuilder
+from repro.gpu.memory import GlobalMemory, SharedMemory, HostDeviceLink, Int64Arena
+from repro.gpu.warp import LevelCursor, WarpContext
+from repro.gpu.trace import CostTrace, SegmentCosts, TraceBuilder
 from repro.gpu.scheduler import BlockScheduler, WarpTask
 from repro.gpu.device import VirtualGPU, LaunchResult
 from repro.gpu.cooperative_groups import tiled_partition, ThreadGroup
@@ -34,8 +34,11 @@ __all__ = [
     "GlobalMemory",
     "SharedMemory",
     "HostDeviceLink",
+    "Int64Arena",
+    "LevelCursor",
     "WarpContext",
     "CostTrace",
+    "SegmentCosts",
     "TraceBuilder",
     "BlockScheduler",
     "WarpTask",

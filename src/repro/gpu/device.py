@@ -94,6 +94,7 @@ class VirtualGPU:
         self.blocks_run = 0  # blocks actually scheduled (memoized replays excluded)
         self.blocks_pooled = 0  # blocks served by reset() instead of __init__
         self.blocks_memoized = 0  # all-trace blocks replayed from the cache
+        self.level_steps = 0  # DFS level-cursor resumptions across launches
         self.launch_wall_seconds = 0.0  # wall time inside launch() (not model time)
 
     def reset_memory(self) -> None:
@@ -210,7 +211,12 @@ class VirtualGPU:
                 if block_hook is not None:
                     sched.idle_handler = block_hook(sched)
                 self.blocks_run += 1
-                block_stats = sched.run()
+                try:
+                    block_stats = sched.run()
+                finally:
+                    # accumulated even when an engine budget aborts the
+                    # block mid-run (mirrors launch_wall_seconds)
+                    self.level_steps += sched.level_steps
                 if cache_key is not None:
                     if len(self._block_cache) >= self._block_cache_cap:
                         # evict oldest (insertion-ordered dict): keeps

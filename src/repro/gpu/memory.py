@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
+
 from repro.errors import DeviceMemoryError, SharedMemoryError
 from repro.gpu.params import DeviceParams
 
@@ -125,6 +127,52 @@ class SharedMemory:
 
     def __contains__(self, name: str) -> bool:
         return name in self._store
+
+
+class Int64Arena:
+    """Growable flat ``int64`` scratch buffer with stack discipline.
+
+    Models the fixed shared-memory region a CUDA kernel would carve its
+    per-warp DFS stacks out of: the level-stepped WBM workers push each
+    frame's candidate run contiguously (``push`` returns the run's
+    ``[start, end)`` bounds), read it back as a zero-copy ``view``, and
+    reclaim on frame pop by truncating to the popped frame's start.
+    An active thief shortens a victim frame in place by lowering the
+    frame's recorded ``end`` and copying the stolen tail out. Note that
+    a ``push`` may grow (reallocate) the buffer, invalidating earlier
+    views — consume a view before the next push, or copy it (as the
+    thieves do).
+    """
+
+    __slots__ = ("buf", "top")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.buf = np.empty(max(capacity, 1), dtype=np.int64)
+        self.top = 0
+
+    def push(self, values) -> tuple[int, int]:
+        """Append ``values``; return the ``(start, end)`` bounds."""
+        n = len(values)
+        start = self.top
+        need = start + n
+        if need > len(self.buf):
+            cap = len(self.buf)
+            while cap < need:
+                cap *= 2
+            grown = np.empty(cap, dtype=np.int64)
+            grown[:start] = self.buf[:start]
+            self.buf = grown
+        self.buf[start:need] = values
+        self.top = need
+        return start, need
+
+    def view(self, start: int, end: int) -> np.ndarray:
+        """Zero-copy window into the buffer (do not mutate)."""
+        return self.buf[start:end]
+
+    def truncate(self, top: int) -> None:
+        """Pop everything at or above ``top`` (LIFO reclamation)."""
+        self.top = top
 
 
 class HostDeviceLink:

@@ -50,11 +50,15 @@ from repro.gpu.memory import GlobalMemory, SharedMemory
 from repro.gpu.params import DeviceParams
 from repro.gpu.stats import BlockStats
 from repro.gpu.trace import CostTrace, TraceCursor
-from repro.gpu.warp import WarpContext
+from repro.gpu.warp import LevelCursor, WarpContext
 
-#: a warp task: a generator function over a context, or an array-form
-#: cost trace (reusable across warps and launches)
-WarpTask = Union[Callable[[WarpContext], Generator[None, None, None]], CostTrace]
+#: a warp task: a generator function over a context, an array-form cost
+#: trace (reusable across warps and launches), or a callable returning a
+#: :class:`LevelCursor` (the level-stepped array-native task form)
+WarpTask = Union[
+    Callable[[WarpContext], Union[Generator[None, None, None], LevelCursor]],
+    CostTrace,
+]
 IdleHandler = Callable[[WarpContext], Optional[Generator[None, None, None]]]
 
 
@@ -128,6 +132,7 @@ class BlockScheduler:
         #: (pollers / thieves) rather than a queued task — kernels use
         #: this to prove an idle-spin pricing window is interaction-free
         self.idle_sourced: set[int] = set()
+        self.level_steps = 0  # DFS level-cursor resumptions (set by run)
         #: True while any mailbox may hold deliverable work: set by
         #: push_work, cleared by a drain that empties every mailbox —
         #: the run loop skips the drain entirely between pushes
@@ -158,6 +163,9 @@ class BlockScheduler:
         A generator function becomes a generator; a :class:`CostTrace`
         becomes a :class:`TraceCursor` on the fast path or its
         op-by-op :meth:`~CostTrace.replay` generator under the oracle.
+        A callable may also return a :class:`LevelCursor` directly (the
+        WBM kernel's level-stepped DFS workers) — the run loop steps it
+        like a generator, one resumption per scheduling turn.
         """
         if isinstance(task, CostTrace):
             if self.vectorized:
@@ -176,6 +184,9 @@ class BlockScheduler:
         # exposed for idle-handler batch-pricing queries (valid mid-run)
         self.pending_tasks = pending
         self.generators = generators
+        #: host-side introspection: level-cursor resumptions this run
+        #: (DFS level steps; trace segments are counted separately)
+        self.level_steps = 0
 
         for w in range(n_warps):
             ctx = self.contexts[w]
@@ -195,9 +206,12 @@ class BlockScheduler:
                 heapq.heappush(heap, (ctx.clock, w))
                 continue
             gen = generators[w]
-            if type(gen) is TraceCursor:
-                # priced segment: same clock advance and completion
-                # timing as the equivalent generator resumption
+            if isinstance(gen, LevelCursor):
+                # one priced trace segment or one DFS level step: same
+                # clock advance and completion timing as the equivalent
+                # generator resumption
+                if type(gen) is not TraceCursor:
+                    self.level_steps += 1
                 if gen.step(ctx):
                     self.stats.tasks_completed += 1
                     self._dispatch_next(w, generators, heap, pending, finish_clock)

@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.errors import GpuError
 from repro.gpu.params import DeviceParams
-from repro.gpu.warp import WarpContext
+from repro.gpu.warp import LevelCursor, WarpContext
 
 #: op kinds of the flat trace arrays (``amount`` semantics per kind)
 OP_COMPUTE = 0  # amount = warp-wide ALU rounds
@@ -102,8 +102,16 @@ class TraceBuilder:
         )
 
 
-class _PricedTrace:
-    """Per-segment totals of one trace under one parameter set.
+class SegmentCosts:
+    """Per-segment totals of a warp program under one parameter set.
+
+    One segment is everything between two scheduler boundaries. The
+    totals come either from a recorded :class:`CostTrace` (via
+    :meth:`CostTrace.priced`) or straight from per-op arrays that a
+    kernel built itself — the level-stepped WBM DFS prices one
+    Gen-Candidates segment per child frame of a DFS level this way, so
+    replayed per-level work is a handful of scalar adds instead of
+    re-stepped charging calls.
 
     Stored as plain Python lists (one scalar read per replayed segment
     beats ``ndarray`` item extraction in the scheduler's hot loop).
@@ -119,8 +127,17 @@ class _PricedTrace:
         "scattered",
     )
 
-    def __init__(self, trace: "CostTrace", params: DeviceParams) -> None:
-        kinds, amounts = trace.kinds, trace.amounts
+    @classmethod
+    def from_ops(
+        cls,
+        kinds: np.ndarray,
+        amounts: np.ndarray,
+        bounds: np.ndarray,
+        params: DeviceParams,
+    ) -> "SegmentCosts":
+        """Price flat ``(kind, amount)`` op arrays into per-segment
+        totals; ``bounds`` are the op indices where segments split."""
+        self = cls()
         warp = params.warp_size
         # per-op integer cycle/transaction costs, mirroring WarpContext
         rounds = np.where(
@@ -138,9 +155,9 @@ class _PricedTrace:
 
         # segment reduction: cumsum differences at the yield boundaries
         # (robust to empty segments, exact in int64)
-        starts = np.empty(len(trace.bounds) + 2, dtype=np.int64)
+        starts = np.empty(len(bounds) + 2, dtype=np.int64)
         starts[0] = 0
-        starts[1:-1] = trace.bounds
+        starts[1:-1] = bounds
         starts[-1] = len(kinds)
 
         def seg(per_op: np.ndarray) -> list[int]:
@@ -155,33 +172,62 @@ class _PricedTrace:
         self.coalesced = seg(coal_tx)
         self.scattered = seg(scat_tx)
         self.transactions = seg(coal_tx + scat_tx)
+        return self
+
+    @classmethod
+    def from_totals(
+        cls,
+        clock: list,
+        busy: list,
+        compute: list,
+        transactions: list,
+        coalesced: list,
+        scattered: list,
+    ) -> "SegmentCosts":
+        """Wrap per-segment totals a caller computed itself (integer
+        cycles; must follow the same pricing rules as :meth:`from_ops`
+        — small-segment producers use this to skip the array round
+        trip)."""
+        self = cls()
+        self.n_segments = len(clock)
+        self.clock = clock
+        self.busy = busy
+        self.compute = compute
+        self.transactions = transactions
+        self.coalesced = coalesced
+        self.scattered = scattered
+        return self
+
+    def apply(self, ctx: WarpContext, s: int) -> None:
+        """Advance ``ctx`` by segment ``s``: the warp's clock, busy
+        cycles and block counters move by the segment totals, which
+        equal the op-by-op charging sums exactly (integer cycles)."""
+        ctx.clock += self.clock[s]
+        ctx.busy_cycles += self.busy[s]
+        stats = ctx.stats
+        stats.compute_cycles += self.compute[s]
+        stats.global_transactions += self.transactions[s]
+        stats.coalesced_transactions += self.coalesced[s]
+        stats.scattered_transactions += self.scattered[s]
 
 
-class TraceCursor:
+class TraceCursor(LevelCursor):
     """Replay state of one trace task on one warp (fast path only)."""
 
     __slots__ = ("priced", "segment")
 
-    def __init__(self, priced: _PricedTrace) -> None:
+    def __init__(self, priced: SegmentCosts) -> None:
         self.priced = priced
         self.segment = 0
 
     def step(self, ctx: WarpContext) -> bool:
         """Apply the next segment to ``ctx``; True when the task is done.
 
-        Equivalent to one generator resumption: the warp's clock, busy
-        cycles and block counters advance by the segment totals, which
-        equal the op-by-op sums exactly (integer cycle model).
+        Equivalent to one generator resumption (see
+        :meth:`SegmentCosts.apply`).
         """
         p, s = self.priced, self.segment
-        busy = p.busy[s]
-        ctx.clock += p.clock[s]
-        ctx.busy_cycles += busy
-        stats = ctx.stats
-        stats.compute_cycles += p.compute[s]
-        stats.global_transactions += p.transactions[s]
-        stats.coalesced_transactions += p.coalesced[s]
-        stats.scattered_transactions += p.scattered[s]
+        p.apply(ctx, s)
         self.segment = s + 1
         return self.segment >= p.n_segments
 
@@ -214,17 +260,19 @@ class CostTrace:
         self.kinds = kinds
         self.amounts = amounts
         self.bounds = bounds
-        self._priced: dict[DeviceParams, _PricedTrace] = {}
+        self._priced: dict[DeviceParams, SegmentCosts] = {}
 
     @property
     def n_segments(self) -> int:
         return len(self.bounds) + 1
 
-    def priced(self, params: DeviceParams) -> _PricedTrace:
+    def priced(self, params: DeviceParams) -> SegmentCosts:
         """Per-segment totals under ``params`` (cached per parameter set)."""
         entry = self._priced.get(params)
         if entry is None:
-            entry = self._priced[params] = _PricedTrace(self, params)
+            entry = self._priced[params] = SegmentCosts.from_ops(
+                self.kinds, self.amounts, self.bounds, params
+            )
         return entry
 
     def cursor(self, params: DeviceParams) -> TraceCursor:

@@ -33,6 +33,32 @@ def _log2_ceil(n: int) -> int:
     return max(1, ceil(log2(n))) if n > 1 else 1
 
 
+class LevelCursor:
+    """Array-native resumable warp task: the non-generator task form.
+
+    A ``LevelCursor`` plays the role of a generator in the block
+    scheduler — one :meth:`step` call is one resumption, the return
+    value says whether the task completed — but its resumption state is
+    a plain object over flat arrays instead of a suspended Python
+    frame, so the scheduler's hot loop pays no generator machinery.
+
+    Two cursors exist today: :class:`~repro.gpu.trace.TraceCursor`
+    (pre-priced non-interacting programs) and the WBM kernel's
+    level-stepped DFS worker, whose step executes one DFS *level*
+    (candidate attach + pops/emits/boundary bookkeeping up to the next
+    candidate-generation boundary). A cursor must perform exactly the
+    charges and shared-memory mutations its generator-oracle
+    counterpart performs per resumption — the byte-identical
+    ``BlockStats`` contract extends to it unchanged.
+    """
+
+    __slots__ = ()
+
+    def step(self, ctx: "WarpContext") -> bool:
+        """Advance by one resumption; return True when the task is done."""
+        raise NotImplementedError
+
+
 class WarpContext:
     """Handle through which a warp task performs work and pays cycles."""
 

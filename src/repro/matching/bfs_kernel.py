@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.filtering import CandidateTable, EncodingSchema, EncodingTable
 from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import LabeledGraph, canonical
@@ -24,7 +26,14 @@ from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
 from repro.gpu.stats import BlockStats
 from repro.gpu.warp import WarpContext
 from repro.matching.coalesced import trivial_plan
-from repro.matching.wbm import Match, WBMConfig, _Env, _gen_candidates, KernelOutput
+from repro.matching.wbm import (
+    KernelOutput,
+    Match,
+    WBMConfig,
+    _Env,
+    _gen_candidates,
+    _level_children,
+)
 
 
 @dataclass
@@ -164,8 +173,24 @@ class BFSEngine:
                 if not (self.table.is_candidate(a, x) and self.table.is_candidate(b, y)):
                     continue
                 frontier.append((group, {a: x, b: y}, rank))
-        self._account_frontier(mem, frontier, phase, 1, result)
+        words = sum(len(assign) for _, assign, _ in frontier)
+        self._account_frontier(mem, words, phase, 1, result)
 
+        if self.vectorized:
+            matches = self._expand_levels(frontier, env, ctx, mem, phase, result)
+        else:
+            matches = self._expand_levels_scalar(
+                frontier, env, ctx, mem, phase, result
+            )
+        result.comp_cycles += len(matches) * n / max(params.total_warps, 1)
+        return matches
+
+    def _expand_levels_scalar(
+        self, frontier, env, ctx, mem, phase, result
+    ) -> set[Match]:
+        """Original per-partial expansion (the correctness oracle)."""
+        n = self.query.n_vertices
+        params = self.params
         matches: set[Match] = set()
         for level in range(2, n):
             start_clock = ctx.clock
@@ -184,20 +209,66 @@ class BFSEngine:
             # level work spreads across the whole device; barrier syncs it
             result.comp_cycles += level_cycles / max(params.total_warps, 1) + self.barrier_cycles
             frontier = nxt
-            self._account_frontier(mem, frontier, phase, level, result)
-        result.comp_cycles += len(matches) * n / max(params.total_warps, 1)
+            words = sum(len(assign) for _, assign, _ in frontier)
+            self._account_frontier(mem, words, phase, level, result)
+        return matches
+
+    def _expand_levels(self, seeds, env, ctx, mem, phase, result) -> set[Match]:
+        """Level-batched expansion: each frontier partial carries the
+        candidate array its parent's level pass produced, and a parent's
+        whole child level is generated in one ``_level_children`` call
+        (the WBM level-step primitive) with per-child priced segments.
+        Every Gen-Candidates charge of the scalar oracle is paid exactly
+        once — attributed one level earlier, so per-level splits shift
+        but the phase totals (``comp_cycles``, spills, peak words) are
+        identical.
+        """
+        n = self.query.n_vertices
+        params = self.params
+        matches: set[Match] = set()
+        frames = [(group, assign, rank, None) for group, assign, rank in seeds]
+        for level in range(2, n):
+            start_clock = ctx.clock
+            nxt: list[tuple[object, dict[int, int], int, object]] = []
+            for group, assign, rank, cands in frames:
+                order = group.full_order
+                if cands is None:  # seed: entry generation, charged here
+                    cands = _gen_candidates(ctx, env, group, order, assign, level, rank)
+                elif isinstance(cands, np.ndarray):
+                    cands = cands.tolist()
+                qv = order[level]
+                if level == n - 1:
+                    for c in cands:
+                        child = dict(assign)
+                        child[qv] = c
+                        matches.add(tuple(child[u] for u in range(n)))
+                    continue
+                if not cands:
+                    continue
+                children, costs = _level_children(
+                    env, group, order, assign, level, cands, rank, ctx.params
+                )
+                for j, c in enumerate(cands):
+                    costs.apply(ctx, j)
+                    child = dict(assign)
+                    child[qv] = c
+                    nxt.append((group, child, rank, children[j]))
+            level_cycles = ctx.clock - start_clock
+            result.comp_cycles += level_cycles / max(params.total_warps, 1) + self.barrier_cycles
+            frames = nxt
+            words = sum(len(assign) for _, assign, _, _ in frames)
+            self._account_frontier(mem, words, phase, level, result)
         return matches
 
     def _account_frontier(
         self,
         mem: GlobalMemory,
-        frontier: list,
+        words: int,
         phase: str,
         level: int,
         result: BFSResult,
     ) -> None:
         """Charge frontier materialization; spill to host past capacity."""
-        words = sum(len(assign) for _, assign, _ in frontier)
         result.peak_frontier_words = max(result.peak_frontier_words, words)
         resident = min(words, mem.capacity_words)
         overflow = words - resident

@@ -52,6 +52,18 @@ def mask_members(
             mask[i] = False
 
 
+def drop_member(arr: np.ndarray, value: int) -> np.ndarray:
+    """``arr`` without ``value`` (one binary search into the sorted
+    array) — the per-child injectivity filter of the level-stepped DFS:
+    a frame's children share one prefix-narrowed candidate run and each
+    only needs its own assigned vertex removed. Returns ``arr`` itself
+    when the value is absent (children may share the run read-only)."""
+    i = int(np.searchsorted(arr, value))
+    if i < len(arr) and arr[i] == value:
+        return np.delete(arr, i)
+    return arr
+
+
 def gather_column(col: np.ndarray, base: np.ndarray) -> np.ndarray:
     """``col[base]`` where ``base`` is sorted and ``col`` may be shorter
     than the id space (updates appended vertices after the column was

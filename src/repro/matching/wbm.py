@@ -23,6 +23,20 @@ Coalesced search runs the automorphic core ``V^k`` first under an
 orbit-invariant candidate filter, emits permuted partials at the
 phase boundary (screened against the full candidate table), and
 extends each through ``R^k``.
+
+The DFS workers exist in two host-side forms behind the repo's
+flag-with-oracle convention. ``config.vectorized`` (default) runs each
+warp's DFS as a **level-stepped array cursor**
+(:class:`_DfsLevelCursor`): frames live in flat int64 arrays backed by
+an :class:`~repro.gpu.memory.Int64Arena`, a level's candidate
+generation is batched once per frame (:func:`_level_children`) with
+per-child costs recorded as priced
+:class:`~repro.gpu.trace.SegmentCosts`, and the scheduler drives one
+resumable array step per DFS level instead of one Python generator
+resumption. ``vectorized=False`` keeps the original generator pair
+``_worker``/``_dfs`` as the correctness oracle — matches,
+``KernelStats``/``BlockStats``, and the whole block schedule are
+byte-identical between the two (``tests/test_dfs_level_step.py``).
 """
 
 from __future__ import annotations
@@ -33,19 +47,33 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from repro.errors import BudgetExceeded, MatchingError
+from repro.errors import BudgetExceeded, ConfigMismatchError, MatchingError
 from repro.filtering import CandidateTable, EncodingSchema
 from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import LabeledGraph, canonical
 from repro.graph.updates import UpdateBatch
 from repro.gpu.device import VirtualGPU
+from repro.gpu.memory import Int64Arena
 from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
 from repro.gpu.scheduler import BlockScheduler
 from repro.gpu.stats import KernelStats
-from repro.gpu.trace import TraceBuilder, TraceCursor
-from repro.gpu.warp import WarpContext
+from repro.gpu.trace import (
+    OP_COALESCED,
+    OP_LANES,
+    OP_SCATTERED,
+    SegmentCosts,
+    TraceBuilder,
+    TraceCursor,
+)
+from repro.gpu.warp import LevelCursor, WarpContext
 from repro.matching.coalesced import CoalescedGroup, CoalescedPlan, build_coalesced_plan, trivial_plan
-from repro.matching.intersect import gather_column, intersect_sorted, mask_members, positions_in
+from repro.matching.intersect import (
+    drop_member,
+    gather_column,
+    intersect_sorted,
+    mask_members,
+    positions_in,
+)
 from repro.pma.gpma import GpmaUpdateStats
 
 Match = tuple[int, ...]
@@ -67,6 +95,13 @@ class WBMConfig:
     #: scalar path, kept as the correctness oracle (identical matches
     #: AND identical modeled cycle accounting)
     vectorized: bool = True
+    #: run vectorized DFS workers as level-stepped array cursors (one
+    #: resumable array step per DFS level, frames in flat int64 arrays,
+    #: per-level candidate generation batched and priced as recorded
+    #: cost segments). False keeps the generator workers on the
+    #: otherwise-vectorized path — a diagnostic knob for isolating the
+    #: level-step rewrite; the full oracle remains ``vectorized=False``.
+    level_step: bool = True
     # engine-wide busy-cycle allowance per launch (the timeout analogue;
     # exceeded -> BudgetExceeded -> the query counts as unsolved)
     cycle_budget: Optional[float] = None
@@ -177,6 +212,11 @@ class _Env:
             self._rank_u = self._rank_v = self._rank_r = None
         # per data-vertex (sorted update partners, their ranks), lazy
         self._rank_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # pooled per-warp DFS states for the level-stepped path: blocks
+        # run sequentially within a launch, so a warp's frame stack and
+        # assignment array are reused across blocks (workers reset them
+        # on completion, exactly like the pooled scheduler contexts)
+        self._cursor_states: dict[int, dict] = {}
         self.gauge = _MemoryGauge()
         self.n = query.n_vertices
         # phase-A filter columns: per (group, query vertex), the union of
@@ -223,6 +263,19 @@ class _Env:
         if blocked.any():
             return cands[~blocked]
         return cands
+
+    def cursor_state(self, warp_id: int) -> dict:
+        """Pooled array-layout DFS state of one warp (level-step path)."""
+        state = self._cursor_states.get(warp_id)
+        if state is None:
+            state = self._cursor_states[warp_id] = {
+                "queue": [],
+                "frames": _FrameStack(self.n),
+                "assign": np.full(self.n, -1, dtype=np.int64),
+                "order": (),
+                "active": False,
+            }
+        return state
 
     def orbit_column(self, group: CoalescedGroup, qv: int):
         """Boolean candidacy column for phase-A filtering at ``qv``."""
@@ -424,6 +477,370 @@ def _candidates_vectorized(
     return [int(c) for c in cands]
 
 
+#: frames below this candidate count price/generate their level with the
+#: python pass (array-assembly overhead beats the batch win there)
+_LEVEL_BATCH_MIN = 10
+#: adjacency runs at or below this length walk the dict adjacency; the
+#: array kernels take over above it
+_SCALAR_GEN_MAX = 64
+
+
+def _level_children_scalar(
+    env: _Env,
+    group: CoalescedGroup,
+    prefix: dict[int, int],
+    rank: int,
+    params: DeviceParams,
+    qv: int,
+    qv_prev: int,
+    col,
+    matched: list[int],
+    cands: list[int],
+) -> tuple[list, SegmentCosts]:
+    """Small-frame form of :func:`_level_children`: per-child cost
+    totals by direct integer arithmetic (same pricing rules as
+    :meth:`SegmentCosts.from_ops`) and candidate data from one shared
+    prefix narrowing plus a per-child adjacency filter."""
+    query, graph = env.query, env.graph
+    warp = params.warp_size
+    cc = params.compute_cycles
+    gtc = params.global_transaction_cycles
+    n_others = len(matched) - 1
+    mult = 1 + n_others
+    rank_map = env.rank_map
+    fixed_degs = {w: graph.degree(prefix[w]) for w in matched if w != qv_prev}
+    fixed_sum = sum(fixed_degs.values())
+    prev_matched = qv_prev in matched
+    others_if_self = (
+        [w for w in matched if w != qv_prev] if prev_matched else None
+    )
+    want_elabel = query.edge_label(qv, qv_prev) if prev_matched else None
+
+    k = len(cands)
+    clock = [0] * k
+    compute = [0] * k
+    coalesced = [0] * k
+    scattered = [0] * k
+    transactions = [0] * k
+    children: list = [None] * k
+    pre_cache: dict[int, list[int]] = {}
+    for j, c in enumerate(cands):
+        deg_c = graph.degree(c) if prev_matched else 0
+        # anchor = first minimum-degree matched vertex (oracle tie-break)
+        anchor = None
+        nb = -1
+        for w in matched:
+            d = deg_c if w == qv_prev else fixed_degs[w]
+            if nb < 0 or d < nb:
+                nb, anchor = d, w
+        # --- cost (the exact _gen_candidates charges) -----------------
+        tx = -(-max(nb, 1) // warp)  # coalesced adjacency read
+        coalesced[j] = tx
+        comp_cy = (-(-max(nb * mult, 1) // warp)) * cc
+        compute[j] = comp_cy
+        if n_others:
+            deg_sum = fixed_sum + deg_c - nb
+            steps = max(1, (deg_sum // n_others).bit_length())
+            scat = max((-(-nb // warp)) * steps * n_others, 1) + max(1, nb // warp)
+        else:
+            scat = max(1, nb // warp)
+        scattered[j] = scat
+        transactions[j] = tx + scat
+        clock[j] = comp_cy + (tx + scat) * gtc
+        # --- data -----------------------------------------------------
+        if anchor == qv_prev:
+            child_assign = dict(prefix)
+            child_assign[qv_prev] = c
+            gen = _candidates_scalar if nb <= _SCALAR_GEN_MAX else _candidates_vectorized
+            children[j] = [
+                int(x)
+                for x in gen(
+                    env, group, child_assign, qv, qv_prev, others_if_self, col, rank
+                )
+            ]
+            continue
+        pre = pre_cache.get(anchor)
+        if pre is None:
+            pre = pre_cache[anchor] = _prefix_narrowed(
+                env, prefix, rank, qv, qv_prev, col, matched, anchor
+            )
+        if not pre:
+            children[j] = pre
+        elif prev_matched:
+            adj_c = graph.neighbor_dict(c)
+            res = []
+            for x in pre:
+                if adj_c.get(x) != want_elabel:
+                    continue
+                if rank_map:
+                    r = rank_map.get(canonical(x, c))
+                    if r is not None and r < rank:
+                        continue
+                res.append(x)
+            children[j] = res
+        else:
+            # the child's value only matters for injectivity here
+            children[j] = [x for x in pre if x != c] if c in pre else pre
+    costs = SegmentCosts.from_totals(
+        clock, list(clock), compute, transactions, coalesced, scattered
+    )
+    return children, costs
+
+
+def _narrowed_prefix_run(
+    env: _Env,
+    prefix: dict[int, int],
+    rank: int,
+    qv: int,
+    qv_prev: int,
+    col,
+    matched: list[int],
+    anchor: int,
+) -> np.ndarray:
+    """Array form of the shared prefix narrowing: candidates of ``qv``
+    in the anchor's sorted adjacency surviving every prefix-only
+    constraint (labels, bitmap, injectivity, rank rule, every prefix
+    adjacency). The one implementation both frame-size strategies of
+    :func:`_level_children` narrow through."""
+    query, csr = env.query, env.csr
+    anchor_dv = prefix[anchor]
+    base = csr.neighbor_slice(anchor_dv)
+    if not len(base):
+        return base
+    mask = (csr.vertex_labels[base] == query.vertex_label(qv)) & (
+        csr.edge_label_slice(anchor_dv) == query.edge_label(qv, anchor)
+    )
+    mask &= gather_column(col, base)
+    mask_members(mask, base, prefix.values())
+    pre = base[mask]
+    if env._rank_r is not None and len(pre):
+        pre = env.rank_filter(pre, anchor_dv, rank)
+    for w in matched:
+        if w == anchor or w == qv_prev or not len(pre):
+            continue
+        dv = prefix[w]
+        nbrs = csr.neighbor_slice(dv)
+        if not len(nbrs):
+            return base[:0]
+        pre = intersect_sorted(
+            pre, nbrs, csr.edge_label_slice(dv), query.edge_label(qv, w)
+        )
+        if env._rank_r is not None and len(pre):
+            pre = env.rank_filter(pre, dv, rank)
+    return pre
+
+
+def _prefix_narrowed(
+    env: _Env,
+    prefix: dict[int, int],
+    rank: int,
+    qv: int,
+    qv_prev: int,
+    col,
+    matched: list[int],
+    anchor: int,
+) -> list[int]:
+    """Candidates of ``qv`` surviving every prefix-only constraint
+    (labels, bitmap, injectivity, rank rule, all prefix adjacencies) —
+    shared by every child of the run whose anchor is ``anchor``."""
+    query, graph = env.query, env.graph
+    anchor_dv = prefix[anchor]
+    base = graph.neighbors(anchor_dv)
+    anchor_label = query.edge_label(qv, anchor)
+    want_label = query.vertex_label(qv)
+    if len(base) > _SCALAR_GEN_MAX:
+        # hub anchor: one array narrowing beats the dict walk
+        pre = _narrowed_prefix_run(env, prefix, rank, qv, qv_prev, col, matched, anchor)
+        return [int(x) for x in pre]
+    used = set(prefix.values())
+    rank_map = env.rank_map
+    labels = graph.vertex_labels
+    anchor_adj = graph.neighbor_dict(anchor_dv)
+    n_col = len(col)
+    fixed = [
+        (graph.neighbor_dict(prefix[w]), query.edge_label(qv, w), prefix[w])
+        for w in matched
+        if w != anchor and w != qv_prev
+    ]
+    out: list[int] = []
+    for c in base:
+        if labels[c] != want_label or c in used:
+            continue
+        if anchor_adj[c] != anchor_label:
+            continue
+        if c >= n_col or not col[c]:
+            continue
+        if rank_map:
+            r = rank_map.get(canonical(c, anchor_dv))
+            if r is not None and r < rank:
+                continue
+        ok = True
+        for adj_d, elbl, dv in fixed:
+            if adj_d.get(c) != elbl:
+                ok = False
+                break
+            if rank_map:
+                r = rank_map.get(canonical(c, dv))
+                if r is not None and r < rank:
+                    ok = False
+                    break
+        if ok:
+            out.append(c)
+    return out
+
+
+def _level_children(
+    env: _Env,
+    group: CoalescedGroup,
+    order: tuple[int, ...],
+    prefix: dict[int, int],
+    lv: int,
+    cands: np.ndarray,
+    rank: int,
+    params: DeviceParams,
+) -> tuple[list, Optional[SegmentCosts]]:
+    """Batched Gen-Candidates for one whole DFS level.
+
+    The frame at ``order[lv]`` holds unexplored candidates ``cands``;
+    each child assigns one candidate on top of the fixed ``prefix``
+    (``order[0..lv-1]``) and needs its own candidate list for
+    ``order[lv + 1]``. All children share the prefix, so the per-child
+    narrowing largely factors out: whenever the cost-model anchor (the
+    matched neighbor of minimum degree) is a *prefix* vertex, the
+    label/bitmap/injectivity masks and every prefix-adjacency
+    intersection are computed once for the run and only the child's own
+    adjacency (and injectivity against the child itself) varies.
+
+    Returns the per-child candidate arrays plus one
+    :class:`SegmentCosts` with a segment per child — the recorded
+    per-level cost trace the level-stepped cursor replays with scalar
+    adds. Amounts mirror :func:`_gen_candidates` exactly, so the priced
+    segments equal the oracle's per-call charges byte for byte.
+
+    Two host strategies produce the identical result: small frames
+    (the common case on selective serving queries) run a python pass
+    over the dict adjacency — the fixed cost of assembling op arrays
+    dwarfs a handful of children — while larger frames batch through
+    the array kernels. Both share the prefix narrowing across the run.
+    """
+    query, csr = env.query, env.csr
+    nxt = lv + 1
+    qv = order[nxt]
+    qv_prev = order[lv]
+    boundary = len(group.core)
+    if nxt < boundary:
+        col = env.orbit_column(group, qv)
+    else:
+        col = env.table.bitmap[:, qv]
+    matched = [w for w in query.neighbors(qv) if w in prefix or w == qv_prev]
+    if not matched:
+        raise MatchingError(f"matching order broke connectivity at {qv}")
+    k = len(cands)
+    if k < _LEVEL_BATCH_MIN:
+        return _level_children_scalar(
+            env, group, prefix, rank, params, qv, qv_prev, col, matched,
+            [int(c) for c in cands],
+        )
+    cands = np.asarray(cands, dtype=np.int64)
+    offsets = csr.offsets
+    degs = np.empty((len(matched), k), dtype=np.int64)
+    for i, w in enumerate(matched):
+        if w == qv_prev:
+            degs[i] = offsets[cands + 1] - offsets[cands]
+        else:
+            degs[i] = csr.degree(prefix[w])
+    # first minimum along the matched order == the oracle's min() tie-break
+    anchor_idx = np.argmin(degs, axis=0)
+    n_others = len(matched) - 1
+    warp = params.warp_size
+
+    # --- per-child cost segments (amounts mirror _gen_candidates) -----
+    n_base = degs[anchor_idx, np.arange(k)]
+    lanes = n_base * (1 + n_others)
+    probe = np.maximum(1, n_base // warp)
+    if n_others:
+        rounds = -(-n_base // warp)
+        q_deg = (degs.sum(axis=0) - n_base) // n_others
+        # frexp's exponent is bit_length for positive ints (0 for 0)
+        steps = np.maximum(1, np.frexp(q_deg)[1].astype(np.int64))
+        kinds = np.tile(
+            np.array(
+                [OP_COALESCED, OP_LANES, OP_SCATTERED, OP_SCATTERED],
+                dtype=np.int64,
+            ),
+            k,
+        )
+        amounts = np.empty(4 * k, dtype=np.int64)
+        amounts[0::4] = n_base
+        amounts[1::4] = lanes
+        amounts[2::4] = rounds * steps * n_others
+        amounts[3::4] = probe
+        bounds = np.arange(4, 4 * k, 4, dtype=np.int64)
+    else:
+        kinds = np.tile(
+            np.array([OP_COALESCED, OP_LANES, OP_SCATTERED], dtype=np.int64), k
+        )
+        amounts = np.empty(3 * k, dtype=np.int64)
+        amounts[0::3] = n_base
+        amounts[1::3] = lanes
+        amounts[2::3] = probe
+        bounds = np.arange(3, 3 * k, 3, dtype=np.int64)
+    costs = SegmentCosts.from_ops(kinds, amounts, bounds, params)
+
+    # --- per-child candidate data ------------------------------------
+    children: list = [None] * k
+    empty = cands[:0]
+    has_rank = env._rank_r is not None
+    for ai in sorted(set(anchor_idx.tolist())):
+        sel = np.nonzero(anchor_idx == ai)[0]
+        w_anchor = matched[ai]
+        if w_anchor == qv_prev:
+            # the anchor is the frame vertex itself: per-child base
+            others = [w for w in matched if w != qv_prev]
+            deg_row = degs[ai]
+            for j in sel:
+                child_assign = dict(prefix)
+                child_assign[qv_prev] = int(cands[j])
+                gen = (
+                    _candidates_scalar
+                    if deg_row[j] <= _SCALAR_GEN_MAX
+                    else _candidates_vectorized
+                )
+                children[j] = np.asarray(
+                    gen(env, group, child_assign, qv, qv_prev, others, col, rank),
+                    dtype=np.int64,
+                )
+            continue
+        # prefix anchor: one shared narrowing for the whole run
+        pre = _narrowed_prefix_run(
+            env, prefix, rank, qv, qv_prev, col, matched, w_anchor
+        )
+        if qv_prev in matched:
+            want_elabel = query.edge_label(qv, qv_prev)
+            for j in sel:
+                if not len(pre):
+                    children[j] = empty
+                    continue
+                c = int(cands[j])
+                nbrs = csr.neighbor_slice(c)
+                if not len(nbrs):
+                    children[j] = empty
+                    continue
+                # no self loops: the child itself can never survive its
+                # own adjacency intersection, so injectivity is implied
+                res = intersect_sorted(
+                    pre, nbrs, csr.edge_label_slice(c), want_elabel
+                )
+                if has_rank and len(res):
+                    res = env.rank_filter(res, c, rank)
+                children[j] = res
+        else:
+            # the child's value only matters for injectivity here
+            for j in sel:
+                children[j] = drop_member(pre, int(cands[j]))  # shared, read-only
+    return children, costs
+
+
 # ---------------------------------------------------------------------------
 # boundary permutation (coalesced search §V-B)
 # ---------------------------------------------------------------------------
@@ -469,10 +886,22 @@ def _state_name(warp_id: int) -> str:
     return f"wstate_{warp_id}"
 
 
-def _ensure_state(ctx: WarpContext) -> dict:
+def _ensure_state(ctx: WarpContext, env: Optional[_Env] = None) -> dict:
+    """The warp's shared DFS state, allocated on first use.
+
+    With ``env`` (the level-stepped path) the state carries the array
+    layout: frames as a :class:`_FrameStack` and the assignment as a
+    flat int64 array indexed by query vertex (-1 = unassigned). The
+    generator oracle keeps the original dict/list layout. A launch
+    never mixes the two — every worker of a launch is spawned through
+    the same :func:`_spawn_worker` mode.
+    """
     name = _state_name(ctx.warp_id)
     if name not in ctx.shared:
-        state = {"queue": [], "frames": [], "assign": {}, "order": (), "active": False}
+        if env is not None:
+            state = env.cursor_state(ctx.warp_id)
+        else:
+            state = {"queue": [], "frames": [], "assign": {}, "order": (), "active": False}
         ctx.shared_alloc(name, state, words=64)
     state, _ = ctx.shared.read(name)
     return state
@@ -574,11 +1003,387 @@ def _dfs(ctx: WarpContext, env: _Env, state: dict, item: dict) -> Generator[None
 
 
 # ---------------------------------------------------------------------------
+# the level-stepped DFS worker (array-native fast path)
+# ---------------------------------------------------------------------------
+class _FrameStack:
+    """Flat array-native DFS frame stack of one warp.
+
+    The generator oracle keeps frames as a list of
+    ``{"level", "cands", "p"}`` dicts; here the same stack lives in
+    flat int64 arrays — ``level[i]``, the frame's candidate run bounds
+    ``start[i]``/``end[i]`` inside a shared :class:`Int64Arena`, and
+    the absolute candidate cursor ``p[i]`` — plus, per frame, the
+    precomputed next-level candidate arrays and their priced cost
+    segments (:func:`_level_children`), indexed by candidate position
+    at push time. An active thief splits a frame by copying the tail
+    ``[mid, end)`` and lowering ``end[i]`` — the array form of the
+    oracle's in-place ``del fr["cands"][mid:]`` truncation (stranded
+    precomputed children are simply never consumed).
+    """
+
+    __slots__ = (
+        "level",
+        "start",
+        "end",
+        "p",
+        "arena",
+        "depth",
+        "children",
+        "child_costs",
+    )
+
+    def __init__(self, n_levels: int) -> None:
+        cap = max(int(n_levels), 1)
+        self.level = np.zeros(cap, dtype=np.int64)
+        self.start = np.zeros(cap, dtype=np.int64)
+        self.end = np.zeros(cap, dtype=np.int64)
+        self.p = np.zeros(cap, dtype=np.int64)
+        self.arena = Int64Arena()
+        self.depth = 0
+        self.children: list = [None] * cap
+        self.child_costs: list = [None] * cap
+
+    def push(self, lv: int, cands) -> int:
+        d = self.depth
+        start, end = self.arena.push(cands)
+        self.level[d] = lv
+        self.start[d] = start
+        self.end[d] = end
+        self.p[d] = start
+        self.children[d] = None
+        self.child_costs[d] = None
+        self.depth = d + 1
+        return d
+
+    def pop(self) -> int:
+        """Drop the top frame; returns its (possibly thief-truncated)
+        candidate count — the words the memory gauge frees."""
+        d = self.depth - 1
+        n = int(self.end[d] - self.start[d])
+        self.children[d] = None
+        self.child_costs[d] = None
+        self.arena.truncate(int(self.start[d]))
+        self.depth = d
+        return n
+
+    def remaining(self) -> int:
+        """Unexplored candidates across all frames (steal estimate)."""
+        d = self.depth
+        if not d:
+            return 0
+        return int((self.end[:d] - self.p[:d]).sum())
+
+    def clear(self) -> None:
+        for i in range(self.depth):
+            self.children[i] = None
+            self.child_costs[i] = None
+        self.depth = 0
+        self.arena.truncate(0)
+
+    def steal_shallowest(self, order, assign) -> Optional[dict]:
+        """Split the shallowest frame with >= 2 unexplored candidates;
+        returns the same loot shape as the oracle's frame steal."""
+        for i in range(self.depth):
+            p, end = int(self.p[i]), int(self.end[i])
+            remaining = end - p
+            if remaining >= 2:
+                mid = p + remaining // 2
+                stolen = self.arena.view(mid, end).copy()
+                self.end[i] = mid  # in-place: the victim sees the cut
+                lv = int(self.level[i])
+                prefix = {order[j]: int(assign[order[j]]) for j in range(lv)}
+                return {
+                    "frame_steal": True,
+                    "level": lv,
+                    "cands": stolen,
+                    "assign": prefix,
+                }
+        return None
+
+
+class _DfsLevelCursor(LevelCursor):
+    """Level-stepped array-native DFS worker (one warp's main loop).
+
+    The fast-path replacement for the generator ``_worker``/``_dfs``
+    pair: one :meth:`step` executes exactly the work between two oracle
+    yields — the pending candidate attach, then pops / emits / boundary
+    bookkeeping up to and including the next candidate generation — so
+    the block schedule, every charge, and all sibling-observable shared
+    state are byte-identical to the generator path at every step
+    boundary. What changes is the host-side execution: frames live in a
+    :class:`_FrameStack`, a level's candidate generation is batched
+    once at frame push (:func:`_level_children`), and each child's gen
+    cost replays from the recorded per-level segments with scalar adds.
+
+    Interactions stay faithful: active thieves only run between steps
+    (and read the same state shape through ``_steal_from``); passive
+    donates keep the oracle's intra-step op order because batching is
+    disabled under passive stealing and under engine budgets/deadlines.
+    """
+
+    __slots__ = (
+        "env",
+        "items",
+        "state",
+        "started",
+        "pending",
+        "group",
+        "order",
+        "boundary",
+        "singleton",
+        "rank",
+        "dedup",
+        "steps",
+        "fast",
+        "passive",
+    )
+
+    def __init__(self, ctx: WarpContext, env: _Env, items: list[dict]) -> None:
+        # ``ctx`` mirrors the _worker(ctx, ...) signature; the cursor is
+        # always stepped with the owning warp's context by the scheduler
+        self.env = env
+        self.items = list(items)
+        self.state: Optional[dict] = None
+        self.started = False
+        self.pending: Optional[tuple] = None
+        cfg = env.config
+        self.passive = cfg.work_stealing == "passive"
+        self.fast = (
+            cfg.cycle_budget is None and env._deadline is None and not self.passive
+        )
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    def step(self, ctx: WarpContext) -> bool:
+        if not self.started:
+            # first resumption: same prologue as _worker
+            ctx.resume_mutates_shared = False
+            self.state = _ensure_state(ctx, self.env)
+            self.state["queue"].extend(self.items)
+            self.state["active"] = True
+            self.started = True
+            self.items = None
+        try:
+            done = self._advance(ctx)
+        except BaseException:
+            self._cleanup()  # the generator's finally block
+            raise
+        if done:
+            self._cleanup()
+        return done
+
+    def _cleanup(self) -> None:
+        state = self.state
+        if state is None:
+            return
+        state["active"] = False
+        state["frames"].clear()
+        state["assign"][:] = -1
+
+    # ------------------------------------------------------------------
+    def _advance(self, ctx: WarpContext) -> bool:
+        """One resumption; True once the work queue drains."""
+        env = self.env
+        state = self.state
+        pend = self.pending
+        if pend is not None:
+            self.pending = None
+            if pend[0] == 0:  # entry frame push after the item-entry gen
+                _, cands, level = pend
+                env.gauge.alloc(len(cands))
+                self._push_frame(ctx, state, level, np.asarray(cands, dtype=np.int64))
+            else:  # child attach after a priced gen segment
+                _, child, nxt, qv_prev = pend
+                if len(child):
+                    env.gauge.alloc(len(child))
+                    self._push_frame(ctx, state, nxt, child)
+                else:
+                    state["assign"][qv_prev] = -1
+            if self._inner(ctx):
+                return False
+        queue = state["queue"]
+        while queue:
+            if self._enter_item(ctx, queue.pop()):
+                return False
+        return True
+
+    def _enter_item(self, ctx: WarpContext, item: dict) -> bool:
+        """The _dfs prologue; True when the item yielded on its entry gen."""
+        env = self.env
+        state = self.state
+        group: CoalescedGroup = item["group"]
+        n = env.n
+        boundary = len(group.core)
+        rank = item["rank"]
+        dedup: set = item["dedup"]
+        adict = item["assign"]
+        level = item["level"]
+        # items that never open a frame (complete matches, unpermuted
+        # boundary partials) are handled before the state bookkeeping:
+        # the oracle's writes for them are unobservable — no yield can
+        # occur before a later item (or the worker's cleanup) overwrites
+        # the state — so skipping them changes nothing a sibling can see
+        if level >= n:
+            env.emit(ctx, adict)
+            return False
+        if (
+            level == boundary
+            and not item.get("permuted", False)
+            and not group.is_singleton
+        ):
+            state["queue"].extend(
+                _boundary_items(ctx, env, group, adict, dedup, rank)
+            )
+            return False
+        order = group.full_order
+        assign = state["assign"]
+        assign[:] = -1
+        for u, dv in adict.items():
+            assign[u] = dv
+        state["order"] = order
+        state["current_group"] = group
+        state["current_dedup"] = dedup
+        state["current_rank"] = rank
+        self.group = group
+        self.order = order
+        self.boundary = boundary
+        self.singleton = group.is_singleton
+        self.rank = rank
+        self.dedup = dedup
+        self.steps = 0
+        cands = item.get("cands")
+        if cands is None:
+            cands = _gen_candidates(ctx, env, group, order, adict, level, rank)
+            self.pending = (0, cands, level)
+            return True  # the oracle's entry-gen yield
+        # stolen frame slice: pushed in the same resumption, no yield
+        env.gauge.alloc(len(cands))
+        self._push_frame(ctx, state, level, np.asarray(cands, dtype=np.int64))
+        return self._inner(ctx)
+
+    def _push_frame(self, ctx: WarpContext, state: dict, lv: int, cands) -> None:
+        """Push a frame; batch-generate its children's candidates and
+        record the per-child cost segments (no charges yet — each child
+        pays its segment at its own consumption step, exactly when the
+        oracle would have charged its Gen-Candidates call)."""
+        fs: _FrameStack = state["frames"]
+        d = fs.push(lv, cands)
+        nxt = lv + 1
+        if (
+            len(cands)
+            and nxt < self.env.n
+            and not (nxt == self.boundary and not self.singleton)
+        ):
+            order = self.order
+            assign = state["assign"]
+            prefix = {order[i]: int(assign[order[i]]) for i in range(lv)}
+            children, costs = _level_children(
+                self.env,
+                self.group,
+                order,
+                prefix,
+                lv,
+                fs.arena.view(int(fs.start[d]), int(fs.end[d])),
+                self.rank,
+                ctx.params,
+            )
+            fs.children[d] = children
+            fs.child_costs[d] = costs
+
+    def _inner(self, ctx: WarpContext) -> bool:
+        """The _dfs while loop; True when it yielded on a child gen."""
+        env = self.env
+        state = self.state
+        fs: _FrameStack = state["frames"]
+        assign = state["assign"]
+        order = self.order
+        group = self.group
+        boundary = self.boundary
+        singleton = self.singleton
+        n = env.n
+        rank = self.rank
+        dedup = self.dedup
+        passive = self.passive
+        fast = self.fast
+        out_matches = env.out.matches
+        while fs.depth:
+            env.check_budget(ctx)
+            d = fs.depth - 1
+            # bounds re-read each iteration: an active thief may have
+            # truncated the frame's run through shared memory
+            p, end = int(fs.p[d]), int(fs.end[d])
+            lv = int(fs.level[d])
+            qv = order[lv]
+            if p >= end:
+                env.gauge.free(fs.pop())
+                assign[qv] = -1
+                ctx.charge_compute(1)
+                continue
+            nxt = lv + 1
+            is_boundary = nxt == boundary and not singleton
+            if fast and nxt == n and not is_boundary:
+                # leaf frame: the oracle drains it within one resumption
+                # (no yield between emits), so emit the whole remaining
+                # run as one batch with the identical total charge
+                k = end - p
+                row = assign.tolist()
+                for c in fs.arena.view(p, end).tolist():
+                    row[qv] = c
+                    out_matches.append(tuple(row))
+                params = ctx.params
+                tx = -(-n // params.warp_size) * k
+                cycles = tx * params.global_transaction_cycles
+                ctx.clock += cycles
+                ctx.busy_cycles += cycles
+                st = ctx.stats
+                st.global_transactions += tx
+                st.coalesced_transactions += tx
+                fs.p[d] = end
+                continue
+            c = int(fs.arena.buf[p])
+            fs.p[d] = p + 1
+            assign[qv] = c
+            self.steps += 1
+            if passive and self.steps % env.config.steal_period == 0:
+                _passive_donate(ctx, env, state)
+            if is_boundary:
+                bdict = {u: int(assign[u]) for u in group.core}
+                state["queue"].extend(
+                    _boundary_items(ctx, env, group, bdict, dedup, rank)
+                )
+                assign[qv] = -1
+                continue
+            if nxt == n:
+                ctx.write_global_consecutive(n)
+                out_matches.append(tuple(assign.tolist()))
+                assign[qv] = -1
+                continue
+            # child gen: replay the priced per-level segment, attach on
+            # the next resumption (the oracle's post-gen yield)
+            j = p - int(fs.start[d])
+            fs.child_costs[d].apply(ctx, j)
+            self.pending = (1, fs.children[d][j], nxt, qv)
+            return True
+        return False
+
+
+def _spawn_worker(ctx: WarpContext, env: _Env, items: list[dict]):
+    """A DFS worker in the launch's task form: a level-stepped cursor on
+    the vectorized path, the generator oracle otherwise."""
+    if env.config.vectorized and env.config.level_step:
+        return _DfsLevelCursor(ctx, env, items)
+    return _worker(ctx, env, items)
+
+
+# ---------------------------------------------------------------------------
 # work stealing
 # ---------------------------------------------------------------------------
 def _estimate_remaining(state: dict) -> int:
     est = len(state["queue"]) * _QUEUE_ITEM_WEIGHT
-    for fr in state["frames"]:
+    frames = state["frames"]
+    if type(frames) is _FrameStack:
+        return est + frames.remaining()
+    for fr in frames:
         est += max(0, len(fr["cands"]) - fr["p"])
     return est
 
@@ -594,7 +1399,10 @@ def _steal_from(victim: dict, env: _Env) -> Optional[dict]:
         return {"items": stolen}
     order = victim["order"]
     assign = victim["assign"]
-    for fr in victim["frames"]:
+    frames = victim["frames"]
+    if type(frames) is _FrameStack:  # level-stepped victim: array layout
+        return frames.steal_shallowest(order, assign)
+    for fr in frames:
         remaining = len(fr["cands"]) - fr["p"]
         if remaining >= 2:
             mid = fr["p"] + remaining // 2
@@ -692,7 +1500,7 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
         # poll batching does not price past it
         ctx.resume_mutates_shared = True
         if "items" in loot:
-            return _worker(ctx, env, loot["items"])
+            return _spawn_worker(ctx, env, loot["items"])
         item = {
             "group": best_state["current_group"],
             "assign": loot["assign"],
@@ -702,7 +1510,7 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
             "rank": best_state["current_rank"],
             "permuted": loot["level"] >= len(best_state["current_group"].core),
         }
-        return _worker(ctx, env, [item])
+        return _spawn_worker(ctx, env, [item])
 
     return handler
 
@@ -794,7 +1602,7 @@ def _passive_donate(ctx: WarpContext, env: _Env, state: dict) -> None:
         ]
     ctx.stats.steals += 1
     target_ctx = sched.contexts[target]
-    sched.push_work(target, _worker(target_ctx, env, items), ctx.clock)
+    sched.push_work(target, _spawn_worker(target_ctx, env, items), ctx.clock)
 
 
 # ---------------------------------------------------------------------------
@@ -942,8 +1750,10 @@ def _make_task(env: _Env, items: list[dict]):
     if not items:
         return _NOOP_PROBE
 
-    def task(ctx: WarpContext) -> Generator[None, None, None]:
-        yield from _worker(ctx, env, items)
+    def task(ctx: WarpContext):
+        # a generator on the oracle path, a level-stepped cursor on the
+        # vectorized path — the scheduler drives either form
+        return _spawn_worker(ctx, env, items)
 
     return task
 
@@ -1028,6 +1838,17 @@ class QueryRuntime:
     ) -> None:
         if query.n_vertices < 2:
             raise MatchingError("query needs at least one edge")
+        store_vec = getattr(store, "vectorized", None)
+        if store_vec is not None and bool(store_vec) != config.vectorized:
+            # a mismatch used to downgrade silently mid-run (the store
+            # snapshot probe fell back through getattr); fail loudly at
+            # construction instead
+            raise ConfigMismatchError(
+                f"query runtime {name!r}: WBMConfig.vectorized="
+                f"{config.vectorized} disagrees with its store "
+                f"(vectorized={bool(store_vec)}); build the store and the "
+                f"query config with the same flag"
+            )
         self.query = query
         self.store = store
         self.params = params
@@ -1066,9 +1887,12 @@ class QueryRuntime:
         from repro.matching.static_match import find_matches
 
         if self.config.vectorized:
+            # flag agreement is validated at construction, so a
+            # vectorized runtime always has a vectorized store (unless
+            # the store predates the flag entirely)
             csr = (
                 self.store.csr_snapshot()
-                if getattr(self.store, "vectorized", False)
+                if getattr(self.store, "vectorized", None) is not None
                 else None
             )
             self.initial_matches = find_matches(

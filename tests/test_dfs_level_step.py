@@ -1,0 +1,394 @@
+"""Level-stepped array-native DFS workers vs the generator oracle.
+
+The ISSUE-5 rewrite turns each vectorized WBM DFS worker into a
+:class:`~repro.matching.wbm._DfsLevelCursor`: one resumable array step
+per DFS level, frames in flat int64 arrays, per-level candidate
+generation batched and priced as recorded cost segments. The contract
+is the repo's flag-with-oracle convention at its strictest — the
+cursor must be **invisible in everything modeled**:
+
+* identical matches, ``KernelStats`` and ``BlockStats`` (byte for
+  byte) against the generator fast path (``level_step=False``) and the
+  full scalar oracle (``vectorized=False``), across randomized seeded
+  graphs, mixed update streams, every stealing mode, and steal-heavy
+  schedules (mirroring ``tests/test_gpu_pooling.py``);
+* identical per-warp cycle accounting — the final clock and busy
+  cycles of every warp of every block;
+* identical frozen history: the fixed-seed serving workloads recorded
+  in ``tests/data/baseline_kernel_*.json`` replay byte-identically on
+  every execution arm.
+"""
+
+import dataclasses
+import json
+import random
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from kernel_baseline_workloads import PARAMS, WORKLOADS, run_workload
+from repro.errors import BudgetExceeded, ConfigMismatchError
+from repro.graph.generators import attach_labels, power_law_graph
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.updates import apply_batch, make_batch
+from repro.gpu import Int64Arena, VirtualGPU
+from repro.gpu.scheduler import BlockScheduler
+from repro.matching import WBMConfig, WBMEngine
+from repro.matching.wbm import QueryRuntime, _FrameStack
+from repro.service import MatchingService
+from repro.service.store import DynamicGraphStore
+
+DATA = Path(__file__).parent / "data"
+
+CHORD_Q = LabeledGraph.from_edges([0, 1, 0, 1], [(0, 1), (1, 2), (2, 3), (0, 2)])
+DENSE_Q = LabeledGraph.from_edges(
+    [0, 0, 0, 0], [(0, 1), (1, 2), (2, 3), (0, 2), (0, 3)]
+)
+
+#: the three execution arms: (config.vectorized, config.level_step)
+ARMS = {
+    "cursor": (True, True),
+    "generator": (True, False),  # the generator fast path (PR-4 form)
+    "oracle": (False, False),  # the full scalar oracle
+}
+
+
+def stats_dict(kernel_stats):
+    return dataclasses.asdict(kernel_stats)
+
+
+def random_graph(seed, n=36, n_labels=2):
+    return attach_labels(power_law_graph(n, 3.0, seed=seed), n_labels, 1, seed=seed + 1)
+
+
+def random_batch(g, rng, k=10):
+    edges = list(g.edges())
+    rng.shuffle(edges)
+    non = [
+        (u, v)
+        for u in range(g.n_vertices)
+        for v in range(u + 1, g.n_vertices)
+        if not g.has_edge(u, v)
+    ]
+    rng.shuffle(non)
+    return make_batch(
+        [("+", u, v, 0) for u, v in non[: k // 2]]
+        + [("-", u, v) for u, v in edges[: k // 2]]
+    )
+
+
+def mixed_stream(seed, n_batches=3):
+    g0 = random_graph(seed)
+    rng = random.Random(seed + 1)
+    batches = []
+    g = g0.copy()
+    for _ in range(n_batches):
+        batch = random_batch(g, rng)
+        batches.append(batch)
+        apply_batch(g, batch)
+    return g0, batches
+
+
+def run_stream(
+    g0,
+    query,
+    batches,
+    *,
+    stealing="active",
+    vectorized=True,
+    level_step=True,
+    gpu_vectorized=None,
+    config_extra=None,
+):
+    """One serving run; returns the per-batch (positives, negatives,
+    kernel stats) triples the lockstep assertions compare."""
+    service = MatchingService(g0, params=PARAMS, vectorized=vectorized)
+    config = WBMConfig(
+        work_stealing=stealing,
+        vectorized=vectorized,
+        level_step=level_step,
+        **(config_extra or {}),
+    )
+    service.register_query(query, config, name="q", bootstrap=False)
+    if gpu_vectorized is not None:
+        service.runtime("q").gpu = VirtualGPU(PARAMS, vectorized=gpu_vectorized)
+    out = []
+    for batch in batches:
+        rep = service.process_batch(batch)
+        qr = rep.queries["q"]
+        out.append(
+            (
+                sorted(qr.result.positives),
+                sorted(qr.result.negatives),
+                stats_dict(qr.result.kernel_stats),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# randomized lockstep: cursor vs generator fast path vs scalar oracle
+# ---------------------------------------------------------------------------
+class TestLevelStepLockstep:
+    @pytest.mark.parametrize("stealing", ["active", "passive", "off"])
+    @pytest.mark.parametrize("seed", [1, 4, 8])
+    def test_mixed_stream_lockstep(self, stealing, seed):
+        """Seeded graphs + mixed update streams: all three arms emit
+        byte-identical matches and stats, batch by batch."""
+        g0, batches = mixed_stream(seed)
+        runs = {
+            arm: run_stream(
+                g0, CHORD_Q, batches, stealing=stealing, vectorized=vec, level_step=ls
+            )
+            for arm, (vec, ls) in ARMS.items()
+        }
+        assert runs["cursor"] == runs["generator"]
+        assert runs["cursor"] == runs["oracle"]
+
+    def test_steal_heavy_schedule_lockstep(self):
+        """A dense unlabeled query on a small dense graph forces real
+        frame splits; the cursor's array-truncation steal must match
+        the oracle's list-truncation steal exactly."""
+        g0 = attach_labels(power_law_graph(30, 1.8, seed=2), 1, 1, seed=3)
+        rng = random.Random(7)
+        non = [
+            (u, v)
+            for u in range(g0.n_vertices)
+            for v in range(u + 1, g0.n_vertices)
+            if not g0.has_edge(u, v)
+        ]
+        rng.shuffle(non)
+        batches = [make_batch([("+", u, v, 0) for u, v in non[:24]])]
+        runs = {
+            arm: run_stream(
+                g0, DENSE_Q, batches, stealing="active", vectorized=vec, level_step=ls
+            )
+            for arm, (vec, ls) in ARMS.items()
+        }
+        assert runs["cursor"] == runs["generator"]
+        assert runs["cursor"] == runs["oracle"]
+        steals = sum(b["steals"] for b in runs["cursor"][0][2]["blocks"])
+        assert steals > 0, "schedule must actually exercise stealing"
+
+    def test_cursor_on_oracle_launch_machinery(self):
+        """Level cursors driven by the per-block generator-oracle
+        scheduler (no pooling, op-by-op traces) still price identically
+        — the cursor is a task form, not a scheduler mode."""
+        g0, batches = mixed_stream(5)
+        a = run_stream(g0, CHORD_Q, batches)
+        b = run_stream(g0, CHORD_Q, batches, gpu_vectorized=False)
+        assert a == b
+
+    @pytest.mark.parametrize("seed", [3, 9])
+    def test_per_warp_cycle_accounting(self, seed, monkeypatch):
+        """Final clock and busy cycles of every warp of every scheduled
+        block agree between the cursor and the generator oracle."""
+        captured = {}
+        sink = None
+        orig_run = BlockScheduler.run
+
+        def recording_run(self):
+            stats = orig_run(self)
+            sink.append(
+                [(ctx.clock, ctx.busy_cycles) for ctx in self.contexts]
+            )
+            return stats
+
+        monkeypatch.setattr(BlockScheduler, "run", recording_run)
+        g0, batches = mixed_stream(seed)
+        # compare the two pooled worker forms: they share the all-trace
+        # block memoization pattern, so the scheduled-block sequences
+        # line up one to one (the scalar oracle re-runs memoized blocks
+        # and is covered by the BlockStats equality of the other tests)
+        for arm in ("cursor", "generator"):
+            vec, ls = ARMS[arm]
+            sink = captured[arm] = []
+            run_stream(g0, CHORD_Q, batches, vectorized=vec, level_step=ls)
+        assert captured["cursor"], "expected scheduled blocks"
+        assert captured["cursor"] == captured["generator"]
+
+    def test_budget_abort_lockstep(self):
+        """A cycle budget trips at the same modeled point: same aborted
+        flag and same partial match sets on both worker forms."""
+        g0, batches = mixed_stream(11, n_batches=1)
+        runs = {}
+        for arm, (vec, ls) in ARMS.items():
+            runs[arm] = run_stream(
+                g0,
+                CHORD_Q,
+                batches,
+                vectorized=vec,
+                level_step=ls,
+                config_extra={"cycle_budget": 400.0},
+            )
+        assert runs["cursor"] == runs["generator"]
+        assert runs["cursor"] == runs["oracle"]
+
+    def test_multiquery_shared_store_lockstep(self):
+        """Several runtimes over one shared store: per-query stats stay
+        identical when only the worker form changes."""
+        g0, batches = mixed_stream(13)
+        queries = {
+            "chord": CHORD_Q,
+            "path": LabeledGraph.from_edges([0, 1, 0], [(0, 1), (1, 2)]),
+        }
+        results = {}
+        for ls in (True, False):
+            service = MatchingService(g0, params=PARAMS)
+            for name, q in queries.items():
+                service.register_query(
+                    q, WBMConfig(level_step=ls), name=name, bootstrap=False
+                )
+            stream = []
+            for batch in batches:
+                rep = service.process_batch(batch)
+                stream.append(
+                    {
+                        name: (
+                            sorted(qr.result.positives),
+                            sorted(qr.result.negatives),
+                            stats_dict(qr.result.kernel_stats),
+                        )
+                        for name, qr in rep.queries.items()
+                    }
+                )
+            results[ls] = stream
+        assert results[True] == results[False]
+
+
+# ---------------------------------------------------------------------------
+# golden-stats regression: frozen fixed-seed serving workloads
+# ---------------------------------------------------------------------------
+class TestKernelGoldenStats:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize(
+        "arm", ["cursor", "generator", "oracle"]
+    )
+    def test_stats_match_frozen_baseline(self, name, arm):
+        """Every execution arm replays the frozen serving record byte
+        for byte — kernel refactors diff against history, not just
+        against the (co-evolving) live oracle."""
+        vec, ls = ARMS[arm]
+        base = json.loads((DATA / f"baseline_kernel_{name}.json").read_text())
+        assert base["workload"] == name
+        record = run_workload(name, vectorized=vec, level_step=ls)
+        # JSON round trip so float/int representations compare equal
+        assert json.loads(json.dumps(record)) == base["record"]
+
+    def test_baselines_exercise_the_kernel(self):
+        """Guard the fixtures themselves: matches exist and the steal
+        workload actually steals."""
+        steal = json.loads(
+            (DATA / "baseline_kernel_steal_heavy.json").read_text()
+        )["record"]
+        n_matches = sum(
+            len(q["positives"]) + len(q["negatives"])
+            for b in steal
+            for q in b["queries"].values()
+        )
+        steals = sum(
+            blk["steals"]
+            for b in steal
+            for q in b["queries"].values()
+            for blk in q["kernel_stats"]["blocks"]
+        )
+        assert n_matches > 50
+        assert steals > 0
+
+
+# ---------------------------------------------------------------------------
+# array plumbing: frame stack, arena
+# ---------------------------------------------------------------------------
+class TestFrameStack:
+    def test_push_pop_lifo_arena_reclaim(self):
+        fs = _FrameStack(4)
+        fs.push(2, [5, 7, 9])
+        fs.push(3, [11])
+        assert fs.depth == 2
+        assert fs.arena.top == 4
+        assert fs.remaining() == 4
+        assert fs.pop() == 1
+        assert fs.arena.top == 3  # deeper frame reclaimed
+        assert fs.pop() == 3
+        assert fs.arena.top == 0
+        assert fs.remaining() == 0
+
+    def test_steal_shallowest_truncates_in_place(self):
+        fs = _FrameStack(4)
+        fs.push(2, [10, 20, 30, 40])
+        fs.push(3, [50, 60])
+        order = (0, 1, 2, 3)
+        assign = np.array([4, 8, -1, -1], dtype=np.int64)
+        loot = fs.steal_shallowest(order, assign)
+        assert loot["level"] == 2
+        assert loot["cands"].tolist() == [30, 40]  # back half of frame 0
+        assert loot["assign"] == {0: 4, 1: 8}
+        assert int(fs.end[0] - fs.start[0]) == 2  # victim sees the cut
+        assert fs.remaining() == 4  # 2 left shallow + 2 deep
+        # a single-candidate frame is never split
+        fs2 = _FrameStack(2)
+        fs2.push(2, [1])
+        assert fs2.steal_shallowest(order, assign) is None
+
+    def test_clear_resets_everything(self):
+        fs = _FrameStack(3)
+        fs.push(2, [1, 2, 3])
+        fs.children[0] = [np.array([4])]
+        fs.clear()
+        assert fs.depth == 0
+        assert fs.arena.top == 0
+        assert fs.children[0] is None
+
+
+class TestInt64Arena:
+    def test_growth_preserves_prefix(self):
+        arena = Int64Arena(capacity=2)
+        a = arena.push([1, 2])
+        b = arena.push(list(range(100)))
+        assert arena.view(*a).tolist() == [1, 2]
+        assert arena.view(*b).tolist() == list(range(100))
+        assert len(arena.buf) >= 102
+
+    def test_truncate_is_lifo(self):
+        arena = Int64Arena()
+        s0, e0 = arena.push([7, 8])
+        arena.push([9])
+        arena.truncate(e0)
+        assert arena.top == e0
+        assert arena.view(s0, e0).tolist() == [7, 8]
+
+
+# ---------------------------------------------------------------------------
+# config validation (the silent-fallback fix)
+# ---------------------------------------------------------------------------
+class TestVectorizedFlagAgreement:
+    def test_runtime_rejects_mismatched_store(self):
+        g = random_graph(1, n=12)
+        scalar_store = DynamicGraphStore(g, PARAMS, vectorized=False)
+        with pytest.raises(ConfigMismatchError):
+            QueryRuntime(CHORD_Q, scalar_store, PARAMS, WBMConfig(vectorized=True))
+        vec_store = DynamicGraphStore(g, PARAMS, vectorized=True)
+        with pytest.raises(ConfigMismatchError):
+            QueryRuntime(CHORD_Q, vec_store, PARAMS, WBMConfig(vectorized=False))
+
+    def test_service_registration_rejects_mismatch(self):
+        g = random_graph(2, n=12)
+        service = MatchingService(g, params=PARAMS, vectorized=False)
+        with pytest.raises(ConfigMismatchError):
+            service.register_query(CHORD_Q, WBMConfig(vectorized=True))
+
+    def test_agreement_accepted_both_ways(self):
+        g = random_graph(3, n=12)
+        for vec in (True, False):
+            store = DynamicGraphStore(g, PARAMS, vectorized=vec)
+            rt = QueryRuntime(CHORD_Q, store, PARAMS, WBMConfig(vectorized=vec))
+            assert rt.config.vectorized == vec
+
+    def test_engine_always_consistent(self):
+        """WBMEngine builds its store from the config, so both flags
+        always agree by construction."""
+        g = random_graph(4, n=12)
+        for vec in (True, False):
+            engine = WBMEngine(CHORD_Q, g, PARAMS, WBMConfig(vectorized=vec))
+            assert engine.store.vectorized == vec

@@ -74,6 +74,73 @@ class TestPipelineModel:
         assert report.makespan == 0.0
 
 
+class TestPipelineEdgeCases:
+    """Overlap-scheduling corners: empty stage lists, single stage,
+    zero-duration stages, per-batch stage overrides."""
+
+    def test_empty_stage_list_model(self):
+        report = PipelineModel([]).schedule([{}, {}])
+        assert report.makespan == 0.0
+        assert report.serial_total == 0.0
+        assert report.schedule == []
+        assert report.overlap_speedup == 1.0
+
+    def test_empty_per_batch_stage_lists(self):
+        model = PipelineModel([("a", "cpu")])
+        report = model.schedule(
+            [{"a": 5.0}, {"a": 5.0}], batch_stages=[[], []]
+        )
+        # the override removes every stage: nothing runs, nothing costs
+        assert report.makespan == 0.0
+        assert report.per_resource_busy == {}
+
+    def test_single_stage_is_fifo_serial(self):
+        model = PipelineModel([("k", "gpu")])
+        report = model.schedule([{"k": d} for d in (2.0, 1.0, 3.0)])
+        assert report.makespan == pytest.approx(6.0)
+        starts = [st for _, _, st, _ in sorted(report.schedule)]
+        assert starts == [0.0, 2.0, 3.0]  # FIFO per resource, batch order
+
+    def test_zero_duration_stages(self):
+        model = PipelineModel([("a", "cpu"), ("b", "gpu"), ("c", "cpu")])
+        report = model.schedule([{"a": 0.0, "b": 0.0, "c": 0.0}] * 3)
+        assert report.makespan == 0.0
+        assert report.overlap_speedup == 1.0  # guarded division
+        assert len(report.schedule) == 9  # every instance still scheduled
+
+    def test_zero_duration_stage_does_not_block(self):
+        """A zero-cost middle stage must not delay its successor."""
+        model = PipelineModel([("a", "cpu"), ("b", "pcie"), ("c", "gpu")])
+        report = model.schedule([{"a": 1.0, "b": 0.0, "c": 2.0}] * 2)
+        times = {(i, s): (st, en) for i, s, st, en in report.schedule}
+        assert times[(0, "b")] == (1.0, 1.0)
+        assert times[(0, "c")][0] == 1.0
+        assert report.makespan == pytest.approx(5.0)
+
+    def test_missing_stage_durations_count_zero(self):
+        model = PipelineModel([("a", "cpu"), ("b", "gpu")])
+        report = model.schedule([{"b": 2.0}])  # "a" missing -> 0
+        assert report.makespan == pytest.approx(2.0)
+        assert report.per_stage_total["a"] == 0.0
+
+    def test_batch_stages_length_mismatch_raises(self):
+        model = PipelineModel([("a", "cpu")])
+        with pytest.raises(ValueError):
+            model.schedule([{"a": 1.0}] * 2, batch_stages=[[("a", "cpu")]])
+
+    def test_heterogeneous_per_batch_stages(self):
+        """Batches may carry different stage lists (queries registering
+        mid-stream); resources stay exclusive across the mix."""
+        model = PipelineModel([("a", "cpu")])
+        report = model.schedule(
+            [{"a": 1.0}, {"a": 1.0, "k": 2.0}],
+            batch_stages=[[("a", "cpu")], [("a", "cpu"), ("k", "gpu")]],
+        )
+        # ties go to the earlier batch: a0 [0,1], a1 [1,2], k1 [2,4]
+        assert report.makespan == pytest.approx(4.0)
+        assert report.per_resource_busy == {"cpu": 2.0, "gpu": 2.0}
+
+
 class TestMatchCollector:
     def test_positive_then_negative_cancels(self):
         c = MatchCollector()
@@ -97,6 +164,47 @@ class TestMatchCollector:
         assert c.total_positives == 2
         assert c.total_negatives == 1
         assert c.batches == 1
+
+
+class TestPostprocessDedupOrdering:
+    """Postprocess sink semantics: signed dedup across batches and the
+    deterministic record ordering consumers rely on."""
+
+    def test_death_then_rebirth_nets_to_alive(self):
+        c = MatchCollector()
+        c.consume(BatchResult(negatives={(2, 3)}))  # initial-state death
+        assert c.dead_matches() == {(2, 3)}
+        c.consume(BatchResult(positives={(2, 3)}))  # reborn
+        assert c.dead_matches() == set()
+        assert c.live_matches() == set()  # back to initial state, not new
+        assert c.net_change() == 0
+
+    def test_double_death_raises(self):
+        c = MatchCollector()
+        c.consume(BatchResult(negatives={(0, 1)}))
+        with pytest.raises(MatchingError):
+            c.consume(BatchResult(negatives={(0, 1)}))
+
+    def test_same_batch_birth_and_death_disjoint_sets(self):
+        c = MatchCollector()
+        c.consume(BatchResult(positives={(0, 1)}, negatives={(2, 3)}))
+        assert c.live_matches() == {(0, 1)}
+        assert c.dead_matches() == {(2, 3)}
+        assert c.net_change() == 0
+
+    def test_batch_records_sorted_signed_order(self):
+        """records lists births (sorted) before deaths (sorted) — the
+        deterministic consumer-facing ordering."""
+        r = BatchResult(
+            positives={(5, 6), (1, 2)}, negatives={(9, 9), (0, 3)}
+        )
+        recs = r.records
+        assert [(m.sign, m.match) for m in recs] == [
+            (1, (1, 2)),
+            (1, (5, 6)),
+            (-1, (0, 3)),
+            (-1, (9, 9)),
+        ]
 
 
 class TestThroughputMeter:
