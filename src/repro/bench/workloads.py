@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
+
 from repro.errors import BenchmarkError
 from repro.graph.kcore import core_numbers
 from repro.graph.labeled_graph import LabeledGraph
-from repro.graph.updates import UpdateBatch, UpdateOp
+from repro.graph.updates import UpdateBatch
 
 
 def classify_query(query: LabeledGraph) -> str:
@@ -169,6 +171,17 @@ def make_query_set(
 # ---------------------------------------------------------------------------
 # update workloads (holdout methodology)
 # ---------------------------------------------------------------------------
+def _columnar_batch(rows: list[tuple[int, int, int, int]]) -> UpdateBatch:
+    """``(kind, u, v, label)`` rows as a batch with its columnar arrays
+    attached at build time — consumers (``effective_delta``) never pay
+    the per-op ``fromiter`` rebuild. Shuffling the tuple rows first
+    consumes exactly the entropy shuffling an ``UpdateOp`` list would
+    (``random.shuffle`` depends only on length), so generated workloads
+    are op-for-op identical to the object-based construction."""
+    arr = np.asarray(rows, dtype=np.int64).reshape(-1, 4)
+    return UpdateBatch.from_columns(arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+
+
 def holdout_workload(
     graph: LabeledGraph,
     rate: float,
@@ -205,15 +218,15 @@ def holdout_workload(
         g0 = graph.copy()
         for u, v, _ in held:
             g0.remove_edge(u, v)
-        ops = [UpdateOp.insert(u, v, l) for u, v, l in held]
-        rng.shuffle(ops)
-        return g0, UpdateBatch(ops)
+        rows = [(1, u, v, l) for u, v, l in held]
+        rng.shuffle(rows)
+        return g0, _columnar_batch(rows)
 
     if mode == "delete":
         victims = edges[:k]
-        ops = [UpdateOp.delete(u, v) for u, v, _ in victims]
-        rng.shuffle(ops)
-        return graph.copy(), UpdateBatch(ops)
+        rows = [(0, u, v, 0) for u, v, _ in victims]
+        rng.shuffle(rows)
+        return graph.copy(), _columnar_batch(rows)
 
     # mixed 2:1
     k_ins = max(1, (2 * k) // 3)
@@ -223,10 +236,10 @@ def holdout_workload(
     for u, v, _ in held:
         g0.remove_edge(u, v)
     remaining = [e for e in edges[k_ins : k_ins + 3 * k_del] if g0.has_edge(e[0], e[1])]
-    ops = [UpdateOp.insert(u, v, l) for u, v, l in held]
-    ops += [UpdateOp.delete(u, v) for u, v, _ in remaining[:k_del]]
-    rng.shuffle(ops)
-    return g0, UpdateBatch(ops)
+    rows = [(1, u, v, l) for u, v, l in held]
+    rows += [(0, u, v, 0) for u, v, _ in remaining[:k_del]]
+    rng.shuffle(rows)
+    return g0, _columnar_batch(rows)
 
 
 def holdout_stream(
@@ -239,15 +252,52 @@ def holdout_stream(
     """Consecutive batches for pipeline experiments: the holdout edges
     are split across ``n_batches`` insert batches."""
     g0, batch = holdout_workload(graph, rate, mode=mode, seed=seed)
-    ops = list(batch.ops)
     from repro.graph.updates import UpdateStream
 
-    n_batches = max(1, min(n_batches, len(ops)))
-    base, extra = divmod(len(ops), n_batches)
+    n_batches = max(1, min(n_batches, len(batch)))
+    base, extra = divmod(len(batch), n_batches)
     batches = []
     pos = 0
     for i in range(n_batches):
         take = base + (1 if i < extra else 0)
-        batches.append(UpdateBatch(ops[pos : pos + take]))
+        batches.append(batch.subbatch(pos, pos + take))
         pos += take
     return g0, UpdateStream(batches)
+
+
+# ---------------------------------------------------------------------------
+# hub-heavy synthetic schedule (fused Gen-Candidates showcase)
+# ---------------------------------------------------------------------------
+def hub_schedule(
+    n_hubs: int = 6,
+    n_leaves: int = 420,
+    span: int = 3,
+    n_inserts: int = 32,
+) -> tuple[LabeledGraph, UpdateBatch, LabeledGraph]:
+    """A bipartite hub/leaf graph plus an insert batch engineered so the
+    serving launch is dominated by candidate generation over shared hub
+    adjacencies: every hub connects to ``span/n_hubs`` of the leaves
+    (hub degree ``≈ span·n_leaves/n_hubs``), the batch inserts missing
+    hub–leaf edges, and the returned query is the 5-cycle — the host
+    graph is bipartite, so the query has **zero** matches and the whole
+    launch is Gen-Candidates work plus failed closing intersections.
+    Update edges land on the same few hubs, which makes sibling warp
+    tasks share anchors (the fused batch + hub-slice cache sweet spot).
+    """
+    edges = []
+    for i in range(n_hubs):
+        for j in range(n_leaves):
+            if (i + j) % n_hubs < span:
+                edges.append((i, n_hubs + j))
+    g0 = LabeledGraph.from_edges([0] * (n_hubs + n_leaves), edges)
+    rows = []
+    for j in range(n_leaves):
+        for i in range(n_hubs):
+            if len(rows) >= n_inserts:
+                break
+            if not g0.has_edge(i, n_hubs + j):
+                rows.append((1, i, n_hubs + j, 0))
+    query = LabeledGraph.from_edges(
+        [0] * 5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]
+    )
+    return g0, _columnar_batch(rows), query

@@ -32,7 +32,7 @@ flag — only the wall-clock cost of simulating the launch does
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Optional
 
@@ -204,7 +204,7 @@ class VirtualGPU:
                     # (WBM's all-probe block) survive eviction cycles
                     self._block_cache.pop(cache_key)
                     self._block_cache[cache_key] = template
-                    block_stats = replace(template)
+                    block_stats = template.copy()
                     self.blocks_memoized += 1
             if block_stats is None:
                 sched = self._block_scheduler(block_tasks, shared_setup)
@@ -223,7 +223,7 @@ class VirtualGPU:
                         # hot shared-trace entries re-insertable while
                         # capping churn from per-launch trace objects
                         self._block_cache.pop(next(iter(self._block_cache)))
-                    self._block_cache[cache_key] = replace(block_stats)
+                    self._block_cache[cache_key] = block_stats.copy()
             stats.add_block(block_stats)
             sm_time[b % params.num_sms] += block_stats.makespan_cycles
         stats.kernel_cycles = max(sm_time)

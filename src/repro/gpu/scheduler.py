@@ -133,6 +133,13 @@ class BlockScheduler:
         #: this to prove an idle-spin pricing window is interaction-free
         self.idle_sourced: set[int] = set()
         self.level_steps = 0  # DFS level-cursor resumptions (set by run)
+        #: optional level-barrier hook, set by the kernel's block hook:
+        #: called with a level cursor right before it steps so sibling
+        #: cursors staging the same candidate generation
+        #: (:meth:`LevelCursor.staged_gen`) can be batched in one fused
+        #: pass. Host-side only — it must not touch shared memory or
+        #: charge cycles, so the modeled schedule is unchanged.
+        self.step_coalescer: Optional[Callable[[LevelCursor], None]] = None
         #: True while any mailbox may hold deliverable work: set by
         #: push_work, cleared by a drain that empties every mailbox —
         #: the run loop skips the drain entirely between pushes
@@ -212,6 +219,9 @@ class BlockScheduler:
                 # generator resumption
                 if type(gen) is not TraceCursor:
                     self.level_steps += 1
+                    coal = self.step_coalescer
+                    if coal is not None:
+                        coal(gen)
                 if gen.step(ctx):
                     self.stats.tasks_completed += 1
                     self._dispatch_next(w, generators, heap, pending, finish_clock)

@@ -40,6 +40,15 @@ class BlockStats:
     steal_attempts: int = 0
     tasks_completed: int = 0
 
+    def copy(self) -> "BlockStats":
+        """Field-for-field copy without ``dataclasses.replace`` — the
+        block-memoization path copies one per replayed block, and
+        replace's signature binding is measurable there (every field is
+        a scalar, so a ``__dict__`` transplant is exact)."""
+        out = BlockStats.__new__(BlockStats)
+        out.__dict__.update(self.__dict__)
+        return out
+
     @property
     def utilization(self) -> float:
         """Fraction of warp-cycles spent busy until the block finished."""

@@ -73,6 +73,10 @@ class UpdateBatch:
     """An ordered set of update operations applied as one batch."""
 
     ops: list[UpdateOp] = field(default_factory=list)
+    #: cached columnar ``(kind, u, v, label)`` form — attached by
+    #: :meth:`from_columns` / :meth:`subbatch` or built lazily by the
+    #: first :meth:`op_arrays` call, invalidated by :meth:`append`
+    _columns: tuple | None = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -85,6 +89,7 @@ class UpdateBatch:
 
     def append(self, op: UpdateOp) -> None:
         self.ops.append(op)
+        self._columns = None
 
     def insertions(self) -> list[UpdateOp]:
         return [op for op in self.ops if op.kind is OpKind.INSERT]
@@ -92,14 +97,56 @@ class UpdateBatch:
     def deletions(self) -> list[UpdateOp]:
         return [op for op in self.ops if op.kind is OpKind.DELETE]
 
+    @classmethod
+    def from_columns(
+        cls,
+        kind: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        label: np.ndarray,
+    ) -> "UpdateBatch":
+        """Build a batch directly from columnar int64 arrays (kind 1 =
+        insert, 0 = delete; deletion labels are normalized to 0 exactly
+        as :meth:`UpdateOp.delete` would). The workload generators emit
+        column arrays natively, so the per-batch ``fromiter`` walk of a
+        lazy :meth:`op_arrays` never runs."""
+        kind = np.asarray(kind, dtype=np.int64)
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        label = np.where(kind == 1, np.asarray(label, dtype=np.int64), 0)
+        ops = [
+            UpdateOp(OpKind.INSERT, uu, vv, ll)
+            if kk
+            else UpdateOp(OpKind.DELETE, uu, vv)
+            for kk, uu, vv, ll in zip(
+                kind.tolist(), u.tolist(), v.tolist(), label.tolist()
+            )
+        ]
+        batch = cls(ops)
+        batch._columns = (kind, u, v, label)
+        return batch
+
+    def subbatch(self, lo: int, hi: int) -> "UpdateBatch":
+        """The ops slice ``[lo, hi)`` as its own batch, carrying the
+        matching slice of the cached columns (array slicing is a view —
+        splitting a stream into batches stays fromiter-free)."""
+        out = UpdateBatch(self.ops[lo:hi])
+        cols = self._columns
+        if cols is not None:
+            out._columns = tuple(c[lo:hi] for c in cols)
+        return out
+
     def op_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Columnar ``(kind, u, v, label)`` int64 view of the ops, with
-        kind 1 for insert and 0 for delete — one flat interleaved pass
-        instead of four attribute walks."""
+        kind 1 for insert and 0 for delete — cached, and one flat
+        interleaved pass instead of four attribute walks on a miss."""
+        if self._columns is not None:
+            return self._columns
         m = len(self.ops)
         if not m:
             e = np.empty(0, dtype=np.int64)
-            return e, e, e, e
+            self._columns = (e, e, e, e)
+            return self._columns
         flat = np.fromiter(
             (
                 x
@@ -114,7 +161,8 @@ class UpdateBatch:
             dtype=np.int64,
             count=4 * m,
         ).reshape(m, 4)
-        return flat[:, 0], flat[:, 1], flat[:, 2], flat[:, 3]
+        self._columns = (flat[:, 0], flat[:, 1], flat[:, 2], flat[:, 3])
+        return self._columns
 
     @property
     def is_batch_dynamic(self) -> bool:

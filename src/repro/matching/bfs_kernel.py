@@ -27,12 +27,14 @@ from repro.gpu.stats import BlockStats
 from repro.gpu.warp import WarpContext
 from repro.matching.coalesced import trivial_plan
 from repro.matching.wbm import (
+    _LEVEL_BATCH_MIN,
     KernelOutput,
     Match,
     WBMConfig,
     _Env,
     _gen_candidates,
     _level_children,
+    _level_children_multi,
 )
 
 
@@ -225,11 +227,14 @@ class BFSEngine:
         """
         n = self.query.n_vertices
         params = self.params
+        fused = env.config.fused_gen
         matches: set[Match] = set()
         frames = [(group, assign, rank, None) for group, assign, rank in seeds]
         for level in range(2, n):
             start_clock = ctx.clock
             nxt: list[tuple[object, dict[int, int], int, object]] = []
+            # pass 1: resolve candidate runs, emit the leaf level
+            prepared: list[tuple[object, dict[int, int], int, list]] = []
             for group, assign, rank, cands in frames:
                 order = group.full_order
                 if cands is None:  # seed: entry generation, charged here
@@ -245,9 +250,52 @@ class BFSEngine:
                     continue
                 if not cands:
                     continue
-                children, costs = _level_children(
-                    env, group, order, assign, level, cands, rank, ctx.params
-                )
+                prepared.append((group, assign, rank, cands))
+            # pass 2: sibling frames of one group share the level's query
+            # vertex, so they fuse into one launch-wide generation batch
+            gen_out: list = [None] * len(prepared)
+            by_group: dict[int, list[int]] = {}
+            for i, (group, _, _, _) in enumerate(prepared):
+                by_group.setdefault(id(group), []).append(i)
+            for idxs in by_group.values():
+                group = prepared[idxs[0]][0]
+                if (
+                    fused
+                    and len(idxs) >= 2
+                    and sum(len(prepared[i][3]) for i in idxs)
+                    >= _LEVEL_BATCH_MIN
+                ):
+                    results = _level_children_multi(
+                        env,
+                        group,
+                        group.full_order,
+                        level,
+                        [
+                            (
+                                prepared[i][1],
+                                np.asarray(prepared[i][3], dtype=np.int64),
+                                prepared[i][2],
+                            )
+                            for i in idxs
+                        ],
+                        ctx.params,
+                    )
+                    for i, res in zip(idxs, results):
+                        gen_out[i] = res
+                else:
+                    for i in idxs:
+                        _, assign, rank, cands = prepared[i]
+                        gen_out[i] = _level_children(
+                            env, group, group.full_order, assign, level,
+                            cands, rank, ctx.params,
+                        )
+            # pass 3: consume in the original frame order; a level's
+            # charges are additive integer cycles, so the totals equal
+            # the interleaved unfused pass exactly
+            for (group, assign, rank, cands), (children, costs) in zip(
+                prepared, gen_out
+            ):
+                qv = group.full_order[level]
                 for j, c in enumerate(cands):
                     costs.apply(ctx, j)
                     child = dict(assign)

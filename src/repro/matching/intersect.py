@@ -39,6 +39,40 @@ def intersect_sorted(
     return cands[hit]
 
 
+def segmented_positions_in(
+    targets: np.ndarray,
+    target_segs: np.ndarray,
+    probes: np.ndarray,
+    probe_segs: np.ndarray,
+    stride: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Multi-frame form of :func:`positions_in`: one ``searchsorted``
+    resolves every probe against its *own* segment's sorted target run.
+
+    ``targets`` is the concatenation of per-segment ascending runs with
+    aligned segment ids ``target_segs`` (ascending); each probe ``i`` is
+    looked up only in the run whose id equals ``probe_segs[i]``. Keying
+    both sides as ``seg * stride + value`` (``stride`` strictly above
+    every value, e.g. the CSR vertex count) makes the concatenated
+    target keys globally sorted, so a single binary-search pass covers
+    all frames — the fused Gen-Candidates gather of the launch-wide
+    level step. Returns clamped positions into ``targets`` plus the
+    membership mask; a probe whose segment has an empty run can never
+    match (its key falls into a foreign segment's key range).
+    """
+    n = len(targets)
+    if not n:
+        return np.zeros(len(probes), dtype=np.int64), np.zeros(
+            len(probes), dtype=bool
+        )
+    stride = np.int64(stride)
+    tkeys = targets + target_segs * stride
+    pkeys = probes + probe_segs * stride
+    pos = np.searchsorted(tkeys, pkeys)
+    np.minimum(pos, n - 1, out=pos)
+    return pos, tkeys[pos] == pkeys
+
+
 def mask_members(
     mask: np.ndarray, base: np.ndarray, values: Iterable[int]
 ) -> None:

@@ -49,7 +49,7 @@ import numpy as np
 
 from repro.errors import BudgetExceeded, ConfigMismatchError, MatchingError
 from repro.filtering import CandidateTable, EncodingSchema
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, _flat_indices
 from repro.graph.labeled_graph import LabeledGraph, canonical
 from repro.graph.updates import UpdateBatch
 from repro.gpu.device import VirtualGPU
@@ -73,6 +73,7 @@ from repro.matching.intersect import (
     intersect_sorted,
     mask_members,
     positions_in,
+    segmented_positions_in,
 )
 from repro.pma.gpma import GpmaUpdateStats
 
@@ -102,6 +103,14 @@ class WBMConfig:
     #: otherwise-vectorized path — a diagnostic knob for isolating the
     #: level-step rewrite; the full oracle remains ``vectorized=False``.
     level_step: bool = True
+    #: launch-wide fused candidate generation on the level-stepped path:
+    #: when the scheduler steps a DFS level, sibling cursors staging a
+    #: generation for the same (group, level) are batch-generated in one
+    #: segmented pass, and first-stage hub-slice narrowings are cached
+    #: per launch on the env. False reproduces the per-cursor PR-5
+    #: behavior — a diagnostic knob; matches, stats, and the whole block
+    #: schedule are byte-identical either way.
+    fused_gen: bool = True
     # engine-wide busy-cycle allowance per launch (the timeout analogue;
     # exceeded -> BudgetExceeded -> the query counts as unsolved)
     cycle_budget: Optional[float] = None
@@ -217,6 +226,18 @@ class _Env:
         # assignment array are reused across blocks (workers reset them
         # on completion, exactly like the pooled scheduler contexts)
         self._cursor_states: dict[int, dict] = {}
+        # per-launch cache of first-stage narrowed hub slices, keyed by
+        # (anchor data vertex, query vertex, anchor query vertex, filter
+        # column): the label/edge-label/bitmap mask over a hub's sorted
+        # adjacency depends only on that key, so repeated expansions of
+        # the same hub across update edges (and across sibling cursors
+        # in the fused level step) hit memory instead of recomputation.
+        # Injectivity and rank filtering are applied by the caller on
+        # top of the cached slice — both are order-preserving ANDs, so
+        # they commute with the cached narrowing. None = caching off.
+        self._hub_slices: Optional[dict[tuple, np.ndarray]] = (
+            {} if (config.vectorized and config.fused_gen) else None
+        )
         self.gauge = _MemoryGauge()
         self.n = query.n_vertices
         # phase-A filter columns: per (group, query vertex), the union of
@@ -263,6 +284,28 @@ class _Env:
         if blocked.any():
             return cands[~blocked]
         return cands
+
+    def hub_slice(
+        self, anchor_dv: int, qv: int, anchor_qv: int, col, col_key
+    ) -> np.ndarray:
+        """Cached first-stage narrowing of ``anchor_dv``'s sorted
+        adjacency for candidates of ``qv``: vertex label, edge label to
+        the anchor, and the candidacy column — every prefix-independent
+        mask. The caller layers injectivity / rank / other-neighbor
+        intersections on top (never mutating the cached array)."""
+        key = (anchor_dv, qv, anchor_qv, col_key)
+        cache = self._hub_slices
+        sl = cache.get(key)
+        if sl is None:
+            csr = self.csr
+            base = csr.neighbor_slice(anchor_dv)
+            query = self.query
+            mask = (csr.vertex_labels[base] == query.vertex_label(qv)) & (
+                csr.edge_label_slice(anchor_dv) == query.edge_label(qv, anchor_qv)
+            )
+            mask &= gather_column(col, base)
+            sl = cache[key] = base[mask]
+        return sl
 
     def cursor_state(self, warp_id: int) -> dict:
         """Pooled array-layout DFS state of one warp (level-step path)."""
@@ -353,11 +396,15 @@ def _gen_candidates(
     in_core = level < boundary
     if in_core:
         col = env.orbit_column(group, qv)
+        col_key = (id(group), qv)
     else:
         col = env.table.bitmap[:, qv]
+        col_key = qv
     if env.config.vectorized:
         base = env.csr.neighbor_slice(assign[anchor])
-        out = _candidates_vectorized(env, group, assign, qv, anchor, others, col, rank)
+        out = _candidates_vectorized(
+            env, group, assign, qv, anchor, others, col, rank, col_key
+        )
     else:
         base = graph.neighbors(assign[anchor])
         out = _candidates_scalar(env, group, assign, qv, anchor, others, col, rank)
@@ -384,6 +431,7 @@ def _candidates_scalar(
     others: list[int],
     col,
     rank: int,
+    col_key=None,  # accepted for signature parity with the array form
 ) -> list[int]:
     """Original dict-walk Gen-Candidates (the correctness oracle)."""
     query, graph = env.query, env.graph
@@ -434,31 +482,47 @@ def _candidates_vectorized(
     others: list[int],
     col,
     rank: int,
+    col_key=None,
 ) -> list[int]:
     """CSR-backed Gen-Candidates: the anchor's sorted neighbor slice is
     narrowed by vectorized vertex-label / edge-label / bitmap /
     injectivity masks, then intersected with every other matched
     neighbor's sorted adjacency via ``searchsorted`` (the paper's
     per-lane parallel binary search). Produces the identical ascending
-    candidate list as the scalar oracle."""
+    candidate list as the scalar oracle. With the per-launch hub-slice
+    cache enabled (and a hashable ``col_key`` for the filter column),
+    large anchors reuse the cached first-stage narrowing."""
     query, csr = env.query, env.csr
     anchor_dv = assign[anchor]
     base = csr.neighbor_slice(anchor_dv)
     n_base = len(base)
     if not n_base:
         return []
-    elabels = csr.edge_label_slice(anchor_dv)
-    labels = csr.vertex_labels
-    mask = (labels[base] == query.vertex_label(qv)) & (
-        elabels == query.edge_label(qv, anchor)
-    )
-    # candidacy bitmap column (may be shorter than the data graph when
-    # updates appended vertices: out-of-range rows carry no claim)
-    mask &= gather_column(col, base)
-    # injectivity against the partial match: binary-search each of the
-    # (few) matched data vertices into the sorted neighbor slice
-    mask_members(mask, base, assign.values())
-    cands = base[mask]
+    if (
+        env._hub_slices is not None
+        and col_key is not None
+        and n_base > _SCALAR_GEN_MAX
+    ):
+        narrowed = env.hub_slice(anchor_dv, qv, anchor, col, col_key)
+        # injectivity on the cached slice: clearing assigned vertices
+        # from the narrowed subsequence keeps exactly the survivors the
+        # full-base mask would keep (both filters are per-element ANDs)
+        keep = np.ones(len(narrowed), dtype=bool)
+        mask_members(keep, narrowed, assign.values())
+        cands = narrowed[keep]
+    else:
+        elabels = csr.edge_label_slice(anchor_dv)
+        labels = csr.vertex_labels
+        mask = (labels[base] == query.vertex_label(qv)) & (
+            elabels == query.edge_label(qv, anchor)
+        )
+        # candidacy bitmap column (may be shorter than the data graph when
+        # updates appended vertices: out-of-range rows carry no claim)
+        mask &= gather_column(col, base)
+        # injectivity against the partial match: binary-search each of the
+        # (few) matched data vertices into the sorted neighbor slice
+        mask_members(mask, base, assign.values())
+        cands = base[mask]
     if env._rank_r is not None and len(cands):
         cands = env.rank_filter(cands, anchor_dv, rank)
     # sorted-adjacency intersection with every other matched neighbor
@@ -477,12 +541,93 @@ def _candidates_vectorized(
     return [int(c) for c in cands]
 
 
+def _fused_self_anchor(
+    env: "_Env",
+    prefix: dict[int, int],
+    rank: int,
+    qv: int,
+    qv_prev: int,
+    others: list[int],
+    col,
+    c_arr: np.ndarray,
+) -> list[np.ndarray]:
+    """Batched Gen-Candidates for a run of children whose cost anchor is
+    the frame vertex itself (each child's own adjacency is the narrowest
+    matched neighborhood). One concatenated pass over the children's
+    sorted adjacency slices replaces per-child generator calls: the
+    vertex-label / edge-label / bitmap masks vectorize across the whole
+    run, injectivity against the shared prefix is a handful of
+    inequality masks, and every *other* matched neighbor — a prefix
+    vertex, hence shared by the run — contributes ONE ``searchsorted``
+    over all surviving elements instead of one per child. Every filter
+    is a per-element AND, so the surviving values (ascending within
+    each child, like the sorted slices they came from) equal the
+    per-child :func:`_candidates_vectorized` calls exactly."""
+    query, csr = env.query, env.csr
+    offsets = csr.offsets
+    k = len(c_arr)
+    st = offsets[c_arr]
+    cnt = offsets[c_arr + 1] - st
+    flat = _flat_indices(st, cnt)
+    xs = csr.neighbors[flat]
+    m = (csr.vertex_labels[xs] == query.vertex_label(qv)) & (
+        csr.edge_labels[flat] == query.edge_label(qv, qv_prev)
+    )
+    m &= gather_column(col, xs)
+    # injectivity: the child itself can never appear in its own
+    # adjacency (no self loops), so only the shared prefix values mask
+    for v in prefix.values():
+        m &= xs != v
+    segs = np.repeat(np.arange(k, dtype=np.int64), cnt)
+    keep = np.nonzero(m)[0]
+    xs = xs[keep]
+    segs = segs[keep]
+    has_rank = env._rank_r is not None
+    alive = True
+    for w in others:
+        if not len(xs):
+            break
+        dv = prefix[w]
+        nbrs = csr.neighbor_slice(dv)
+        if not len(nbrs):
+            alive = False
+            break
+        pos, hit = positions_in(nbrs, xs)
+        hit &= csr.edge_label_slice(dv)[pos] == query.edge_label(qv, w)
+        if has_rank:
+            partners, ranks = env.rank_partners(dv)
+            if len(partners):
+                rpos, rhit = positions_in(partners, xs)
+                hit &= ~(rhit & (ranks[rpos] < rank))
+        xs = xs[hit]
+        segs = segs[hit]
+    empty = c_arr[:0]
+    if not alive or not len(xs):
+        return [empty] * k
+    counts = np.bincount(segs, minlength=k)
+    bounds = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    out: list[np.ndarray] = []
+    for i in range(k):
+        res = xs[int(bounds[i]) : int(bounds[i + 1])]
+        if has_rank and len(res):
+            # the rank rule against the child's own edge keys on the
+            # child value, so it stays a (cheap) per-child pass
+            res = env.rank_filter(res, int(c_arr[i]), rank)
+        out.append(res)
+    return out
+
+
 #: frames below this candidate count price/generate their level with the
 #: python pass (array-assembly overhead beats the batch win there)
 _LEVEL_BATCH_MIN = 10
 #: adjacency runs at or below this length walk the dict adjacency; the
 #: array kernels take over above it
 _SCALAR_GEN_MAX = 64
+#: self-anchored children batch through one fused pass only when their
+#: combined adjacency volume clears this bar — below it the per-child
+#: walks beat the array-assembly overhead
+_FUSE_SELF_MIN_WORK = 96
 
 
 def _level_children_scalar(
@@ -496,6 +641,7 @@ def _level_children_scalar(
     col,
     matched: list[int],
     cands: list[int],
+    col_key=None,
 ) -> tuple[list, SegmentCosts]:
     """Small-frame form of :func:`_level_children`: per-child cost
     totals by direct integer arithmetic (same pricing rules as
@@ -524,6 +670,12 @@ def _level_children_scalar(
     transactions = [0] * k
     children: list = [None] * k
     pre_cache: dict[int, list[int]] = {}
+    # fused mode defers small self-anchored children into one batched
+    # pass over their concatenated adjacency slices (see
+    # :func:`_fused_self_anchor`); the cost arithmetic is untouched
+    fuse_self: list[tuple[int, int]] = []
+    fuse_work = 0
+    fused = env.config.fused_gen
     for j, c in enumerate(cands):
         deg_c = graph.degree(c) if prev_matched else 0
         # anchor = first minimum-degree matched vertex (oracle tie-break)
@@ -549,20 +701,32 @@ def _level_children_scalar(
         clock[j] = comp_cy + (tx + scat) * gtc
         # --- data -----------------------------------------------------
         if anchor == qv_prev:
+            if fused and nb <= _SCALAR_GEN_MAX:
+                fuse_self.append((j, c))
+                fuse_work += nb
+                continue
             child_assign = dict(prefix)
             child_assign[qv_prev] = c
             gen = _candidates_scalar if nb <= _SCALAR_GEN_MAX else _candidates_vectorized
             children[j] = [
                 int(x)
                 for x in gen(
-                    env, group, child_assign, qv, qv_prev, others_if_self, col, rank
+                    env,
+                    group,
+                    child_assign,
+                    qv,
+                    qv_prev,
+                    others_if_self,
+                    col,
+                    rank,
+                    col_key,
                 )
             ]
             continue
         pre = pre_cache.get(anchor)
         if pre is None:
             pre = pre_cache[anchor] = _prefix_narrowed(
-                env, prefix, rank, qv, qv_prev, col, matched, anchor
+                env, prefix, rank, qv, qv_prev, col, matched, anchor, col_key
             )
         if not pre:
             children[j] = pre
@@ -581,6 +745,28 @@ def _level_children_scalar(
         else:
             # the child's value only matters for injectivity here
             children[j] = [x for x in pre if x != c] if c in pre else pre
+    if fuse_self:
+        if len(fuse_self) >= 2 and fuse_work >= _FUSE_SELF_MIN_WORK:
+            res = _fused_self_anchor(
+                env,
+                prefix,
+                rank,
+                qv,
+                qv_prev,
+                others_if_self,
+                col,
+                np.array([c for _, c in fuse_self], dtype=np.int64),
+            )
+            for (j, _), r in zip(fuse_self, res):
+                children[j] = r
+        else:
+            for j, c in fuse_self:
+                child_assign = dict(prefix)
+                child_assign[qv_prev] = c
+                children[j] = _candidates_scalar(
+                    env, group, child_assign, qv, qv_prev, others_if_self,
+                    col, rank, col_key,
+                )
     costs = SegmentCosts.from_totals(
         clock, list(clock), compute, transactions, coalesced, scattered
     )
@@ -596,23 +782,35 @@ def _narrowed_prefix_run(
     col,
     matched: list[int],
     anchor: int,
+    col_key=None,
 ) -> np.ndarray:
     """Array form of the shared prefix narrowing: candidates of ``qv``
     in the anchor's sorted adjacency surviving every prefix-only
     constraint (labels, bitmap, injectivity, rank rule, every prefix
     adjacency). The one implementation both frame-size strategies of
-    :func:`_level_children` narrow through."""
+    :func:`_level_children` narrow through; hub anchors hit the
+    per-launch first-stage slice cache when it is enabled."""
     query, csr = env.query, env.csr
     anchor_dv = prefix[anchor]
     base = csr.neighbor_slice(anchor_dv)
     if not len(base):
         return base
-    mask = (csr.vertex_labels[base] == query.vertex_label(qv)) & (
-        csr.edge_label_slice(anchor_dv) == query.edge_label(qv, anchor)
-    )
-    mask &= gather_column(col, base)
-    mask_members(mask, base, prefix.values())
-    pre = base[mask]
+    if (
+        env._hub_slices is not None
+        and col_key is not None
+        and len(base) > _SCALAR_GEN_MAX
+    ):
+        narrowed = env.hub_slice(anchor_dv, qv, anchor, col, col_key)
+        keep = np.ones(len(narrowed), dtype=bool)
+        mask_members(keep, narrowed, prefix.values())
+        pre = narrowed[keep]
+    else:
+        mask = (csr.vertex_labels[base] == query.vertex_label(qv)) & (
+            csr.edge_label_slice(anchor_dv) == query.edge_label(qv, anchor)
+        )
+        mask &= gather_column(col, base)
+        mask_members(mask, base, prefix.values())
+        pre = base[mask]
     if env._rank_r is not None and len(pre):
         pre = env.rank_filter(pre, anchor_dv, rank)
     for w in matched:
@@ -639,6 +837,7 @@ def _prefix_narrowed(
     col,
     matched: list[int],
     anchor: int,
+    col_key=None,
 ) -> list[int]:
     """Candidates of ``qv`` surviving every prefix-only constraint
     (labels, bitmap, injectivity, rank rule, all prefix adjacencies) —
@@ -650,7 +849,9 @@ def _prefix_narrowed(
     want_label = query.vertex_label(qv)
     if len(base) > _SCALAR_GEN_MAX:
         # hub anchor: one array narrowing beats the dict walk
-        pre = _narrowed_prefix_run(env, prefix, rank, qv, qv_prev, col, matched, anchor)
+        pre = _narrowed_prefix_run(
+            env, prefix, rank, qv, qv_prev, col, matched, anchor, col_key
+        )
         return [int(x) for x in pre]
     used = set(prefix.values())
     rank_map = env.rank_map
@@ -686,6 +887,245 @@ def _prefix_narrowed(
                     break
         if ok:
             out.append(c)
+    return out
+
+
+def _gen_cost_segments(
+    degs: np.ndarray, anchor_idx: np.ndarray, params: DeviceParams
+) -> SegmentCosts:
+    """Per-child priced Gen-Candidates segments from a degree matrix
+    (one row per matched query neighbor, one column per child).
+    Amounts mirror :func:`_gen_candidates` exactly; a single
+    :meth:`SegmentCosts.from_ops` call prices every child."""
+    k = degs.shape[1]
+    n_others = degs.shape[0] - 1
+    warp = params.warp_size
+    n_base = degs[anchor_idx, np.arange(k)]
+    lanes = n_base * (1 + n_others)
+    probe = np.maximum(1, n_base // warp)
+    if n_others:
+        rounds = -(-n_base // warp)
+        q_deg = (degs.sum(axis=0) - n_base) // n_others
+        # frexp's exponent is bit_length for positive ints (0 for 0)
+        steps = np.maximum(1, np.frexp(q_deg)[1].astype(np.int64))
+        kinds = np.tile(
+            np.array(
+                [OP_COALESCED, OP_LANES, OP_SCATTERED, OP_SCATTERED],
+                dtype=np.int64,
+            ),
+            k,
+        )
+        amounts = np.empty(4 * k, dtype=np.int64)
+        amounts[0::4] = n_base
+        amounts[1::4] = lanes
+        amounts[2::4] = rounds * steps * n_others
+        amounts[3::4] = probe
+        bounds = np.arange(4, 4 * k, 4, dtype=np.int64)
+    else:
+        kinds = np.tile(
+            np.array([OP_COALESCED, OP_LANES, OP_SCATTERED], dtype=np.int64), k
+        )
+        amounts = np.empty(3 * k, dtype=np.int64)
+        amounts[0::3] = n_base
+        amounts[1::3] = lanes
+        amounts[2::3] = probe
+        bounds = np.arange(3, 3 * k, 3, dtype=np.int64)
+    return SegmentCosts.from_ops(kinds, amounts, bounds, params)
+
+
+def _level_children_multi(
+    env: _Env,
+    group: CoalescedGroup,
+    order: tuple[int, ...],
+    lv: int,
+    requests: list[tuple[dict[int, int], np.ndarray, int]],
+    params: DeviceParams,
+) -> list[tuple[list, SegmentCosts]]:
+    """Launch-wide fused form of :func:`_level_children`.
+
+    Sibling requests targeting the same ``(group, level)`` — pending
+    frames of different warp cursors coalesced at a level step, or
+    sibling frontier partials of the BFS variant — are generated as ONE
+    batched pass over the concatenation of their candidate runs. Each
+    request is ``(prefix, candidate array, rank)``; all share the next
+    query vertex, the filter column, and the matched-neighbor set, so
+    the degree matrix, the anchor argmin, and the priced cost op arrays
+    assemble once over the union of children, and the per-request
+    :class:`SegmentCosts` are exact list slices of the one batch
+    pricing. Prefix-anchored runs defer their per-child adjacency
+    intersection into a single segmented ``searchsorted``
+    (:func:`segmented_positions_in`) across every (request, child)
+    pair. Children values and per-segment costs equal per-request
+    :func:`_level_children` calls — the fusion changes host-side
+    granularity, never a modeled number.
+    """
+    query, csr = env.query, env.csr
+    nxt = lv + 1
+    qv = order[nxt]
+    qv_prev = order[lv]
+    boundary = len(group.core)
+    if nxt < boundary:
+        col = env.orbit_column(group, qv)
+        col_key = (id(group), qv)
+    else:
+        col = env.table.bitmap[:, qv]
+        col_key = qv
+    # every request's prefix assigns exactly order[0..lv-1], so the
+    # matched set is request-invariant; probe it on the first prefix
+    matched = [
+        w for w in query.neighbors(qv) if w in requests[0][0] or w == qv_prev
+    ]
+    if not matched:
+        raise MatchingError(f"matching order broke connectivity at {qv}")
+    counts = np.array([len(c) for _, c, _ in requests], dtype=np.int64)
+    all_cands = np.concatenate([c for _, c, _ in requests])
+    total = len(all_cands)
+    offsets = csr.offsets
+    degs = np.empty((len(matched), total), dtype=np.int64)
+    for i, w in enumerate(matched):
+        if w == qv_prev:
+            degs[i] = offsets[all_cands + 1] - offsets[all_cands]
+        else:
+            degs[i] = np.repeat(
+                np.array(
+                    [csr.degree(prefix[w]) for prefix, _, _ in requests],
+                    dtype=np.int64,
+                ),
+                counts,
+            )
+    # first minimum along the matched order == the oracle's min() tie-break
+    anchor_idx = np.argmin(degs, axis=0)
+    batch_costs = _gen_cost_segments(degs, anchor_idx, params)
+
+    starts = np.zeros(len(requests) + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    out: list[tuple[list, SegmentCosts]] = []
+    for r in range(len(requests)):
+        a, b = int(starts[r]), int(starts[r + 1])
+        out.append(
+            (
+                [None] * (b - a),
+                SegmentCosts.from_totals(
+                    batch_costs.clock[a:b],
+                    batch_costs.busy[a:b],
+                    batch_costs.compute[a:b],
+                    batch_costs.transactions[a:b],
+                    batch_costs.coalesced[a:b],
+                    batch_costs.scattered[a:b],
+                ),
+            )
+        )
+
+    # --- per-child candidate data ------------------------------------
+    has_rank = env._rank_r is not None
+    prev_matched = qv_prev in matched
+    want_elabel = query.edge_label(qv, qv_prev) if prev_matched else None
+    others = [w for w in matched if w != qv_prev]
+    empty = all_cands[:0]
+    # deferred (request, child) pairs for the fused segmented intersect
+    fuse_pre: list[np.ndarray] = []
+    fuse_dst: list[tuple[int, int]] = []
+    fuse_c: list[int] = []
+    for r, (prefix, cands_r, rank) in enumerate(requests):
+        children = out[r][0]
+        a = int(starts[r])
+        aidx = anchor_idx[a : a + len(cands_r)]
+        for ai in sorted(set(aidx.tolist())):
+            sel = np.nonzero(aidx == ai)[0]
+            w_anchor = matched[ai]
+            if w_anchor == qv_prev:
+                # the anchor is the frame vertex itself: per-child base.
+                # Small-adjacency children batch through one fused pass;
+                # hub children stay per-child for the hub-slice cache.
+                deg_row = degs[ai, a : a + len(cands_r)]
+                rest = sel
+                small = sel[deg_row[sel] <= _SCALAR_GEN_MAX]
+                if (
+                    len(small) >= 2
+                    and int(deg_row[small].sum()) >= _FUSE_SELF_MIN_WORK
+                ):
+                    for j, res in zip(
+                        small.tolist(),
+                        _fused_self_anchor(
+                            env, prefix, rank, qv, qv_prev, others, col,
+                            cands_r[small],
+                        ),
+                    ):
+                        children[j] = res
+                    rest = sel[deg_row[sel] > _SCALAR_GEN_MAX]
+                for j in rest:
+                    child_assign = dict(prefix)
+                    child_assign[qv_prev] = int(cands_r[j])
+                    gen = (
+                        _candidates_scalar
+                        if deg_row[j] <= _SCALAR_GEN_MAX
+                        else _candidates_vectorized
+                    )
+                    children[j] = np.asarray(
+                        gen(
+                            env,
+                            group,
+                            child_assign,
+                            qv,
+                            qv_prev,
+                            others,
+                            col,
+                            rank,
+                            col_key,
+                        ),
+                        dtype=np.int64,
+                    )
+                continue
+            # prefix anchor: one shared narrowing for the whole run
+            pre = _narrowed_prefix_run(
+                env, prefix, rank, qv, qv_prev, col, matched, w_anchor, col_key
+            )
+            if prev_matched:
+                for j in sel:
+                    if not len(pre):
+                        children[j] = empty
+                        continue
+                    fuse_pre.append(pre)
+                    fuse_dst.append((r, int(j)))
+                    fuse_c.append(int(cands_r[j]))
+            else:
+                # the child's value only matters for injectivity here
+                for j in sel:
+                    children[j] = drop_member(pre, int(cands_r[j]))
+
+    if fuse_pre:
+        # one concatenated gather over the children's adjacency slices
+        # plus one segmented searchsorted covers every deferred pair
+        c_arr = np.array(fuse_c, dtype=np.int64)
+        t_starts = offsets[c_arr]
+        t_counts = offsets[c_arr + 1] - t_starts
+        flat = _flat_indices(t_starts, t_counts)
+        targets = csr.neighbors[flat]
+        t_lbls = csr.edge_labels[flat]
+        n_items = len(c_arr)
+        seg_ids = np.arange(n_items, dtype=np.int64)
+        t_segs = np.repeat(seg_ids, t_counts)
+        p_lens = np.fromiter(
+            (len(p) for p in fuse_pre), dtype=np.int64, count=n_items
+        )
+        probes = np.concatenate(fuse_pre)
+        p_segs = np.repeat(seg_ids, p_lens)
+        pos, hit = segmented_positions_in(
+            targets, t_segs, probes, p_segs, csr.n_vertices
+        )
+        if len(targets):
+            hit &= t_lbls[pos] == want_elabel
+        off = 0
+        for i in range(n_items):
+            ln = int(p_lens[i])
+            # no self loops: the child itself can never survive its own
+            # adjacency intersection, so injectivity is implied
+            res = fuse_pre[i][hit[off : off + ln]]
+            off += ln
+            r, j = fuse_dst[i]
+            if has_rank and len(res):
+                res = env.rank_filter(res, fuse_c[i], requests[r][2])
+            out[r][0][j] = res
     return out
 
 
@@ -730,8 +1170,10 @@ def _level_children(
     boundary = len(group.core)
     if nxt < boundary:
         col = env.orbit_column(group, qv)
+        col_key = (id(group), qv)
     else:
         col = env.table.bitmap[:, qv]
+        col_key = qv
     matched = [w for w in query.neighbors(qv) if w in prefix or w == qv_prev]
     if not matched:
         raise MatchingError(f"matching order broke connectivity at {qv}")
@@ -739,7 +1181,7 @@ def _level_children(
     if k < _LEVEL_BATCH_MIN:
         return _level_children_scalar(
             env, group, prefix, rank, params, qv, qv_prev, col, matched,
-            [int(c) for c in cands],
+            [int(c) for c in cands], col_key,
         )
     cands = np.asarray(cands, dtype=np.int64)
     offsets = csr.offsets
@@ -751,41 +1193,7 @@ def _level_children(
             degs[i] = csr.degree(prefix[w])
     # first minimum along the matched order == the oracle's min() tie-break
     anchor_idx = np.argmin(degs, axis=0)
-    n_others = len(matched) - 1
-    warp = params.warp_size
-
-    # --- per-child cost segments (amounts mirror _gen_candidates) -----
-    n_base = degs[anchor_idx, np.arange(k)]
-    lanes = n_base * (1 + n_others)
-    probe = np.maximum(1, n_base // warp)
-    if n_others:
-        rounds = -(-n_base // warp)
-        q_deg = (degs.sum(axis=0) - n_base) // n_others
-        # frexp's exponent is bit_length for positive ints (0 for 0)
-        steps = np.maximum(1, np.frexp(q_deg)[1].astype(np.int64))
-        kinds = np.tile(
-            np.array(
-                [OP_COALESCED, OP_LANES, OP_SCATTERED, OP_SCATTERED],
-                dtype=np.int64,
-            ),
-            k,
-        )
-        amounts = np.empty(4 * k, dtype=np.int64)
-        amounts[0::4] = n_base
-        amounts[1::4] = lanes
-        amounts[2::4] = rounds * steps * n_others
-        amounts[3::4] = probe
-        bounds = np.arange(4, 4 * k, 4, dtype=np.int64)
-    else:
-        kinds = np.tile(
-            np.array([OP_COALESCED, OP_LANES, OP_SCATTERED], dtype=np.int64), k
-        )
-        amounts = np.empty(3 * k, dtype=np.int64)
-        amounts[0::3] = n_base
-        amounts[1::3] = lanes
-        amounts[2::3] = probe
-        bounds = np.arange(3, 3 * k, 3, dtype=np.int64)
-    costs = SegmentCosts.from_ops(kinds, amounts, bounds, params)
+    costs = _gen_cost_segments(degs, anchor_idx, params)
 
     # --- per-child candidate data ------------------------------------
     children: list = [None] * k
@@ -798,7 +1206,26 @@ def _level_children(
             # the anchor is the frame vertex itself: per-child base
             others = [w for w in matched if w != qv_prev]
             deg_row = degs[ai]
-            for j in sel:
+            rest = sel
+            if env.config.fused_gen:
+                # fused mode: small-adjacency children batch through one
+                # concatenated pass; hub children stay per-child so the
+                # hub-slice cache keeps covering their first stage
+                small = sel[deg_row[sel] <= _SCALAR_GEN_MAX]
+                if (
+                    len(small) >= 2
+                    and int(deg_row[small].sum()) >= _FUSE_SELF_MIN_WORK
+                ):
+                    for j, res in zip(
+                        small.tolist(),
+                        _fused_self_anchor(
+                            env, prefix, rank, qv, qv_prev, others, col,
+                            cands[small],
+                        ),
+                    ):
+                        children[j] = res
+                    rest = sel[deg_row[sel] > _SCALAR_GEN_MAX]
+            for j in rest:
                 child_assign = dict(prefix)
                 child_assign[qv_prev] = int(cands[j])
                 gen = (
@@ -807,13 +1234,23 @@ def _level_children(
                     else _candidates_vectorized
                 )
                 children[j] = np.asarray(
-                    gen(env, group, child_assign, qv, qv_prev, others, col, rank),
+                    gen(
+                        env,
+                        group,
+                        child_assign,
+                        qv,
+                        qv_prev,
+                        others,
+                        col,
+                        rank,
+                        col_key,
+                    ),
                     dtype=np.int64,
                 )
             continue
         # prefix anchor: one shared narrowing for the whole run
         pre = _narrowed_prefix_run(
-            env, prefix, rank, qv, qv_prev, col, matched, w_anchor
+            env, prefix, rank, qv, qv_prev, col, matched, w_anchor, col_key
         )
         if qv_prev in matched:
             want_elabel = query.edge_label(qv, qv_prev)
@@ -1136,6 +1573,7 @@ class _DfsLevelCursor(LevelCursor):
         "steps",
         "fast",
         "passive",
+        "_prefetch",
     )
 
     def __init__(self, ctx: WarpContext, env: _Env, items: list[dict]) -> None:
@@ -1146,6 +1584,7 @@ class _DfsLevelCursor(LevelCursor):
         self.state: Optional[dict] = None
         self.started = False
         self.pending: Optional[tuple] = None
+        self._prefetch: Optional[tuple] = None
         cfg = env.config
         self.passive = cfg.work_stealing == "passive"
         self.fast = (
@@ -1261,6 +1700,46 @@ class _DfsLevelCursor(LevelCursor):
         self._push_frame(ctx, state, level, np.asarray(cands, dtype=np.int64))
         return self._inner(ctx)
 
+    def staged_gen(self):
+        """The pending frame's fully-determined child-generation request.
+
+        Once :attr:`pending` is set, the cursor's next resumption begins
+        by pushing exactly that frame: the prefix comes from
+        ``state["assign"]`` (mutated only by this cursor — thieves
+        truncate arena runs, never the assignment), and the candidate
+        run is the pending tuple's own array. Early generation is
+        therefore value- and cost-identical to the inline
+        :func:`_level_children` call at push time, which is the contract
+        :meth:`LevelCursor.staged_gen` demands. The gating mirrors
+        :meth:`_push_frame`: frames that would not batch inline stage
+        nothing.
+        """
+        if self._prefetch is not None or self.pending is None:
+            return None
+        pend = self.pending
+        if pend[0] == 0:
+            _, cands, lv = pend
+        else:
+            _, cands, lv, _ = pend
+        env = self.env
+        nxt = lv + 1
+        if (
+            not len(cands)
+            or nxt >= env.n
+            or (nxt == self.boundary and not self.singleton)
+        ):
+            return None
+        return (self.group, lv, self.staged_prefix, cands, self.rank)
+
+    def staged_prefix(self, lv: int) -> dict[int, int]:
+        """The staged frame's prefix assignment, materialized on demand:
+        the coalescer scans staged requests every level step but only
+        batch members past the fusion gate ever need the dict, so the
+        request carries this builder instead of an eager copy."""
+        order = self.order
+        assign = self.state["assign"]
+        return {order[i]: int(assign[order[i]]) for i in range(lv)}
+
     def _push_frame(self, ctx: WarpContext, state: dict, lv: int, cands) -> None:
         """Push a frame; batch-generate its children's candidates and
         record the per-child cost segments (no charges yet — each child
@@ -1268,6 +1747,15 @@ class _DfsLevelCursor(LevelCursor):
         oracle would have charged its Gen-Candidates call)."""
         fs: _FrameStack = state["frames"]
         d = fs.push(lv, cands)
+        pf = self._prefetch
+        if pf is not None:
+            # the launch-wide coalescer already generated this frame's
+            # children in a fused sibling batch; adopt them verbatim
+            self._prefetch = None
+            if pf[0] == lv:
+                fs.children[d] = pf[1]
+                fs.child_costs[d] = pf[2]
+                return
         nxt = lv + 1
         if (
             len(cands)
@@ -1373,6 +1861,62 @@ def _spawn_worker(ctx: WarpContext, env: _Env, items: list[dict]):
     if env.config.vectorized and env.config.level_step:
         return _DfsLevelCursor(ctx, env, items)
     return _worker(ctx, env, items)
+
+
+def _make_step_coalescer(sched: BlockScheduler, env: _Env):
+    """Launch-wide fused Gen-Candidates (``config.fused_gen``).
+
+    Installed as the scheduler's level-barrier hook: right before a DFS
+    cursor steps, collect the staged candidate-generation requests
+    (:meth:`_DfsLevelCursor.staged_gen`) of every sibling cursor
+    targeting the same ``(group, level)`` and run them as ONE
+    :func:`_level_children_multi` batch, handing each cursor its
+    precomputed children and priced cost segments through
+    ``_prefetch``. Purely host-side: no cycle charge, no shared-memory
+    traffic, and each cursor still pays its own per-child segments at
+    its own consumption steps — the modeled schedule and every stat are
+    byte-identical to inline generation. Small batches fall through to
+    the inline path (the fusion overhead would dominate).
+    """
+
+    def coalesce(cursor: LevelCursor) -> None:
+        if type(cursor) is not _DfsLevelCursor:
+            return
+        if cursor.staged_gen() is None:
+            return
+        # one scan classifies every staged sibling request by its
+        # (group, level) generation target; every class past the gate
+        # fuses now — staged inputs are stable until each owner's next
+        # resumption, so generating early is value- and cost-identical
+        classes: dict[tuple[int, int], list] = {}
+        for g in sched.generators.values():
+            if type(g) is not _DfsLevelCursor:
+                continue
+            r = g.staged_gen()
+            if r is not None:
+                classes.setdefault((id(r[0]), r[1]), []).append((g, r))
+        for batch in classes.values():
+            if (
+                len(batch) < 2
+                or sum(len(r[3]) for _, r in batch) < _LEVEL_BATCH_MIN
+            ):
+                continue
+            group, lv = batch[0][1][0], batch[0][1][1]
+            results = _level_children_multi(
+                env,
+                group,
+                group.full_order,
+                lv,
+                [
+                    (r[2](lv), np.asarray(r[3], dtype=np.int64), r[4])
+                    for _, r in batch
+                ],
+                sched.params,
+            )
+            for (g, _), (children, costs) in zip(batch, results):
+                g._prefetch = (lv, children, costs)
+
+    return coalesce
 
 
 # ---------------------------------------------------------------------------
@@ -1697,15 +2241,18 @@ def _initial_items_bulk(
     csr = env.csr
     labels = csr.vertex_labels
     n = csr.n_vertices
-    ex = np.empty(len(edges), dtype=np.int64)
-    ey = np.empty(len(edges), dtype=np.int64)
-    el = np.empty(len(edges), dtype=np.int64)
-    for i, (u, v, lbl) in enumerate(edges):
-        ex[i], ey[i] = canonical(u, v)
-        el[i] = lbl
+    arr = np.asarray(edges, dtype=np.int64).reshape(-1, 3)
+    # canonical (min, max) of every undirected edge in one pass
+    ex = np.minimum(arr[:, 0], arr[:, 1])
+    ey = np.maximum(arr[:, 0], arr[:, 1])
+    el = arr[:, 2]
     in_range = (ex < n) & (ey < n)
     ex_c = np.minimum(ex, n - 1) if n else ex
     ey_c = np.minimum(ey, n - 1) if n else ey
+    # plain-int columns once per launch: the dict items below are the
+    # hot allocation path and np scalar unboxing per field shows up
+    exl = ex.tolist()
+    eyl = ey.tolist()
     items_per_edge: list[list[dict]] = [[] for _ in edges]
     for group in env.plan.groups:
         a, b = group.representative
@@ -1722,14 +2269,14 @@ def _initial_items_bulk(
             ok = ends < len(col)
             ok[ok] = col[ends[ok]]
             sel &= ok
-        for i in np.nonzero(sel)[0]:
+        for i in np.nonzero(sel)[0].tolist():
             items_per_edge[i].append(
                 {
                     "group": group,
-                    "assign": {a: int(ex[i]), b: int(ey[i])},
+                    "assign": {a: exl[i], b: eyl[i]},
                     "level": 2,
                     "dedup": set(),
-                    "rank": int(i),
+                    "rank": i,
                     "permuted": False,
                 }
             )
@@ -1789,6 +2336,8 @@ def launch_kernel(
 
     def block_hook(sched: BlockScheduler):
         sched.shared.alloc("_sched", sched, words=0)
+        if config.vectorized and config.level_step and config.fused_gen:
+            sched.step_coalescer = _make_step_coalescer(sched, env)
         if config.work_stealing == "active":
             return _active_idle_handler(sched, env)
         return None

@@ -258,6 +258,156 @@ class TestLevelStepLockstep:
 
 
 # ---------------------------------------------------------------------------
+# launch-wide fused Gen-Candidates (ISSUE 6): fused vs unfused lockstep
+# ---------------------------------------------------------------------------
+def hub_heavy_workload(n_inserts=12):
+    """5 hubs × 120 leaves, each leaf wired to 3 of the 5 hubs (hub
+    degree 72, above the vectorized-gen gate): C4 matching anchors its
+    level-3 prefix runs on hub pairs, so sibling warp tasks stage
+    shared-anchor frames and the per-launch hub-slice cache sees both
+    miss and hit paths."""
+    n_hubs, n_leaves = 5, 120
+    g = LabeledGraph([0] * (n_hubs + n_leaves))
+    missing = []
+    for j in range(n_leaves):
+        leaf = n_hubs + j
+        for i in range(n_hubs):
+            if (i + j) % 5 < 3:
+                g.add_edge(i, leaf, 0)
+            else:
+                missing.append((i, leaf))
+    batch = make_batch([("+", u, v, 0) for u, v in missing[:n_inserts]])
+    c4 = LabeledGraph.from_edges([0, 0, 0, 0], [(0, 1), (1, 2), (2, 3), (0, 3)])
+    return g, c4, [batch]
+
+
+class TestFusedGenLockstep:
+    """ISSUE-6 launch-wide fused Gen-Candidates vs the per-frame path.
+
+    ``fused_gen=False`` reproduces the PR-5 per-push generation exactly;
+    the fused default (sibling frames batched at the level barrier, hub
+    slices cached per launch) must be invisible in matches and in every
+    modeled number across stealing modes, shared-anchor-heavy
+    schedules, and both cache paths.
+    """
+
+    @pytest.mark.parametrize("stealing", ["active", "passive", "off"])
+    @pytest.mark.parametrize("seed", [2, 6])
+    def test_mixed_stream_fused_vs_unfused(self, stealing, seed):
+        g0, batches = mixed_stream(seed)
+        fused = run_stream(g0, CHORD_Q, batches, stealing=stealing)
+        unfused = run_stream(
+            g0,
+            CHORD_Q,
+            batches,
+            stealing=stealing,
+            config_extra={"fused_gen": False},
+        )
+        assert fused == unfused
+
+    @pytest.mark.parametrize("stealing", ["active", "off"])
+    def test_hub_heavy_shared_anchor_lockstep(self, stealing):
+        """Shared-anchor-heavy schedule: hub-cache hits and fused
+        sibling batches on, still byte-identical to the unfused path
+        and the full scalar oracle."""
+        g0, q, batches = hub_heavy_workload()
+        fused = run_stream(g0, q, batches, stealing=stealing)
+        unfused = run_stream(
+            g0, q, batches, stealing=stealing, config_extra={"fused_gen": False}
+        )
+        oracle = run_stream(
+            g0, q, batches, stealing=stealing, vectorized=False, level_step=False
+        )
+        assert fused == unfused == oracle
+
+    def test_bench_hub_schedule_lockstep(self):
+        """The benchmark's hub-heavy schedule (bipartite hub graph,
+        5-cycle query → zero matches, pure Gen-Candidates work) at
+        test scale: the fused self-anchor batch pass and the hub-slice
+        cache both fire, still byte-identical to the unfused path and
+        the scalar oracle."""
+        from repro.bench.workloads import hub_schedule
+
+        g0, batch, q = hub_schedule(n_leaves=60, n_inserts=10)
+        batches = [batch]
+        fused = run_stream(g0, q, batches)
+        unfused = run_stream(g0, q, batches, config_extra={"fused_gen": False})
+        oracle = run_stream(g0, q, batches, vectorized=False, level_step=False)
+        assert fused[0][0] == []  # bipartite host: the 5-cycle never closes
+        assert fused == unfused == oracle
+
+    def test_steal_heavy_fused_vs_unfused(self):
+        """Frame splits under active stealing with the coalescer armed:
+        prefetched children ride along with the truncation-based steal
+        protocol without drifting from the unfused schedule."""
+        g0 = attach_labels(power_law_graph(30, 1.8, seed=2), 1, 1, seed=3)
+        rng = random.Random(7)
+        non = [
+            (u, v)
+            for u in range(g0.n_vertices)
+            for v in range(u + 1, g0.n_vertices)
+            if not g0.has_edge(u, v)
+        ]
+        rng.shuffle(non)
+        batches = [make_batch([("+", u, v, 0) for u, v in non[:24]])]
+        fused = run_stream(g0, DENSE_Q, batches, stealing="active")
+        unfused = run_stream(
+            g0,
+            DENSE_Q,
+            batches,
+            stealing="active",
+            config_extra={"fused_gen": False},
+        )
+        assert fused == unfused
+        steals = sum(b["steals"] for b in fused[0][2]["blocks"])
+        assert steals > 0, "schedule must actually exercise stealing"
+
+    def test_coalescer_and_hub_cache_fire(self, monkeypatch):
+        """The machinery is actually on the hot path: the hub-heavy
+        schedule produces fused sibling batches, hub-slice cache
+        misses AND hits."""
+        import repro.matching.wbm as wbm
+
+        calls = {"multi": 0, "hub_calls": 0, "hub_hits": 0}
+        orig_multi = wbm._level_children_multi
+        orig_hub = wbm._Env.hub_slice
+
+        def counting_multi(*a, **k):
+            calls["multi"] += 1
+            return orig_multi(*a, **k)
+
+        def counting_hub(env, anchor_dv, qv, anchor_qv, col, col_key):
+            calls["hub_calls"] += 1
+            if (anchor_dv, qv, anchor_qv, col_key) in env._hub_slices:
+                calls["hub_hits"] += 1
+            return orig_hub(env, anchor_dv, qv, anchor_qv, col, col_key)
+
+        monkeypatch.setattr(wbm, "_level_children_multi", counting_multi)
+        monkeypatch.setattr(wbm._Env, "hub_slice", counting_hub)
+        g0, q, batches = hub_heavy_workload()
+        run_stream(g0, q, batches)
+        assert calls["multi"] > 0, "sibling frames must fuse"
+        assert calls["hub_hits"] > 0, "cache must serve repeat anchors"
+        assert calls["hub_calls"] > calls["hub_hits"], "first touch misses"
+
+    def test_unfused_never_fuses(self, monkeypatch):
+        """The diagnostic knob really disables the machinery."""
+        import repro.matching.wbm as wbm
+
+        calls = {"multi": 0}
+        orig_multi = wbm._level_children_multi
+
+        def counting_multi(*a, **k):
+            calls["multi"] += 1
+            return orig_multi(*a, **k)
+
+        monkeypatch.setattr(wbm, "_level_children_multi", counting_multi)
+        g0, q, batches = hub_heavy_workload()
+        run_stream(g0, q, batches, config_extra={"fused_gen": False})
+        assert calls["multi"] == 0
+
+
+# ---------------------------------------------------------------------------
 # golden-stats regression: frozen fixed-seed serving workloads
 # ---------------------------------------------------------------------------
 class TestKernelGoldenStats:

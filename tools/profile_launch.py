@@ -1,0 +1,120 @@
+"""cProfile harness for the non-DFS launch machinery (ISSUE 6 rider).
+
+The kernel benchmarks time ``VirtualGPU.launch`` as one opaque wall;
+this tool breaks the serving loop open with cProfile so the
+*machinery* share — task construction (``_initial_items_bulk``), the
+idle-scan handler, block memoization (``dataclasses.replace`` churn),
+scheduler bookkeeping — is attributable function by function, next to
+the genuine candidate-generation work.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_launch.py [--scale 0.3]
+        [--batches 2] [--queries 3] [--top 25] [--sort cumtime]
+        [--dataset LJ] [--fused/--no-fused]
+
+Prints the cProfile table restricted to repro code (plus numpy entry
+points) and a one-line summary of launch wall vs total wall. No JSON
+artifact: this is an investigation tool, not a CI gate (the CI-gated
+numbers live in ``benchmarks/bench_ext_fused_candidates.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.harness import BENCH_PARAMS  # noqa: E402
+from repro.bench.workloads import holdout_stream  # noqa: E402
+from repro.graph import load_dataset  # noqa: E402
+from repro.matching import WBMConfig, find_matches  # noqa: E402
+from repro.service import MatchingService  # noqa: E402
+
+
+def collect_queries(graph, count: int, max_static: int = 200):
+    """Selective serving queries (same policy as the kernel benches)."""
+    from repro.bench.workloads import extract_query
+    from repro.errors import BenchmarkError
+
+    out, seed = [], 29
+    while len(out) < count and seed < 2000:
+        for kind in ("dense", "sparse", "tree"):
+            try:
+                q = extract_query(graph, 6, kind, seed=seed)
+            except BenchmarkError:
+                continue
+            if len(find_matches(q, graph, limit=max_static)) < max_static:
+                out.append(q)
+            if len(out) >= count:
+                break
+        seed += 97
+    return out
+
+
+def serve(g0, batches, queries, fused: bool) -> MatchingService:
+    service = MatchingService(g0, params=BENCH_PARAMS, vectorized=True)
+    for i, q in enumerate(queries):
+        service.register_query(
+            q, WBMConfig(fused_gen=fused), name=f"q{i}", bootstrap=False
+        )
+    for batch in batches:
+        service.process_batch(batch)
+    return service
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--dataset", default="LJ")
+    ap.add_argument("--scale", type=float, default=0.3)
+    ap.add_argument("--batches", type=int, default=2)
+    ap.add_argument("--queries", type=int, default=3)
+    ap.add_argument("--rate", type=float, default=0.10)
+    ap.add_argument("--top", type=int, default=25)
+    ap.add_argument("--sort", default="cumtime", choices=["cumtime", "tottime"])
+    ap.add_argument("--no-fused", dest="fused", action="store_false",
+                    help="profile the unfused (PR-5) candidate path")
+    args = ap.parse_args()
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    g0, stream = holdout_stream(
+        graph, args.rate * args.batches, n_batches=args.batches,
+        mode="mixed", seed=11,
+    )
+    batches = list(stream)
+    queries = collect_queries(g0, args.queries)
+    print(
+        f"profiling {args.dataset} scale={args.scale}: |V|={g0.n_vertices} "
+        f"|E|={g0.n_edges}, {len(batches)} batches, {len(queries)} queries, "
+        f"fused_gen={args.fused}"
+    )
+
+    prof = cProfile.Profile()
+    t0 = time.perf_counter()
+    prof.enable()
+    service = serve(g0, batches, queries, args.fused)
+    prof.disable()
+    wall = time.perf_counter() - t0
+    launch_wall = service.launch_wall_seconds()
+    print(
+        f"total wall {wall*1e3:.1f}ms | inside VirtualGPU.launch "
+        f"{launch_wall*1e3:.1f}ms ({launch_wall/max(wall,1e-12):.0%}) | "
+        f"machinery+host {1e3*(wall-launch_wall):.1f}ms"
+    )
+
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf).sort_stats(args.sort)
+    stats.print_stats(r"repro|numpy", args.top)
+    print(buf.getvalue())
+
+
+if __name__ == "__main__":
+    main()
