@@ -1,0 +1,229 @@
+"""Extension: fault-isolated serving (ISSUE 7).
+
+Two measurements on the LJ serving workload (10%-of-|E| mixed batches,
+selective 6-vertex queries):
+
+* **guard overhead** — ``MatchingService.process_batch`` wall with no
+  fault harness attached vs the same stream with an *empty*
+  :class:`~repro.testing.faults.FaultPlan` threaded through every
+  site hook (journal capture, breaker bookkeeping, ``fire`` calls on
+  the hot path).  Matches and per-batch ``KernelStats`` are asserted
+  byte-identical; the overhead budget is 3% (min-of-reps walls).
+* **recovery latency** — seeded fault schedules at two per-launch
+  fault rates; for every quarantine episode we record how many batches
+  the query sat out before its re-bootstrap landed, plus the wall cost
+  of the faulted run.  Healthy/recovered per-query batch stats must
+  stay byte-identical to the fault-free run.
+
+Writes the human-readable table to ``benchmarks/out`` and the
+machine-readable ``benchmarks/out/BENCH_resilience.json`` so the CI
+smoke step can assert the harness stays runnable.
+
+Knobs: ``REPRO_BENCH_SCALE`` (default 1.0), ``REPRO_BENCH_RES_BATCHES``
+(default 4), ``REPRO_BENCH_RES_QUERIES`` (default 4),
+``REPRO_BENCH_RES_REPS`` (default 3).
+"""
+
+import dataclasses
+import json
+import os
+import time
+
+from common import DEFAULT_QUERY_SIZE, queries_for
+
+from repro.bench.harness import BENCH_PARAMS
+from repro.bench.reporting import ARTIFACT_DIR, render_table, save_artifact
+from repro.bench.workloads import holdout_stream
+from repro.graph import load_dataset
+from repro.matching import WBMConfig, find_matches
+from repro.service import MatchingService, ResiliencePolicy
+from repro.service.resilience import HEALTH_QUARANTINED, HEALTH_RECOVERED
+from repro.testing import FaultPlan
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+N_BATCHES = int(os.environ.get("REPRO_BENCH_RES_BATCHES", "4"))
+N_QUERIES = int(os.environ.get("REPRO_BENCH_RES_QUERIES", "4"))
+REPS = int(os.environ.get("REPRO_BENCH_RES_REPS", "3"))
+BATCH_RATE = 0.10
+MAX_STATIC_MATCHES = 200
+FAULT_RATES = (0.05, 0.20)  # faults per launch arrival
+GUARD_BUDGET = 0.03
+
+
+def collect_queries(graph, count):
+    out = []
+    seed = 29
+    for _ in range(count * 12):
+        for kind in ("dense", "sparse", "tree"):
+            for q in queries_for(graph, DEFAULT_QUERY_SIZE, kind, count=2, seed=seed):
+                if len(find_matches(q, graph, limit=MAX_STATIC_MATCHES)) < MAX_STATIC_MATCHES:
+                    out.append(q)
+                if len(out) >= count:
+                    return out
+        seed += 97
+    return out
+
+
+def run_arm(g0, batches, queries, faults, policy=None):
+    """One serving run; returns wall, per-batch stats, and health history."""
+    service = MatchingService(g0, params=BENCH_PARAMS, policy=policy, faults=faults)
+    for i, q in enumerate(queries):
+        service.register_query(q, WBMConfig(), name=f"q{i}", bootstrap=False)
+    t0 = time.perf_counter()
+    reports = [service.process_batch(b) for b in batches]
+    wall = time.perf_counter() - t0
+    stats = [
+        {
+            name: dataclasses.asdict(qr.result.kernel_stats)
+            for name, qr in rep.queries.items()
+        }
+        for rep in reports
+    ]
+    return {
+        "wall": wall,
+        "stats": stats,
+        "matches": [(rep.total_positives, rep.total_negatives) for rep in reports],
+        "health": [dict(rep.health) for rep in reports],
+        "dropped": sum(1 for rep in reports if rep.failure is not None),
+    }
+
+
+def recovery_episodes(health_history, names):
+    """(query, trip_batch, recover_batch|None) per quarantine episode."""
+    episodes = []
+    for name in names:
+        trip = None
+        for i, health in enumerate(health_history):
+            state = health.get(name, "ok")
+            if state == HEALTH_QUARANTINED and trip is None:
+                trip = i
+            elif state == HEALTH_RECOVERED and trip is not None:
+                episodes.append((name, trip, i))
+                trip = None
+        if trip is not None:
+            episodes.append((name, trip, None))
+    return episodes
+
+
+def healthy_stats_identical(base, faulted):
+    """Every ok/recovered/degraded per-query batch stat matches the
+    fault-free run byte-for-byte."""
+    for b_stats, f_stats, f_health in zip(
+        base["stats"], faulted["stats"], faulted["health"]
+    ):
+        for name, stat in f_stats.items():
+            if f_health.get(name) == HEALTH_QUARANTINED:
+                continue
+            if stat != b_stats[name]:
+                return False
+    return True
+
+
+def run_experiment():
+    graph = load_dataset("LJ", scale=SCALE)
+    g0, stream = holdout_stream(
+        graph, BATCH_RATE * N_BATCHES, n_batches=N_BATCHES, mode="mixed", seed=11
+    )
+    batches = list(stream)
+    queries = collect_queries(g0, N_QUERIES)
+    names = [f"q{i}" for i in range(len(queries))]
+    policy = ResiliencePolicy(cooldown_batches=1, max_retries=5, store_retries=1)
+
+    # -- guard overhead: no harness vs empty plan, min of alternating reps
+    bare_walls, guarded_walls = [], []
+    bare = guarded = None
+    for _ in range(max(REPS, 1)):
+        bare = run_arm(g0, batches, queries, faults=None)
+        guarded = run_arm(g0, batches, queries, faults=FaultPlan([]), policy=policy)
+        bare_walls.append(bare["wall"])
+        guarded_walls.append(guarded["wall"])
+    assert bare["stats"] == guarded["stats"], "guards changed KernelStats"
+    assert bare["matches"] == guarded["matches"], "guards changed matches"
+    overhead = (min(guarded_walls) - min(bare_walls)) / min(bare_walls)
+
+    # -- recovery latency under seeded per-launch fault rates
+    launch_arrivals = 2 * len(batches) * len(names)  # neg + pos phase per query
+    fault_runs = []
+    for rate in FAULT_RATES:
+        plan = FaultPlan.seeded(
+            int(rate * 1000) + 7,
+            sites=("runtime.launch", "runtime.observe"),
+            n_faults=max(1, round(rate * launch_arrivals)),
+            horizon=2 * len(batches),
+            queries=tuple(names),
+            kinds=("injected",),
+        )
+        run = run_arm(g0, batches, queries, faults=plan, policy=policy)
+        episodes = recovery_episodes(run["health"], names)
+        recovered = [e for e in episodes if e[2] is not None]
+        fault_runs.append(
+            {
+                "rate": rate,
+                "n_faults_planned": len(plan.specs),
+                "n_faults_fired": len(plan.fired),
+                "episodes": len(episodes),
+                "recovered": len(recovered),
+                "recovery_latency_batches": (
+                    max(e[2] - e[1] for e in recovered) if recovered else None
+                ),
+                "dropped_batches": run["dropped"],
+                "wall_s": run["wall"],
+                "healthy_stats_identical": healthy_stats_identical(bare, run),
+            }
+        )
+
+    total_ops = sum(len(b) for b in batches)
+    rows = [
+        ["serving wall (no harness)", f"{min(bare_walls)*1e3:.1f}ms", "", ""],
+        ["serving wall (guards armed)", f"{min(guarded_walls)*1e3:.1f}ms",
+         f"{overhead:+.2%}", "<= 3%" if overhead <= GUARD_BUDGET else "OVER BUDGET"],
+    ]
+    for fr in fault_runs:
+        lat = fr["recovery_latency_batches"]
+        rows.append(
+            [f"faulted run (rate={fr['rate']:.2f})",
+             f"{fr['wall_s']*1e3:.1f}ms",
+             f"{fr['n_faults_fired']} faults, {fr['recovered']}/{fr['episodes']} recovered",
+             f"latency <= {lat} batch(es)" if lat is not None else "no recovery window"]
+        )
+    text = render_table(
+        f"Extension: fault-isolated serving "
+        f"(LJ scale={SCALE}, {N_BATCHES} batches of {BATCH_RATE:.0%} |E|, "
+        f"{len(queries)} queries, {REPS} reps)",
+        ["metric", "wall", "detail", "bound"],
+        rows,
+    )
+
+    payload = {
+        "workload": {
+            "dataset": "LJ",
+            "scale": SCALE,
+            "n_vertices": g0.n_vertices,
+            "n_edges": g0.n_edges,
+            "n_batches": N_BATCHES,
+            "rate_per_batch": BATCH_RATE,
+            "n_queries": len(queries),
+            "total_ops": total_ops,
+            "reps": REPS,
+        },
+        "guard_overhead": {
+            "bare_s": min(bare_walls),
+            "guarded_s": min(guarded_walls),
+            "overhead_frac": overhead,
+            "budget_frac": GUARD_BUDGET,
+            "within_budget": overhead <= GUARD_BUDGET,
+            "stats_byte_identical": True,
+            "matches_identical": True,
+        },
+        "fault_runs": fault_runs,
+    }
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    json_path = ARTIFACT_DIR / "BENCH_resilience.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return text, json_path
+
+
+if __name__ == "__main__":
+    text, json_path = run_experiment()
+    save_artifact("ext_resilience", text)
+    print(f"[artifact: {json_path}]")

@@ -54,6 +54,41 @@ class ConfigMismatchError(MatchingError):
     construction so the mismatch cannot silently downgrade mid-run."""
 
 
+class ServiceError(MatchingError):
+    """Serving-tier failure or misuse: registration name collisions,
+    rollback of a commit that is not the store's latest, operations on
+    quarantined queries. Carries the offending query/commit in the
+    message; subclasses :class:`MatchingError` so existing service
+    callers that catch the broader type keep working."""
+
+
+class QueryQuarantinedError(ServiceError):
+    """The named query is quarantined behind its circuit breaker and
+    cannot serve matches (or be unregistered without ``force``) until
+    its bounded recovery succeeds."""
+
+    def __init__(self, name: str, detail: str | None = None) -> None:
+        msg = f"query {name!r} is quarantined"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+        self.name = name
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault fired by a
+    :class:`~repro.testing.faults.FaultPlan` at a named injection site.
+    Only ever raised under test/bench fault schedules — production code
+    paths never construct one."""
+
+    def __init__(self, site: str, occurrence: int, query: str | None = None) -> None:
+        where = f"{site}#{occurrence}" + (f"[{query}]" if query else "")
+        super().__init__(f"injected fault at {where}")
+        self.site = site
+        self.occurrence = occurrence
+        self.query = query
+
+
 class BudgetExceeded(ReproError):
     """An engine exceeded its operation budget (the reproduction's
     analogue of the paper's 30-minute timeout). The harness marks the

@@ -224,6 +224,21 @@ class EffectiveDelta:
     def __bool__(self) -> bool:
         return bool(self.inserted or self.deleted)
 
+    def inverse(self) -> "EffectiveDelta":
+        """The delta that exactly undoes this one.
+
+        Applying ``delta`` then ``delta.inverse()`` (via
+        :func:`apply_effective_delta`) restores the original graph: the
+        edges this delta inserted are deleted and vice versa. This is
+        the form the store's rollback journal records.
+        """
+        inv = EffectiveDelta(inserted=self.deleted, deleted=self.inserted)
+        # share the already-materialized array views (cached_property
+        # storage) — rollback paths read arrays, not tuples
+        inv.__dict__["inserted_array"] = self.deleted_array
+        inv.__dict__["deleted_array"] = self.inserted_array
+        return inv
+
 
 def apply_batch(graph: LabeledGraph, batch: UpdateBatch, strict: bool = True) -> None:
     """Apply every op of ``batch`` to ``graph`` in order, in place.

@@ -42,7 +42,7 @@ byte-identical between the two (``tests/test_dfs_level_step.py``).
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Generator, Optional
 
 import numpy as np
@@ -2418,6 +2418,14 @@ class QueryRuntime:
         #: None until :meth:`bootstrap` runs
         self.initial_matches: Optional[set[Match]] = None
         self.synced_version = store.version
+        self._degraded_config: Optional[WBMConfig] = None
+
+    def _fire(self, site: str) -> None:
+        # the fault plan (if any) lives on the shared store, so one plan
+        # observes every runtime's sites in arrival order
+        faults = getattr(self.store, "faults", None)
+        if faults is not None:
+            faults.fire(site, query=self.name)
 
     # ------------------------------------------------------------------
     @property
@@ -2453,13 +2461,37 @@ class QueryRuntime:
             )
         return set(self.initial_matches)
 
-    def launch(self, edges: list[tuple[int, int, int]]) -> KernelOutput:
-        """Run the WBM kernel for one sign phase over ``edges``."""
+    def launch(
+        self, edges: list[tuple[int, int, int]], *, degraded: bool = False
+    ) -> KernelOutput:
+        """Run the WBM kernel for one sign phase over ``edges``.
+
+        ``degraded`` reruns the launch on the scalar-oracle arm
+        (``vectorized=False`` over the same candidate table) — the
+        service's graceful-degradation retry after a fault on the
+        vectorized path. Matches and stats are identical by the
+        flag-with-oracle contract; only the host-side execution differs.
+        """
         if self.synced_version != self.store.version:
             raise MatchingError(
                 f"runtime {self.name!r} out of sync with store "
                 f"(saw v{self.synced_version}, store at v{self.store.version})"
             )
+        if degraded:
+            self._fire("runtime.launch.degraded")
+            if self._degraded_config is None:
+                self._degraded_config = replace(self.config, vectorized=False)
+            return launch_kernel(
+                self.query,
+                self.store.graph,
+                self.table,
+                self.plan,
+                self._degraded_config,
+                self.gpu,
+                edges,
+                csr=None,
+            )
+        self._fire("runtime.launch")
         csr = self.store.csr_snapshot() if self.config.vectorized else None
         return launch_kernel(
             self.query,
@@ -2480,8 +2512,37 @@ class QueryRuntime:
                 f"runtime {self.name!r} missed a store commit "
                 f"(saw v{self.synced_version}, commit is v{commit.version})"
             )
+        self._fire("runtime.observe")
         self.table.refresh_rows(set(commit.changed_vertices))
+        self._fire("runtime.observe.mid")
         self.synced_version = commit.version
+
+    def rebootstrap(self) -> set[Match]:
+        """Rebuild all per-query state from the store's current graph —
+        the quarantine-recovery path.
+
+        A quarantined runtime may hold arbitrarily stale or corrupt
+        state (a fault can strike mid-refresh), so recovery does not
+        patch: the candidate table, gated plan, and collector are
+        rebuilt from scratch, the version re-synced, and the match view
+        re-anchored to a fresh static bootstrap. The shared store is
+        never touched.
+        """
+        self._fire("runtime.bootstrap")
+        self.table = CandidateTable(
+            self.query, self.store.graph, self.store.encodings,
+            vectorized=self.config.vectorized,
+        )
+        if self.config.coalesced:
+            self.plan = gate_plan(
+                self.query, self.table, build_coalesced_plan(self.query, max_k=self.config.max_k)
+            )
+        else:
+            self.plan = trivial_plan(self.query)
+        if self.collector is not None:
+            self.collector = type(self.collector)()
+        self.synced_version = self.store.version
+        return self.bootstrap()
 
     def current_matches(self) -> set[Match]:
         """Bootstrap matches plus live births minus observed deaths."""

@@ -47,6 +47,15 @@ def _directed_keys(edges: np.ndarray) -> np.ndarray:
     return np.concatenate(((u << _SHIFT) | v, (v << _SHIFT) | u))
 
 
+def directed_key_runs(edges: np.ndarray) -> np.ndarray:
+    """``(2k, 2)`` directed ``(key, label)`` runs of ``(u, v, label)``
+    rows — the journal form the store's rollback feeds straight back to
+    the PMA batch ops (both directions of every undirected edge)."""
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 3)
+    labels = np.concatenate((edges[:, 2], edges[:, 2]))
+    return np.stack((_directed_keys(edges), labels), axis=1)
+
+
 @dataclass
 class GpmaUpdateStats:
     """Simulated cost of one batch update."""
@@ -102,6 +111,9 @@ class GPMAGraph:
         #: query runtimes; each batch must land here exactly once, and
         #: the shared-store layer audits that through this counter.
         self.update_count = 0
+        #: optional :class:`~repro.testing.faults.FaultPlan` attached by
+        #: the owning store; ``None`` in production
+        self.faults = None
 
     @classmethod
     def from_graph(
@@ -245,11 +257,15 @@ class GPMAGraph:
             stats.segments_touched = len(uniq)
 
         # --- structural mutation (real) + rebalance pricing -------------
+        if self.faults is not None:
+            self.faults.fire("gpma.apply")
         self._pma.opstats.reset()
         esc = 0
         if self.vectorized:
             if len(dele):
                 esc += self._pma.batch_delete(_directed_keys(dele))
+            if self.faults is not None:
+                self.faults.fire("gpma.mid")
             if len(ins):
                 ins_keys = _directed_keys(ins)
                 ins_vals = np.concatenate((ins[:, 2], ins[:, 2]))
@@ -263,6 +279,8 @@ class GPMAGraph:
                 insert_items.extend(((edge_key(u, v), lbl), (edge_key(v, u), lbl)))
             if delete_keys:
                 esc += self._pma.batch_delete(delete_keys)
+            if self.faults is not None:
+                self.faults.fire("gpma.mid")
             if insert_items:
                 esc += self._pma.batch_insert(insert_items)
         ops = self._pma.opstats
@@ -273,6 +291,37 @@ class GPMAGraph:
         stats.rebalance_cycles += ops.rebalances * params.compute_cycles * warp
         stats.rebalance_cycles += ops.grows * 4 * moves_tx * params.global_transaction_cycles
         return stats
+
+    # ------------------------------------------------------------------
+    # rollback support (the store's transactional-commit path)
+    # ------------------------------------------------------------------
+    def revert_runs(self, delete_runs: np.ndarray, insert_runs: np.ndarray) -> None:
+        """Structurally undo an applied delta from its journaled key runs.
+
+        ``insert_runs`` / ``delete_runs`` are the ``(2k, 2)`` directed
+        ``(key, label)`` runs the commit inserted / deleted (see
+        :func:`directed_key_runs`). Recovery is host-side bookkeeping:
+        no device pricing, and op stats are cleared so the next priced
+        batch starts from a clean slate. Counters (``update_count``,
+        vertex high-water mark) are the caller's to restore via
+        :meth:`restore_marks`.
+        """
+        if len(insert_runs):
+            if self.vectorized:
+                self._pma.batch_delete(np.asarray(insert_runs[:, 0], dtype=np.int64))
+            else:
+                self._pma.batch_delete([int(k) for k in insert_runs[:, 0]])
+        if len(delete_runs):
+            if self.vectorized:
+                self._pma.batch_insert(np.asarray(delete_runs, dtype=np.int64))
+            else:
+                self._pma.batch_insert([(int(k), int(v)) for k, v in delete_runs])
+        self._pma.opstats.reset()
+
+    def restore_marks(self, update_count: int, n_vertices: int) -> None:
+        """Reset the audit counters a rolled-back commit advanced."""
+        self.update_count = update_count
+        self._n_vertices = n_vertices
 
 
 def _pow2_at_least(n: int, cap: int) -> int:

@@ -3,22 +3,43 @@
 ``DynamicGraphStore`` owns the one data graph / GPMA / encoding table
 every registered query shares; ``MatchingService`` fans update batches
 out across per-query :class:`~repro.matching.wbm.QueryRuntime`\\ s and
-prices the result for the asynchronous pipeline model.
+prices the result for the asynchronous pipeline model. The serving
+path is fault-isolated: store commits are transactional (rollback
+journal), and per-query faults quarantine one query behind its
+circuit breaker (:mod:`repro.service.resilience`) instead of failing
+the batch.
 """
 
-from repro.service.store import DynamicGraphStore, StoreCommit
+from repro.service.store import DynamicGraphStore, RollbackJournal, StoreCommit
 from repro.service.matching_service import (
     MatchingService,
     QueryBatchReport,
     ServiceBatchReport,
     SERVICE_SHARED_STAGES,
 )
+from repro.service.resilience import (
+    HEALTH_DEGRADED,
+    HEALTH_OK,
+    HEALTH_QUARANTINED,
+    HEALTH_RECOVERED,
+    BreakerRecord,
+    CircuitBreaker,
+    ResiliencePolicy,
+)
 
 __all__ = [
     "DynamicGraphStore",
+    "RollbackJournal",
     "StoreCommit",
     "MatchingService",
     "QueryBatchReport",
     "ServiceBatchReport",
     "SERVICE_SHARED_STAGES",
+    "BreakerRecord",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "HEALTH_OK",
+    "HEALTH_DEGRADED",
+    "HEALTH_QUARANTINED",
+    "HEALTH_RECOVERED",
 ]

@@ -21,6 +21,17 @@ path when its ``WBMConfig.vectorized`` flag is set (the default) and
 on the per-block generator oracle otherwise; either way the modeled
 stage seconds are identical — :meth:`MatchingService.launch_wall_seconds`
 exposes the *host-side* simulator cost the pooled path removes.
+
+``process_batch`` is fault-isolated (see :mod:`repro.service.resilience`
+and docs/ARCHITECTURE.md): it runs as a staged transaction — recovery →
+prepare → negative phase → commit → observe → positive phase → assemble
+— where per-query stages are guarded (a fault quarantines that query
+behind its circuit breaker) and store stages are transactional (a
+failed commit rolls back via its journal and is retried within
+``ResiliencePolicy.store_retries``; exhaustion drops the batch at the
+restored pre-batch boundary). The service never raises for a runtime
+or store *fault*; invalid input batches (``UpdateError``/``GraphError``
+from validation) still propagate to the caller.
 """
 
 from __future__ import annotations
@@ -28,7 +39,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.cost import CostModel, DEFAULT_COST_MODEL
-from repro.errors import MatchingError
+from repro.errors import (
+    GraphError,
+    MatchingError,
+    QueryQuarantinedError,
+    ServiceError,
+    UpdateError,
+)
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.updates import UpdateBatch, UpdateStream
 from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
@@ -36,6 +53,14 @@ from repro.matching.wbm import BatchResult, Match, QueryRuntime, WBMConfig
 from repro.pipeline.async_exec import PipelineModel, PipelineReport
 from repro.pipeline.postprocess import MatchCollector, ThroughputMeter
 from repro.pma.gpma import GpmaUpdateStats
+from repro.service.resilience import (
+    HEALTH_DEGRADED,
+    HEALTH_OK,
+    HEALTH_QUARANTINED,
+    HEALTH_RECOVERED,
+    CircuitBreaker,
+    ResiliencePolicy,
+)
 from repro.service.store import DynamicGraphStore, StoreCommit
 
 # CPU-side preprocessing cost constants (ops per touched item)
@@ -60,6 +85,11 @@ class QueryBatchReport:
     name: str
     result: BatchResult
     kernel_seconds: float = 0.0
+    #: this query's health for this batch:
+    #: ``ok | degraded | quarantined | recovered``
+    health: str = HEALTH_OK
+    #: the breaker's last recorded error (quarantined rows only)
+    error: str | None = None
 
 
 @dataclass
@@ -77,6 +107,14 @@ class ServiceBatchReport:
     #: pipeline model's per-batch stage lists
     stages: list[tuple[str, str]] = field(default_factory=list)
     aborted: bool = False
+    #: per-query health for this batch (mirrors ``queries[...].health``)
+    health: dict[str, str] = field(default_factory=dict)
+    #: an unrecoverable store fault rolled the batch back; the store
+    #: sits at the consistent pre-batch boundary and no query observed
+    #: any part of this batch
+    rolled_back: bool = False
+    #: ``"<stage>: <error>"`` when the whole batch was dropped
+    failure: str | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -89,6 +127,10 @@ class ServiceBatchReport:
     @property
     def total_negatives(self) -> int:
         return sum(len(q.result.negatives) for q in self.queries.values())
+
+    @property
+    def quarantined(self) -> list[str]:
+        return [n for n, h in self.health.items() if h == HEALTH_QUARANTINED]
 
 
 class MatchingService:
@@ -104,6 +146,8 @@ class MatchingService:
         bits_per_label: int = 2,
         extra_labels: tuple[int, ...] = (),
         vectorized: bool = True,
+        policy: ResiliencePolicy | None = None,
+        faults=None,
     ) -> None:
         if store is None:
             if graph is None:
@@ -114,10 +158,15 @@ class MatchingService:
                 bits_per_label=bits_per_label,
                 extra_labels=extra_labels,
                 vectorized=vectorized,
+                faults=faults,
             )
+        elif faults is not None:
+            store.attach_faults(faults)
         self.store = store
         self.params = params
         self.cost_model = cost_model
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.breaker = CircuitBreaker(self.policy)
         self.meter = ThroughputMeter()
         self._runtimes: dict[str, QueryRuntime] = {}  # insertion-ordered
         self._counter = 0
@@ -156,7 +205,7 @@ class MatchingService:
         if name is None:
             name = self._next_name()
         if name in self._runtimes:
-            raise MatchingError(f"query {name!r} already registered")
+            raise ServiceError(f"query {name!r} already registered")
         runtime = QueryRuntime(
             query, self.store, self.params, config, name=name, collector=MatchCollector()
         )
@@ -170,11 +219,11 @@ class MatchingService:
         """Register an externally built runtime (it must already share
         this service's store)."""
         if runtime.store is not self.store:
-            raise MatchingError("adopted runtime is bound to a different store")
+            raise ServiceError("adopted runtime is bound to a different store")
         if name is None:
             name = runtime.name or self._next_name()
         if name in self._runtimes:
-            raise MatchingError(f"query {name!r} already registered")
+            raise ServiceError(f"query {name!r} already registered")
         runtime.name = name
         if runtime.collector is None:
             runtime.collector = MatchCollector()
@@ -188,23 +237,51 @@ class MatchingService:
             self._counter += 1
         return f"q{self._counter}"
 
-    def unregister_query(self, name: str) -> None:
+    def unregister_query(self, name: str, *, force: bool = False) -> None:
         """Drop a query; only its per-query state (candidate table,
-        plan, collector, virtual GPU) is freed — the shared store is
-        untouched."""
+        plan, collector, virtual GPU, breaker record) is freed — the
+        shared store is untouched.
+
+        A quarantined query cannot be silently dropped mid-recovery
+        (its match view is incomplete and its breaker holds the fault
+        evidence): pass ``force=True`` to discard it anyway.
+        """
         if name not in self._runtimes:
-            raise MatchingError(f"no registered query named {name!r}")
+            raise ServiceError(f"no registered query named {name!r}")
+        if self.breaker.is_quarantined(name) and not force:
+            raise QueryQuarantinedError(
+                name, f"unregister requires force=True; {self.breaker.record(name).last_error}"
+            )
         del self._runtimes[name]
+        self.breaker.drop(name)
 
     def runtime(self, name: str) -> QueryRuntime:
         if name not in self._runtimes:
-            raise MatchingError(f"no registered query named {name!r}")
+            raise ServiceError(f"no registered query named {name!r}")
         return self._runtimes[name]
 
     def matches(self, name: str) -> set[Match]:
         """Current match set of one registered query (bootstrap state
-        plus every observed birth/death)."""
-        return self.runtime(name).current_matches()
+        plus every observed birth/death).
+
+        A quarantined query's view is incomplete (it missed at least
+        one commit), so reading it raises
+        :class:`~repro.errors.QueryQuarantinedError` rather than
+        returning silently stale matches.
+        """
+        runtime = self.runtime(name)
+        if self.breaker.is_quarantined(name):
+            raise QueryQuarantinedError(name, self.breaker.record(name).last_error)
+        return runtime.current_matches()
+
+    def query_health(self, name: str) -> str:
+        """Current health of one registered query."""
+        self.runtime(name)  # existence check
+        return self.breaker.health(name)
+
+    def health_snapshot(self) -> dict[str, str]:
+        """Health of every registered query right now."""
+        return {name: self.breaker.health(name) for name in self._runtimes}
 
     def launch_wall_seconds(self) -> float:
         """Host wall-clock spent inside the virtual-GPU launch machinery
@@ -226,14 +303,43 @@ class MatchingService:
         )
 
     def process_batch(self, batch: UpdateBatch) -> ServiceBatchReport:
-        """Fan one batch out across every registered query.
+        """Fan one batch out across every registered query, inside the
+        fault-isolation envelope.
 
         The store computes the net delta once; all negative-phase
         kernels run against the pre-update graph; the store commits the
-        GPMA/encoding update exactly once; every runtime observes the
-        commit and runs its positive-phase kernel.
+        GPMA/encoding update exactly once (transactionally — a failed
+        commit rolls back and is retried up to ``policy.store_retries``
+        times); every healthy runtime observes the commit — the observe
+        loop visits *all* of them even when one faults mid-loop — and
+        runs its positive-phase kernel. A fault inside one query's
+        launch/observe quarantines that query; healthy queries' results
+        are byte-identical to a fault-free run. Runtime/store faults
+        never propagate to the caller; invalid input batches
+        (``UpdateError``/``GraphError``) still raise.
         """
-        delta = self.store.prepare(batch)
+        batch_index = self.batches_processed
+        health: dict[str, str] = {}
+        failed: set[str] = set()
+
+        # 0. recovery: quarantined queries whose cooldown elapsed retry
+        # with a full re-bootstrap at the current consistent boundary
+        for name, runtime in self._runtimes.items():
+            if self.breaker.retry_due(name, batch_index):
+                try:
+                    runtime.rebootstrap()
+                except Exception as err:  # noqa: BLE001 — isolation boundary
+                    self.breaker.note_retry_failure(name, batch_index, err)
+                else:
+                    self.breaker.mark_recovered(name, batch_index)
+
+        active = [n for n in self._runtimes if not self.breaker.is_quarantined(n)]
+
+        # 1. prepare (reads only — a retry re-runs it from scratch)
+        delta, err = self._guarded_store(lambda: self.store.prepare(batch))
+        if err is not None:
+            return self._dropped_batch_report(batch, "prepare", err)
+
         report = ServiceBatchReport(
             batch_size=len(batch),
             delta_inserted=len(delta.inserted),
@@ -241,37 +347,158 @@ class MatchingService:
             stages=self.stage_plan(),
         )
 
+        # 2. negative phase, against the still-live pre-update graph
         neg = {}
         if delta.deleted:
             edges = list(delta.deleted)
-            for name, runtime in self._runtimes.items():
-                neg[name] = runtime.launch(edges)
+            for name in active:
+                out = self._guarded_launch(name, edges, batch_index, health, failed)
+                if out is not None:
+                    neg[name] = out
 
-        commit = self.store.commit(batch, delta)
+        # 3. commit — transactional: a failing attempt restores the
+        # pre-batch boundary (rollback journal) before raising, so a
+        # retry replays the identical delta; exhausted retries drop the
+        # whole batch at that boundary (negative results are discarded,
+        # nothing was observed, no collector advanced)
+        commit, err = self._guarded_store(lambda: self.store.commit(batch, delta))
+        if err is not None:
+            return self._dropped_batch_report(batch, "commit", err, rolled_back=True)
+
         report.gpma_stats = commit.gpma_stats
         report.reencoded_vertices = len(commit.changed_vertices)
 
+        # 4. observe: every healthy runtime sees the commit, each in its
+        # own guard — a mid-loop fault must not leave later runtimes on
+        # a version they never observed
+        for name in active:
+            if name in failed:
+                continue
+            try:
+                self._runtimes[name].observe_commit(commit)
+            except Exception as err:  # noqa: BLE001 — isolation boundary
+                self._trip(name, batch_index, err, health, failed)
+
+        # 5. positive phase, against the committed graph
         pos = {}
-        for name, runtime in self._runtimes.items():
-            runtime.observe_commit(commit)
         if delta.inserted:
             edges = list(delta.inserted)
-            for name, runtime in self._runtimes.items():
-                pos[name] = runtime.launch(edges)
+            for name in active:
+                if name in failed:
+                    continue
+                out = self._guarded_launch(name, edges, batch_index, health, failed)
+                if out is not None:
+                    pos[name] = out
 
+        # 6. assemble: healthy queries exactly as a fault-free run;
+        # quarantined ones contribute an empty health-only row (their
+        # collector does not advance past the fault)
         for name, runtime in self._runtimes.items():
+            if name not in active or name in failed:
+                state = health.setdefault(name, HEALTH_QUARANTINED)
+                report.queries[name] = QueryBatchReport(
+                    name=name,
+                    result=BatchResult(),
+                    health=state,
+                    error=self.breaker.record(name).last_error,
+                )
+                continue
             result = self._assemble_result(name, neg, pos, commit)
             if runtime.collector is not None:
                 runtime.collector.consume(result)
+            state = health.get(name)
+            if state is None:
+                state = (
+                    HEALTH_RECOVERED
+                    if self.breaker.health(name) == HEALTH_RECOVERED
+                    else HEALTH_OK
+                )
+            health[name] = state
             report.queries[name] = QueryBatchReport(
                 name=name,
                 result=result,
                 kernel_seconds=self.cost_model.gpu_seconds(result.kernel_stats.kernel_cycles),
+                health=state,
             )
             report.aborted |= result.aborted
 
+        report.health = dict(health)
+        self.breaker.settle()
         report.stage_seconds = self._price_stages(report, commit)
         self.meter.record(report.total_seconds, len(batch))
+        self.batches_processed += 1
+        return report
+
+    # -- fault-isolation helpers ---------------------------------------
+    def _guarded_store(self, call):
+        """Run a store transaction with the policy's bounded retry.
+
+        Returns ``(value, None)`` on success or ``(None, last_error)``
+        after exhausting retries. A failed ``commit`` has already rolled
+        the store back when it raises, so each retry starts from the
+        same consistent boundary. Invalid-batch validation errors are
+        caller misuse, not faults — they propagate immediately.
+        """
+        last: BaseException | None = None
+        for _ in range(self.policy.store_retries + 1):
+            try:
+                return call(), None
+            except (UpdateError, GraphError):
+                raise
+            except Exception as err:  # noqa: BLE001 — isolation boundary
+                last = err
+        return None, last
+
+    def _guarded_launch(self, name, edges, batch_index, health, failed):
+        """One query's launch inside its isolation guard; returns the
+        kernel output, or ``None`` after quarantining the query (or a
+        degraded rerun that also failed)."""
+        runtime = self._runtimes[name]
+        try:
+            return runtime.launch(edges)
+        except Exception as err:  # noqa: BLE001 — isolation boundary
+            if self.policy.degrade_to_scalar and runtime.config.vectorized:
+                try:
+                    out = runtime.launch(edges, degraded=True)
+                except Exception as err2:  # noqa: BLE001
+                    err = err2
+                else:
+                    health[name] = HEALTH_DEGRADED
+                    self.breaker.note_degraded(name)
+                    return out
+            self._trip(name, batch_index, err, health, failed)
+            return None
+
+    def _trip(self, name, batch_index, err, health, failed):
+        self.breaker.trip(name, batch_index, err)
+        health[name] = HEALTH_QUARANTINED
+        failed.add(name)
+
+    def _dropped_batch_report(
+        self, batch: UpdateBatch, stage: str, err: BaseException, rolled_back: bool = False
+    ) -> ServiceBatchReport:
+        """The whole batch failed in a store stage. The store sits at
+        the consistent pre-batch boundary (verified by the rollback
+        path); no runtime observed anything, so every healthy query is
+        still synced and the next batch proceeds normally."""
+        report = ServiceBatchReport(
+            batch_size=len(batch),
+            stages=self.stage_plan(),
+            aborted=True,
+            rolled_back=rolled_back,
+            failure=f"{stage}: {type(err).__name__}: {err}",
+        )
+        for name in self._runtimes:
+            state = self.breaker.health(name)
+            report.health[name] = state
+            report.queries[name] = QueryBatchReport(
+                name=name,
+                result=BatchResult(),
+                health=state,
+                error=self.breaker.record(name).last_error,
+            )
+        report.stage_seconds = {stage_name: 0.0 for stage_name, _ in report.stages}
+        self.breaker.settle()
         self.batches_processed += 1
         return report
 

@@ -28,7 +28,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import MatchingError
+import numpy as np
+
+from repro.errors import MatchingError, ServiceError
 from repro.filtering import EncodingSchema, EncodingTable
 from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import LabeledGraph
@@ -41,7 +43,33 @@ from repro.graph.updates import (
 )
 from repro.gpu.device import VirtualGPU
 from repro.gpu.params import DEFAULT_PARAMS, DeviceParams
-from repro.pma.gpma import GPMAGraph, GpmaUpdateStats
+from repro.pma.gpma import GPMAGraph, GpmaUpdateStats, directed_key_runs
+
+
+@dataclass(frozen=True, eq=False)
+class RollbackJournal:
+    """Pre-commit state captured by :meth:`DynamicGraphStore.commit`.
+
+    Everything a :meth:`DynamicGraphStore.rollback` (or the in-commit
+    failure recovery) needs to restore the pre-batch boundary: the
+    inverse of the applied effective delta, the prior packed encoding
+    rows of every touched vertex, the GPMA's directed ``(key, label)``
+    runs, and the raw version / CSR-cache marks.
+    """
+
+    inverse: EffectiveDelta
+    #: sorted vertex ids whose encoding rows the commit may rewrite
+    #: (delta endpoints clipped to the pre-batch table length)
+    touched_vertices: np.ndarray
+    prior_rows: np.ndarray  # packed uint64 rows of ``touched_vertices``
+    prior_packed_len: int
+    prior_csr: CSRGraph | None
+    prior_csr_version: int
+    prior_version: int
+    gpma_update_count: int
+    gpma_n_vertices: int
+    insert_runs: np.ndarray  # (2k, 2) directed (key, label) the commit added
+    delete_runs: np.ndarray  # (2k, 2) directed (key, label) the commit removed
 
 
 @dataclass(frozen=True)
@@ -54,6 +82,9 @@ class StoreCommit:
     version: int = 0
     transfer_words: int = 0  # update edges + re-encoded rows over PCIe
     transfer_cycles: float = 0.0
+    #: rollback journal for this commit (service-tier fault recovery);
+    #: excluded from equality — it holds array state, not results
+    journal: RollbackJournal | None = field(default=None, repr=False, compare=False)
 
     @property
     def is_noop(self) -> bool:
@@ -86,11 +117,16 @@ class DynamicGraphStore:
         extra_labels: tuple[int, ...] = (),
         copy: bool = True,
         vectorized: bool = True,
+        faults=None,
     ) -> None:
         self.graph = graph.copy() if copy else graph
         self.params = params
         self.vectorized = vectorized
+        #: optional :class:`~repro.testing.faults.FaultPlan`; threaded
+        #: through the GPMA and read by every runtime sharing this store
+        self.faults = faults
         self.gpma = GPMAGraph.from_graph(self.graph, params, vectorized=vectorized)
+        self.gpma.faults = faults
         if schema is None:
             schema = EncodingSchema.for_labels(
                 set(self.graph.label_alphabet()) | set(extra_labels), bits_per_label
@@ -124,6 +160,17 @@ class DynamicGraphStore:
         return self._csr
 
     # ------------------------------------------------------------------
+    def attach_faults(self, faults) -> None:
+        """Thread a fault-injection plan through the store and its
+        device container (runtimes read it through their store ref)."""
+        self.faults = faults
+        self.gpma.faults = faults
+
+    def _fire(self, site: str) -> None:
+        if self.faults is not None:
+            self.faults.fire(site)
+
+    # ------------------------------------------------------------------
     def prepare(self, batch: UpdateBatch) -> EffectiveDelta:
         """Net delta of ``batch`` against the current graph (no mutation).
 
@@ -133,43 +180,86 @@ class DynamicGraphStore:
         overlay against the cached CSR snapshot (one bulk lookup, no
         per-op dict walk).
         """
+        self._fire("store.prepare")
         if self.vectorized:
             return effective_delta(self.graph, batch, csr=self.csr_snapshot())
         return effective_delta(self.graph, batch, vectorized=False)
+
+    def _capture_journal(self, delta: EffectiveDelta) -> RollbackJournal:
+        """Snapshot everything :meth:`_restore` needs, before mutating."""
+        enc = self.encodings
+        ins, dele = delta.inserted_array, delta.deleted_array
+        ends = np.concatenate((ins[:, :2].ravel(), dele[:, :2].ravel()))
+        touched = np.unique(ends)
+        # rows beyond the pre-batch table never existed — truncation
+        # alone restores them
+        touched = touched[touched < len(enc.packed)]
+        return RollbackJournal(
+            inverse=delta.inverse(),
+            touched_vertices=touched,
+            prior_rows=enc.packed[touched].copy(),
+            prior_packed_len=len(enc.packed),
+            prior_csr=self._csr,
+            prior_csr_version=self._csr_version,
+            prior_version=self.version,
+            gpma_update_count=self.gpma.update_count,
+            gpma_n_vertices=self.gpma.n_vertices,
+            insert_runs=directed_key_runs(ins),
+            delete_runs=directed_key_runs(dele),
+        )
 
     def commit(self, batch: UpdateBatch, delta: EffectiveDelta | None = None) -> StoreCommit:
         """Apply ``batch``: one GPMA update, one encoding refresh.
 
         ``delta`` is the value :meth:`prepare` returned for this batch;
         passing it back avoids recomputing the net difference.
+
+        The commit is transactional: a rollback journal is captured
+        first, and any exception escaping the staged apply (GPMA →
+        host mirror → CSR/encoding) triggers an in-place restore of the
+        pre-batch boundary — verified by :meth:`check_consistency` —
+        before the exception propagates. A commit that *returned* can
+        later be undone with :meth:`rollback`.
         """
         if delta is None:
             delta = self.prepare(batch)
-        # pre-batch snapshot (if warm) seeds the incremental CSR splice
-        old_csr = self._csr if self._csr_version == self.version else None
-        gpma_stats = self.gpma.apply_delta(delta)
-        if self.vectorized:
-            # the host mirror absorbs the validated net delta directly:
-            # each net edge is touched once, cancelling ops cost nothing
-            apply_effective_delta(self.graph, delta)
-        else:
-            apply_batch(self.graph, batch)
-        if self.vectorized and delta:
-            # refresh the snapshot eagerly — incrementally when the
-            # pre-batch snapshot is warm: the encoding refresh reads it
-            # now and every runtime's positive-phase kernel reuses it
-            if old_csr is not None:
-                self._csr = old_csr.apply_delta(delta, self.graph)
+        journal = self._capture_journal(delta)
+        stage = "pre"
+        try:
+            self._fire("store.commit.gpma")
+            # pre-batch snapshot (if warm) seeds the incremental CSR splice
+            old_csr = self._csr if self._csr_version == self.version else None
+            stage = "gpma"
+            gpma_stats = self.gpma.apply_delta(delta)
+            stage = "graph"
+            self._fire("store.commit.graph")
+            if self.vectorized:
+                # the host mirror absorbs the validated net delta directly:
+                # each net edge is touched once, cancelling ops cost nothing
+                apply_effective_delta(self.graph, delta)
             else:
-                self._csr = CSRGraph.from_graph(self.graph)
-            self._csr_version = self.version + 1
-            changed = self.encodings.apply_delta(self.graph, delta, csr=self._csr)
-        else:
-            if self._csr is not None and not delta:
-                self._csr_version = self.version + 1  # no-op: graph unchanged
+                apply_batch(self.graph, batch)
+            stage = "encoding"
+            self._fire("store.commit.encoding")
+            if self.vectorized and delta:
+                # refresh the snapshot eagerly — incrementally when the
+                # pre-batch snapshot is warm: the encoding refresh reads it
+                # now and every runtime's positive-phase kernel reuses it
+                if old_csr is not None:
+                    self._csr = old_csr.apply_delta(delta, self.graph)
+                else:
+                    self._csr = CSRGraph.from_graph(self.graph)
+                self._csr_version = self.version + 1
+                changed = self.encodings.apply_delta(self.graph, delta, csr=self._csr)
             else:
-                self._csr = None
-            changed = self.encodings.apply_delta(self.graph, delta)
+                if self._csr is not None and not delta:
+                    self._csr_version = self.version + 1  # no-op: graph unchanged
+                else:
+                    self._csr = None
+                changed = self.encodings.apply_delta(self.graph, delta)
+        except Exception:
+            self._restore(journal, stage)
+            raise
         self.version += 1
         words = 2 * (len(delta.inserted) + len(delta.deleted)) + 2 * len(changed)
         return StoreCommit(
@@ -179,11 +269,84 @@ class DynamicGraphStore:
             version=self.version,
             transfer_words=words,
             transfer_cycles=self.gpu.link.transfer_cycles(words) if words else 0.0,
+            journal=journal,
         )
 
     def process(self, batch: UpdateBatch) -> StoreCommit:
         """Prepare + commit in one step (no negative-phase window)."""
         return self.commit(batch, self.prepare(batch))
+
+    # ------------------------------------------------------------------
+    # rollback
+    # ------------------------------------------------------------------
+    def rollback(self, commit: StoreCommit) -> None:
+        """Undo the store's most recent commit.
+
+        Restores the host mirror, GPMA, cached CSR snapshot, encoding
+        table, and version to the boundary before ``commit`` was
+        applied, then re-audits via :meth:`check_consistency`. Only the
+        latest commit can be rolled back (the journal captures one
+        boundary); anything else raises :class:`ServiceError`.
+        """
+        if commit.journal is None:
+            raise ServiceError(f"commit v{commit.version} carries no rollback journal")
+        if commit.version != self.version:
+            raise ServiceError(
+                f"rollback of commit v{commit.version} rejected: "
+                f"store is at v{self.version}"
+            )
+        self._restore(commit.journal, "committed")
+
+    def _restore(self, journal: RollbackJournal, stage: str) -> None:
+        """Roll state back to ``journal``'s boundary.
+
+        ``stage`` names how far the failed commit got: ``pre`` (nothing
+        mutated), ``gpma`` (device apply raised mid-batch), ``graph``
+        (GPMA applied, host mirror possibly partial), ``encoding``
+        (mirror applied, CSR/encoding phase possibly partial), or
+        ``committed`` (a fully applied commit being rolled back).
+        Always leaves the store passing :meth:`check_consistency`.
+        """
+        if stage in ("encoding", "committed"):
+            enc = self.encodings
+            if len(enc.packed) != journal.prior_packed_len:
+                enc.packed = enc.packed[: journal.prior_packed_len]
+            if len(journal.touched_vertices):
+                enc.packed[journal.touched_vertices] = journal.prior_rows
+            enc.version = journal.prior_version
+        if stage in ("graph", "encoding", "committed"):
+            # host mirror: tolerant inverse apply — handles a partially
+            # applied mirror too (remove-if-present / add-if-missing,
+            # insertions undone first so label changes restore cleanly)
+            inv = journal.inverse
+            for u, v, _ in inv.deleted:  # edges the commit inserted
+                if self.graph.has_edge(u, v):
+                    self.graph.remove_edge(u, v)
+            for u, v, lbl in inv.inserted:  # edges the commit deleted
+                if not self.graph.has_edge(u, v):
+                    self.graph.add_edge(u, v, lbl)
+            # device container absorbed the full delta: revert it from
+            # the journaled directed key runs
+            self.gpma.revert_runs(journal.delete_runs, journal.insert_runs)
+        elif stage == "gpma":
+            # the GPMA raised mid-batch — its PMA may hold any prefix of
+            # the update, so rebuild from the untouched host mirror
+            # (one bulk load: bounded recovery, not op-by-op repair)
+            gpma = GPMAGraph.from_graph(
+                self.graph,
+                self.params,
+                top_k_cached=self.gpma.top_k_cached,
+                cooperative_groups=self.gpma.cooperative_groups,
+                vectorized=self.vectorized,
+            )
+            gpma.faults = self.faults
+            self.gpma = gpma
+        if stage != "pre":
+            self.gpma.restore_marks(journal.gpma_update_count, journal.gpma_n_vertices)
+        self._csr = journal.prior_csr
+        self._csr_version = journal.prior_csr_version
+        self.version = journal.prior_version
+        self.check_consistency()
 
     # ------------------------------------------------------------------
     def check_consistency(self) -> None:

@@ -1,0 +1,12 @@
+"""Deterministic testing utilities for the serving stack.
+
+Today this package holds the fault-injection harness
+(:mod:`repro.testing.faults`): seeded, replayable fault schedules
+threaded through the store / GPMA / runtime hooks — the chaos suite
+and the resilience bench drive the fault-isolation layer through it
+without any monkeypatching.
+"""
+
+from repro.testing.faults import FAULT_KINDS, FAULT_SITES, FaultPlan, FaultSpec
+
+__all__ = ["FAULT_KINDS", "FAULT_SITES", "FaultPlan", "FaultSpec"]

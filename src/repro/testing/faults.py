@@ -1,0 +1,195 @@
+"""Deterministic fault injection for the fault-isolated serving stack.
+
+A :class:`FaultPlan` is a finite schedule of :class:`FaultSpec` entries,
+each naming an **injection site** (a hook compiled into the store, GPMA,
+and query-runtime code paths — see :data:`FAULT_SITES`), the zero-based
+**occurrence** (arrival count at that site) at which it fires, an
+optional query name to scope per-runtime sites, and the error **kind**
+to raise. Components call :meth:`FaultPlan.fire` at each site; the plan
+counts the arrival and raises iff a spec matches. With no plan attached
+(the production configuration) the hooks are a single ``None`` check.
+
+Everything is deterministic: the same plan over the same workload fires
+the same faults at the same points, so chaos-suite failures replay
+exactly, and :meth:`FaultPlan.seeded` builds randomized-but-reproducible
+schedules from an integer seed.
+
+Site map (where each hook lives):
+
+====================== ====================================================
+site                   fires in
+====================== ====================================================
+store.prepare          ``DynamicGraphStore.prepare`` (before the delta)
+store.commit.gpma      ``DynamicGraphStore.commit`` before the GPMA apply
+store.commit.graph     after the GPMA apply, before the host-mirror apply
+store.commit.encoding  before the CSR splice / encoding refresh
+gpma.apply             ``GPMAGraph.apply_delta`` before structural mutation
+gpma.mid               between the PMA batch delete and batch insert
+runtime.launch         ``QueryRuntime.launch`` before the kernel
+runtime.launch.degraded the scalar-oracle degraded retry launch
+runtime.observe        ``QueryRuntime.observe_commit`` before the refresh
+runtime.observe.mid    after the refresh, before the version sync
+runtime.bootstrap      ``QueryRuntime.rebootstrap`` (quarantine recovery)
+====================== ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import DeviceMemoryError, InjectedFault, PmaError
+
+#: every injection site compiled into the serving stack
+FAULT_SITES = (
+    "store.prepare",
+    "store.commit.gpma",
+    "store.commit.graph",
+    "store.commit.encoding",
+    "gpma.apply",
+    "gpma.mid",
+    "runtime.launch",
+    "runtime.launch.degraded",
+    "runtime.observe",
+    "runtime.observe.mid",
+    "runtime.bootstrap",
+)
+
+#: sites scoped to one query runtime — ``fire`` is called with a query
+#: name there, and seeded schedules may target specific queries
+RUNTIME_SITES = tuple(s for s in FAULT_SITES if s.startswith("runtime."))
+
+#: error classes an injected fault can materialize as; "runtime" is the
+#: arbitrary-fault arm (a plain RuntimeError no repro layer ever raises)
+FAULT_KINDS = ("injected", "device_memory", "pma", "runtime")
+
+
+def _make_error(spec: "FaultSpec") -> BaseException:
+    tag = f"injected fault at {spec.site!r}, occurrence {spec.occurrence}" + (
+        f", query {spec.query!r}" if spec.query else ""
+    )
+    if spec.kind == "injected":
+        return InjectedFault(spec.site, spec.occurrence, query=spec.query)
+    if spec.kind == "device_memory":
+        return DeviceMemoryError(tag)
+    if spec.kind == "pma":
+        return PmaError(tag)
+    return RuntimeError(tag)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``occurrence`` counts arrivals at ``site``: globally when ``query``
+    is ``None``, per named query otherwise (so a spec targeting ``q1``
+    is insensitive to how often other runtimes pass the same site).
+    """
+
+    site: str
+    occurrence: int
+    query: str | None = None
+    kind: str = "injected"
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {self.site!r} (see FAULT_SITES)")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (see FAULT_KINDS)")
+        if self.occurrence < 0:
+            raise ValueError("fault occurrence must be >= 0")
+
+
+class FaultPlan:
+    """A deterministic, replayable fault schedule.
+
+    The plan is attached once (``DynamicGraphStore(..., faults=plan)``
+    or ``MatchingService(..., faults=plan)``) and threaded through the
+    stack by reference — runtimes read it off their shared store, the
+    GPMA off its owning store — so one plan observes every site in
+    arrival order without any monkeypatching.
+    """
+
+    def __init__(self, specs: tuple[FaultSpec, ...] | list[FaultSpec] = ()) -> None:
+        self.specs = tuple(specs)
+        #: arrival counters keyed ``(site, None)`` (global) and
+        #: ``(site, query)`` (per-runtime)
+        self._arrivals: dict[tuple[str, str | None], int] = {}
+        #: specs that have fired, in firing order (chaos-suite audit)
+        self.fired: list[FaultSpec] = []
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({len(self.specs)} specs, {len(self.fired)} fired)"
+
+    def arrivals(self, site: str, query: str | None = None) -> int:
+        """Arrival count so far at ``site`` (optionally per query)."""
+        return self._arrivals.get((site, query), 0)
+
+    def fire(self, site: str, query: str | None = None) -> None:
+        """Count one arrival at ``site``; raise if a spec matches it.
+
+        Each spec fires at most once — occurrence counters only move
+        forward — which is what lets the service's bounded retries
+        clear an injected fault deterministically.
+        """
+        n_global = self._arrivals.get((site, None), 0)
+        self._arrivals[(site, None)] = n_global + 1
+        n_query = -1
+        if query is not None:
+            n_query = self._arrivals.get((site, query), 0)
+            self._arrivals[(site, query)] = n_query + 1
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            hit = (
+                spec.occurrence == n_global
+                if spec.query is None
+                else (spec.query == query and spec.occurrence == n_query)
+            )
+            if hit:
+                self.fired.append(spec)
+                raise _make_error(spec)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        sites: tuple[str, ...] = FAULT_SITES,
+        n_faults: int = 4,
+        horizon: int = 24,
+        queries: tuple[str, ...] = (),
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        min_spacing: int = 3,
+    ) -> "FaultPlan":
+        """A randomized-but-reproducible schedule.
+
+        Samples ``n_faults`` specs over ``sites`` with occurrences in
+        ``[0, horizon)``. Two specs at the same (site, query) are kept
+        at least ``min_spacing`` occurrences apart so a service with
+        ``store_retries >= min_spacing - 1`` can always retry through a
+        store-site fault (a retried commit advances the site's arrival
+        counter past the spec). Runtime sites are scoped to a random
+        entry of ``queries`` when given.
+        """
+        rng = random.Random(seed)
+        taken: dict[tuple[str, str | None], list[int]] = {}
+        specs: list[FaultSpec] = []
+        site_pool = list(sites)
+        for _ in range(n_faults):
+            site = rng.choice(site_pool)
+            query = (
+                rng.choice(list(queries))
+                if queries and site in RUNTIME_SITES
+                else None
+            )
+            slots = taken.setdefault((site, query), [])
+            for _attempt in range(32):
+                occ = rng.randrange(horizon)
+                if all(abs(occ - t) >= min_spacing for t in slots):
+                    slots.append(occ)
+                    specs.append(
+                        FaultSpec(site, occ, query=query, kind=rng.choice(list(kinds)))
+                    )
+                    break
+        return cls(tuple(specs))

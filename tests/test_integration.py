@@ -12,9 +12,34 @@ from repro.graph.updates import UpdateStream, apply_batch, make_batch
 from repro.gpu import DeviceParams
 from repro.matching import find_matches, oracle_delta
 from repro.pipeline import GammaSystem
+from repro.service import DynamicGraphStore, MatchingService
 
 PARAMS = DeviceParams(num_sms=2, warps_per_block=4)
 PAPER_Q = LabeledGraph.from_edges([0, 1, 1, 2], [(0, 1), (0, 2), (1, 2), (1, 3)])
+
+
+@pytest.fixture(autouse=True)
+def audit_store_transactions(monkeypatch):
+    """Run ``check_consistency`` after every store commit and rollback.
+
+    Any test in this module that goes through the serving layer gets the
+    transactional invariants (mirror == GPMA == CSR == encodings)
+    re-verified at each boundary for free.
+    """
+    real_commit = DynamicGraphStore.commit
+    real_rollback = DynamicGraphStore.rollback
+
+    def audited_commit(self, batch, delta=None):
+        commit = real_commit(self, batch, delta)
+        self.check_consistency()
+        return commit
+
+    def audited_rollback(self, commit):
+        real_rollback(self, commit)
+        self.check_consistency()
+
+    monkeypatch.setattr(DynamicGraphStore, "commit", audited_commit)
+    monkeypatch.setattr(DynamicGraphStore, "rollback", audited_rollback)
 
 
 def make_stream(seed: int, n: int = 22, n_batches: int = 4):
@@ -97,6 +122,29 @@ class TestStreamEquivalence:
             system.process_batch(batch)
             fresh = CandidateTable(PAPER_Q, system.engine.graph)
             assert (system.engine.table.bitmap == fresh.bitmap).all()
+
+    def test_service_stream_is_transactional(self):
+        """Serving-layer pass over the stream: the autouse audit fixture
+        re-checks store consistency after every commit, and an explicit
+        rollback must restore the pre-batch graph exactly."""
+        g, stream = make_stream(17, n_batches=4)
+        service = MatchingService(g, params=PARAMS)
+        service.register_query(PAPER_Q, name="q")
+        shadow = g.copy()
+        for batch in stream:
+            pos, neg = oracle_delta(PAPER_Q, shadow, batch)
+            report = service.process_batch(batch)
+            assert report.queries["q"].result.positives == pos
+            assert report.queries["q"].result.negatives == neg
+            apply_batch(shadow, batch)
+        assert service.graph == shadow
+        # commit one more batch by hand, then undo it
+        extra = make_batch([("-", u, v) for u, v in list(shadow.edges())[:2]])
+        before = service.graph.copy()
+        commit = service.store.commit(extra, service.store.prepare(extra))
+        assert service.graph != before
+        service.store.rollback(commit)
+        assert service.graph == before
 
     def test_edge_labeled_stream(self):
         q = LabeledGraph.from_edges([0, 0, 0], [(0, 1, 0), (1, 2, 1)])

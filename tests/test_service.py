@@ -253,8 +253,10 @@ class TestRegistrationLifecycle:
 
     def test_runtime_detects_missed_commit(self):
         """A runtime that skips a store commit must fail loudly rather
-        than match against stale candidate rows."""
-        g, stream = make_stream(14, n_batches=2)
+        than match against stale candidate rows — and the service turns
+        that failure into a quarantine instead of raising to the
+        caller (the fault-isolation contract)."""
+        g, stream = make_stream(14, n_batches=3)
         service = MatchingService(g, params=PARAMS)
         service.register_query(PAPER_Q, name="q")
         runtime = service.runtime("q")
@@ -262,8 +264,15 @@ class TestRegistrationLifecycle:
         service.store.process(stream[0])
         with pytest.raises(MatchingError):
             runtime.launch([(0, 1, 0)])
+        report = service.process_batch(stream[1])
+        assert report.health["q"] == "quarantined"
         with pytest.raises(MatchingError):
-            service.process_batch(stream[1])
+            service.matches("q")
+        # cooldown elapses on the next batch: the runtime re-bootstraps
+        # from the current graph and recovers
+        report = service.process_batch(stream[2])
+        assert report.health["q"] == "recovered"
+        assert service.query_health("q") == "ok"
 
 
 class TestEmptyDeltaPricing:
