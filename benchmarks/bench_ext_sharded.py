@@ -1,0 +1,317 @@
+"""Extension: supervised sharded serving tier (ISSUE 8).
+
+Two measurements on the LJ serving workload (5%-of-|E| mixed batches,
+N selective 6-vertex standing queries):
+
+* **scaling** — the same stream through ``ShardedMatchingService`` at
+  1 / 2 / 4 worker processes. Per-batch matches and ``KernelStats``
+  are asserted byte-identical to single-process ``MatchingService``
+  across every arm. Throughput scaling is read off the **modeled**
+  pipeline makespan (each worker is its own ``gpu:<shard>`` kernel
+  resource in :class:`~repro.pipeline.async_exec.PipelineModel` — the
+  quantity the virtual-GPU cost model is calibrated for); the measured
+  host wall is reported alongside, honestly: this harness executes on
+  however many cores the host actually has, and a single-core CI box
+  will show flat-to-negative wall scaling while the modeled makespan
+  scales.
+* **chaos** — the 4-worker arm re-run with a seeded per-batch,
+  per-shard worker-kill probability (default 0.05,
+  ``worker.batch.abort`` fault sites — real ``os._exit`` mid-batch,
+  no monkeypatching). Every killed shard must be quarantined for that
+  batch only and serving again by the next (supervisor respawn +
+  re-bootstrap ≤ 1 batch), and every batch's healthy-shard queries
+  must stay byte-identical to the single-process arm.
+
+Writes the human-readable table to ``benchmarks/out`` and the
+machine-readable ``benchmarks/out/BENCH_sharded.json``.
+
+Knobs: ``REPRO_BENCH_SCALE`` (default 1.0), ``REPRO_BENCH_SHARD_BATCHES``
+(default 6), ``REPRO_BENCH_SHARD_QUERIES`` (default 64),
+``REPRO_BENCH_SHARD_KILL_PROB`` (default 0.05); ``--smoke`` shrinks
+everything for the CI smoke step.
+"""
+
+import argparse
+import dataclasses
+import json
+import os
+import random
+import time
+
+from common import DEFAULT_QUERY_SIZE, queries_for
+
+from repro.bench.harness import BENCH_PARAMS
+from repro.bench.reporting import ARTIFACT_DIR, render_table, save_artifact
+from repro.bench.workloads import holdout_stream
+from repro.graph import load_dataset
+from repro.matching import WBMConfig, find_matches
+from repro.service import MatchingService, ShardedMatchingService, ShardPolicy
+from repro.testing import FaultPlan, FaultSpec
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+N_BATCHES = int(os.environ.get("REPRO_BENCH_SHARD_BATCHES", "6"))
+N_QUERIES = int(os.environ.get("REPRO_BENCH_SHARD_QUERIES", "64"))
+KILL_PROB = float(os.environ.get("REPRO_BENCH_SHARD_KILL_PROB", "0.05"))
+WORKER_COUNTS = (1, 2, 4)
+BATCH_RATE = 0.05
+MAX_STATIC_MATCHES = 200
+SCALING_TARGET = 2.5  # modeled makespan speedup, 4 workers vs 1
+CHAOS_SEED = 97
+
+
+def collect_queries(graph, count):
+    out = []
+    seed = 29
+    for _ in range(count * 12):
+        for kind in ("dense", "sparse", "tree"):
+            for q in queries_for(graph, DEFAULT_QUERY_SIZE, kind, count=2, seed=seed):
+                if len(find_matches(q, graph, limit=MAX_STATIC_MATCHES)) < MAX_STATIC_MATCHES:
+                    out.append(q)
+                if len(out) >= count:
+                    return out
+        seed += 97
+    return out
+
+
+def _batch_stats(reports):
+    return [
+        {
+            name: (
+                sorted(qr.result.positives),
+                sorted(qr.result.negatives),
+                dataclasses.asdict(qr.result.kernel_stats),
+            )
+            for name, qr in rep.queries.items()
+        }
+        for rep in reports
+    ]
+
+
+def run_single(g0, batches, queries):
+    service = MatchingService(g0, params=BENCH_PARAMS)
+    for i, q in enumerate(queries):
+        service.register_query(q, WBMConfig(), name=f"q{i}", bootstrap=False)
+    t0 = time.perf_counter()
+    reports, pipeline = service.process_stream(batches)
+    wall = time.perf_counter() - t0
+    return {
+        "wall": wall,
+        "stats": _batch_stats(reports),
+        "makespan": pipeline.makespan,
+        "health": [dict(rep.health) for rep in reports],
+    }
+
+
+def run_sharded(g0, batches, queries, n_workers, faults=None):
+    service = ShardedMatchingService(
+        g0,
+        params=BENCH_PARAMS,
+        shard_policy=ShardPolicy(n_workers=n_workers),
+        faults=faults,
+    )
+    try:
+        for i, q in enumerate(queries):
+            service.register_query(q, WBMConfig(), name=f"q{i}", bootstrap=False)
+        shard_of = {f"q{i}": service.shard_of(f"q{i}") for i in range(len(queries))}
+        t0 = time.perf_counter()
+        reports, pipeline = service.process_stream(batches)
+        wall = time.perf_counter() - t0
+        return {
+            "wall": wall,
+            "stats": _batch_stats(reports),
+            "makespan": pipeline.makespan,
+            "health": [dict(rep.health) for rep in reports],
+            "shard_health": [dict(rep.shard_health) for rep in reports],
+            "shard_of": shard_of,
+        }
+    finally:
+        service.close()
+
+
+def kill_schedule(n_batches, n_workers, prob, seed=CHAOS_SEED):
+    """Seeded per-batch / per-shard kill coin flips; at least one kill."""
+    rng = random.Random(seed)
+    kills = [
+        (b, f"shard{s}")
+        for b in range(n_batches)
+        for s in range(n_workers)
+        if rng.random() < prob
+    ]
+    if not kills:
+        kills = [(min(1, n_batches - 1), "shard0")]
+    return kills
+
+
+def check_chaos(base, chaos, kills, n_batches):
+    """Supervision contract: each kill quarantines its shard for that
+    batch only; healthy-shard queries stay byte-identical throughout."""
+    killed_at = {}
+    for b, shard in kills:
+        killed_at.setdefault(b, set()).add(shard)
+    recoveries, mismatches = [], 0
+    for b in range(n_batches):
+        sh = chaos["shard_health"][b]
+        for shard in killed_at.get(b, ()):
+            recovered = b + 1 >= n_batches or chaos["shard_health"][b + 1][shard] == "ok"
+            recoveries.append(
+                {
+                    "batch": b,
+                    "shard": shard,
+                    "quarantined": sh[shard] == "quarantined",
+                    "recovered_next_batch": recovered,
+                }
+            )
+        for name, stat in chaos["stats"][b].items():
+            if sh.get(chaos["shard_of"][name]) != "ok":
+                continue  # this shard's batch was sacrificed to the fault
+            if chaos["health"][b].get(name) != "ok":
+                continue
+            if stat != base["stats"][b][name]:
+                mismatches += 1
+    return recoveries, mismatches
+
+
+def run_experiment():
+    graph = load_dataset("LJ", scale=SCALE)
+    g0, stream = holdout_stream(
+        graph, BATCH_RATE * N_BATCHES, n_batches=N_BATCHES, mode="mixed", seed=11
+    )
+    batches = list(stream)
+    total_ops = sum(len(b) for b in batches)
+    queries = collect_queries(g0, N_QUERIES)
+
+    base = run_single(g0, batches, queries)
+    arms = []
+    for w in WORKER_COUNTS:
+        arm = run_sharded(g0, batches, queries, w)
+        assert arm["stats"] == base["stats"], f"{w}-worker arm diverged from single-process"
+        arms.append({"workers": w, **arm})
+    one = arms[0]["makespan"]
+    for arm in arms:
+        arm["speedup_modeled"] = one / arm["makespan"] if arm["makespan"] else 1.0
+        arm["throughput_modeled_ops_s"] = (
+            total_ops / arm["makespan"] if arm["makespan"] else 0.0
+        )
+    top = arms[-1]
+    scaling_met = top["speedup_modeled"] >= SCALING_TARGET
+
+    # -- chaos arm: seeded worker kills at the widest worker count
+    n_workers = WORKER_COUNTS[-1]
+    kills = kill_schedule(N_BATCHES, n_workers, KILL_PROB)
+    plan = FaultPlan(
+        [FaultSpec("worker.batch.abort", b, query=shard) for b, shard in kills]
+    )
+    chaos = run_sharded(g0, batches, queries, n_workers, faults=plan)
+    recoveries, mismatches = check_chaos(base, chaos, kills, N_BATCHES)
+    chaos_ok = (
+        all(r["quarantined"] and r["recovered_next_batch"] for r in recoveries)
+        and mismatches == 0
+    )
+
+    rows = [
+        ["single-process", f"{base['wall']*1e3:.0f}ms", f"{base['makespan']*1e3:.2f}ms", "", ""]
+    ]
+    for arm in arms:
+        rows.append(
+            [
+                f"sharded, {arm['workers']} worker(s)",
+                f"{arm['wall']*1e3:.0f}ms",
+                f"{arm['makespan']*1e3:.2f}ms",
+                f"{arm['speedup_modeled']:.2f}x",
+                "byte-identical",
+            ]
+        )
+    rows.append(
+        [
+            f"chaos (kill p={KILL_PROB:.2f}, {len(kills)} kills)",
+            f"{chaos['wall']*1e3:.0f}ms",
+            "",
+            f"{sum(r['recovered_next_batch'] for r in recoveries)}/{len(recoveries)} recovered <=1 batch",
+            "healthy shards byte-identical" if mismatches == 0 else f"{mismatches} MISMATCHES",
+        ]
+    )
+    rows.append(
+        [
+            f"modeled scaling @ {WORKER_COUNTS[-1]} workers",
+            "",
+            "",
+            f"{top['speedup_modeled']:.2f}x",
+            f">= {SCALING_TARGET}x" if scaling_met else "BELOW TARGET",
+        ]
+    )
+    text = render_table(
+        f"Extension: sharded serving tier "
+        f"(LJ scale={SCALE}, {N_BATCHES} batches of {BATCH_RATE:.0%} |E|, "
+        f"{len(queries)} standing queries; wall measured on this host, "
+        f"scaling on the modeled pipeline makespan)",
+        ["arm", "wall", "modeled makespan", "speedup/recovery", "identity"],
+        rows,
+    )
+
+    payload = {
+        "workload": {
+            "dataset": "LJ",
+            "scale": SCALE,
+            "n_vertices": g0.n_vertices,
+            "n_edges": g0.n_edges,
+            "n_batches": N_BATCHES,
+            "rate_per_batch": BATCH_RATE,
+            "n_queries": len(queries),
+            "total_ops": total_ops,
+            "host_cpus": os.cpu_count(),
+        },
+        "arms": [
+            {
+                "workers": arm["workers"],
+                "wall_s": arm["wall"],
+                "modeled_makespan_s": arm["makespan"],
+                "modeled_throughput_ops_s": arm["throughput_modeled_ops_s"],
+                "modeled_speedup_vs_1_worker": arm["speedup_modeled"],
+                "stats_byte_identical_to_single_process": True,
+            }
+            for arm in arms
+        ],
+        "single_process": {"wall_s": base["wall"], "modeled_makespan_s": base["makespan"]},
+        "scaling": {
+            "target_speedup": SCALING_TARGET,
+            "achieved_speedup": top["speedup_modeled"],
+            "met": scaling_met,
+            "metric": "modeled pipeline makespan (per-shard gpu resources); "
+            "host wall reported as measured",
+        },
+        "chaos": {
+            "kill_prob_per_batch_per_shard": KILL_PROB,
+            "seed": CHAOS_SEED,
+            "workers": n_workers,
+            "kills": [{"batch": b, "shard": s} for b, s in kills],
+            "recoveries": recoveries,
+            "healthy_shard_stat_mismatches": mismatches,
+            "all_recovered_within_one_batch": chaos_ok,
+            "wall_s": chaos["wall"],
+        },
+    }
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    json_path = ARTIFACT_DIR / "BENCH_sharded.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return text, json_path
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configuration for the CI smoke step",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        SCALE = min(SCALE, 0.25)
+        N_BATCHES = 3
+        N_QUERIES = 8
+        WORKER_COUNTS = (1, 2)
+        # the 2.5x bar is for 4 workers x 64 queries; the smoke config
+        # only checks that 2 workers beat 1 at all
+        SCALING_TARGET = 1.3
+    text, json_path = run_experiment()
+    save_artifact("ext_sharded", text)
+    print(f"[artifact: {json_path}]")

@@ -4,13 +4,44 @@ Every error raised by the library derives from :class:`ReproError`, so
 callers can catch one type at the API boundary. Sub-types distinguish
 the layer that failed (graph model, GPU simulator, PMA container,
 matching engines, benchmark harness).
+
+All errors are **pickle-safe**: the sharded serving tier ships worker
+failures across process boundaries, so every class here round-trips
+through ``pickle`` with its constructor arguments, derived attributes,
+and the structured :attr:`ReproError.context` mapping intact. Classes
+whose ``__init__`` signature differs from ``args`` override
+``__reduce__`` accordingly.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro package."""
+    """Base class for all errors raised by the repro package.
+
+    Carries an optional structured :attr:`context` mapping (query id,
+    batch version, fault site, shard name, ...) that supervisors attach
+    as an error crosses layer or process boundaries. The mapping is
+    part of the exception's pickled state, so a worker-side failure
+    reaches the parent supervisor with its provenance intact.
+    """
+
+    @property
+    def context(self) -> dict[str, Any]:
+        """Structured provenance attached via :meth:`with_context`."""
+        ctx = self.__dict__.get("_context")
+        if ctx is None:
+            ctx = self.__dict__["_context"] = {}
+        return ctx
+
+    def with_context(self, **fields: Any) -> "ReproError":
+        """Merge ``fields`` into :attr:`context`; returns ``self`` so
+        raise sites can decorate in-line
+        (``raise exc.with_context(query=name, batch_version=v)``)."""
+        self.context.update(fields)
+        return self
 
 
 class GraphError(ReproError):
@@ -73,6 +104,25 @@ class QueryQuarantinedError(ServiceError):
             msg += f" ({detail})"
         super().__init__(msg)
         self.name = name
+        self.detail = detail
+
+    def __reduce__(self):
+        return type(self), (self.name, self.detail), dict(self.__dict__)
+
+
+class ShardFaultError(ServiceError):
+    """A worker shard crashed, hung past its deadline, or violated the
+    IPC protocol, as detected by the :class:`ShardedMatchingService`
+    supervisor. Raised parent-side; carries the shard name so the
+    supervisor can trip that shard's circuit breaker."""
+
+    def __init__(self, shard: str, reason: str) -> None:
+        super().__init__(f"shard {shard!r} faulted: {reason}")
+        self.shard = shard
+        self.reason = reason
+
+    def __reduce__(self):
+        return type(self), (self.shard, self.reason), dict(self.__dict__)
 
 
 class InjectedFault(ReproError):
@@ -88,6 +138,9 @@ class InjectedFault(ReproError):
         self.occurrence = occurrence
         self.query = query
 
+    def __reduce__(self):
+        return type(self), (self.site, self.occurrence, self.query), dict(self.__dict__)
+
 
 class BudgetExceeded(ReproError):
     """An engine exceeded its operation budget (the reproduction's
@@ -98,6 +151,9 @@ class BudgetExceeded(ReproError):
         super().__init__(f"operation budget exceeded: spent {spent:.0f} of {budget:.0f}")
         self.spent = spent
         self.budget = budget
+
+    def __reduce__(self):
+        return type(self), (self.spent, self.budget), dict(self.__dict__)
 
 
 class BenchmarkError(ReproError):

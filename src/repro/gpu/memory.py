@@ -117,6 +117,21 @@ class SharedMemory:
         self.accesses += 1
         return self._store[name], self._params.shared_access_cycles
 
+    def read_present(self, names: "list[str]") -> tuple[list[tuple[str, Any]], int]:
+        """Batched read of the subset of ``names`` currently allocated.
+
+        Returns ``((name, value) pairs in input order, total cycle cost)``.
+        Absent names cost nothing (the probe models a per-warp validity
+        flag in registers, same as the ``in`` checks the scan oracle
+        performs). Accounting is exact: ``n`` present names charge
+        ``n * shared_access_cycles`` cycles and ``n`` accesses — the
+        identical integers the per-name :meth:`read` loop would sum.
+        """
+        store = self._store
+        out = [(name, store[name]) for name in names if name in store]
+        self.accesses += len(out)
+        return out, len(out) * self._params.shared_access_cycles
+
     def write(self, name: str, value: Any) -> int:
         """Overwrite a named allocation; returns cycle cost."""
         if name not in self._store:

@@ -168,6 +168,14 @@ class WarpContext:
         self.stats.shared_accesses += 1
         return value
 
+    def shared_read_present(self, names: "list[str]") -> list[tuple[str, Any]]:
+        """Batched :meth:`shared_read` over whichever of ``names`` exist
+        (one accounting step, byte-identical totals to the scan loop)."""
+        out, cost = self.shared.read_present(names)
+        self._charge(cost)
+        self.stats.shared_accesses += len(out)
+        return out
+
     def shared_write(self, name: str, value: Any) -> None:
         cost = self.shared.write(name, value)
         self._charge(cost)

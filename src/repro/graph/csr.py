@@ -13,7 +13,17 @@ store never pays a full O(|E|) rebuild per batch.
 
 from __future__ import annotations
 
+import mmap
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
 import numpy as np
+
+try:  # posix shm_open/shm_unlink without resource-tracker involvement
+    import _posixshmem
+except ImportError:  # pragma: no cover - non-posix fallback
+    _posixshmem = None
 
 from repro.graph.labeled_graph import LabeledGraph
 
@@ -208,3 +218,175 @@ class CSRGraph:
         nbrs = self.neighbor_slice(u)
         i = int(np.searchsorted(nbrs, v))
         return i < len(nbrs) and nbrs[i] == v
+
+    def snapshot_arrays(self) -> "dict[str, np.ndarray]":
+        """The snapshot's flat arrays keyed for shared-memory
+        publication (see :func:`publish_snapshot`)."""
+        return {
+            "offsets": self.offsets,
+            "neighbors": self.neighbors,
+            "edge_labels": self.edge_labels,
+            "vertex_labels": self.vertex_labels,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: "dict[str, np.ndarray]") -> "CSRGraph":
+        """Rebuild a snapshot from :meth:`snapshot_arrays` output —
+        typically zero-copy views over an attached shared-memory block."""
+        return cls(
+            arrays["offsets"],
+            arrays["neighbors"],
+            arrays["edge_labels"],
+            arrays["vertex_labels"],
+        )
+
+
+# --------------------------------------------------------------------------
+# shared-memory snapshot publication (sharded serving tier)
+#
+# A committed CSR snapshot is a handful of flat int64/uint64 arrays — the
+# zero-copy representation the worker processes of the sharded serving
+# tier map read-only. The parent copies the arrays into one
+# ``multiprocessing.shared_memory`` block per commit and broadcasts the
+# picklable :class:`SharedSnapshotHandle`; workers attach the block and
+# rebuild the snapshot as non-writeable numpy views with no
+# deserialization cost proportional to the graph.
+# --------------------------------------------------------------------------
+
+_SHM_ALIGN = 64  # cache-line align each array within the block
+
+
+@dataclass(frozen=True)
+class SharedSnapshotHandle:
+    """Picklable descriptor of one published shared-memory snapshot.
+
+    ``fields`` lays out the block: ``(key, shape, dtype_str, byte_offset)``
+    per array. ``version`` is the store version the snapshot was taken
+    at, so a worker can audit that it attached the snapshot its batch
+    message promised (the ``worker.snapshot.stale`` fault site exercises
+    the failure mode where it did not).
+    """
+
+    shm_name: str
+    fields: tuple[tuple[str, tuple[int, ...], str, int], ...]
+    nbytes: int
+    version: int = 0
+
+
+def _untrack_shm(block: "shared_memory.SharedMemory") -> None:
+    """Detach ``block`` from this process's resource tracker.
+
+    On Python < 3.13 *attaching* to an existing block also registers it
+    with the tracker, so a worker exiting would unlink a segment the
+    parent still owns (bpo-39959). Only the publishing parent may
+    unlink; attachers must unregister.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        resource_tracker.unregister(block._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+def publish_snapshot(
+    arrays: "dict[str, np.ndarray]", version: int = 0
+) -> SharedSnapshotHandle:
+    """Copy ``arrays`` into a fresh shared-memory block; return its handle.
+
+    The publishing process keeps no mapping open — the handle alone
+    (plus :func:`unlink_snapshot` at end-of-life) manages the segment.
+    """
+    fields: list[tuple[str, tuple[int, ...], str, int]] = []
+    contiguous: list[np.ndarray] = []
+    offset = 0
+    for key, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        offset = -(-offset // _SHM_ALIGN) * _SHM_ALIGN
+        fields.append((key, arr.shape, arr.dtype.str, offset))
+        contiguous.append(arr)
+        offset += arr.nbytes
+    block = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    try:
+        for (key, shape, dtype, off), arr in zip(fields, contiguous):
+            view = np.ndarray(shape, dtype=dtype, buffer=block.buf, offset=off)
+            view[...] = arr
+            del view
+    finally:
+        block.close()
+    return SharedSnapshotHandle(block.name, tuple(fields), max(offset, 1), version)
+
+
+def unlink_snapshot(handle: SharedSnapshotHandle) -> None:
+    """Free a published segment (publisher-side; idempotent)."""
+    if _posixshmem is not None:
+        # unlink directly: reopening via SharedMemory would re-register
+        # with the resource tracker and race concurrent worker attaches
+        try:
+            _posixshmem.shm_unlink("/" + handle.shm_name)
+        except FileNotFoundError:
+            return
+        try:  # the publisher's create registered it; balance the books
+            resource_tracker.unregister("/" + handle.shm_name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker already gone
+            pass
+        return
+    try:  # pragma: no cover - non-posix fallback
+        block = shared_memory.SharedMemory(name=handle.shm_name)
+    except FileNotFoundError:
+        return
+    block.close()
+    try:
+        block.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class AttachedSnapshot:
+    """A worker-side read-only mapping of a published snapshot.
+
+    ``arrays`` holds non-writeable numpy views over the block; they and
+    anything built on them (the :class:`CSRGraph`) stay valid until
+    :meth:`close`.
+    """
+
+    def __init__(self, handle: SharedSnapshotHandle) -> None:
+        self.handle = handle
+        self.version = handle.version
+        self._block = None
+        self._mmap = None
+        if _posixshmem is not None:
+            # map the segment directly: a SharedMemory attach would
+            # (re-)register the name with the resource tracker, and with
+            # many workers attaching one segment the concurrent
+            # register/unregister traffic races (bpo-39959)
+            fd = _posixshmem.shm_open("/" + handle.shm_name, os.O_RDONLY, mode=0o600)
+            try:
+                self._mmap = mmap.mmap(fd, handle.nbytes, prot=mmap.PROT_READ)
+            finally:
+                os.close(fd)
+            buf: "memoryview | mmap.mmap" = self._mmap
+        else:  # pragma: no cover - non-posix fallback
+            self._block = shared_memory.SharedMemory(name=handle.shm_name)
+            _untrack_shm(self._block)
+            buf = self._block.buf
+        self.arrays: dict[str, np.ndarray] = {}
+        for key, shape, dtype, off in handle.fields:
+            view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=off)
+            if view.flags.writeable:  # read-only mmaps already are not
+                view.flags.writeable = False
+            self.arrays[key] = view
+
+    def csr(self) -> CSRGraph:
+        """The attached CSR snapshot (zero-copy views)."""
+        return CSRGraph.from_arrays(self.arrays)
+
+    def close(self) -> None:
+        """Drop the mapping (best-effort: outstanding views keep the
+        buffer exported, in which case the close is deferred to GC)."""
+        self.arrays.clear()
+        for mapping in (self._mmap, self._block):
+            if mapping is None:
+                continue
+            try:
+                mapping.close()
+            except BufferError:  # pragma: no cover - views still alive
+                pass

@@ -1986,7 +1986,16 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
     scan loop, and the two stay byte-identical.
     """
 
-    names = [_state_name(w) for w in range(sched.stats.n_warps)]
+    n_warps = sched.stats.n_warps
+    names = [_state_name(w) for w in range(n_warps)]
+    # per-warp sibling scan lists and the reverse map, hoisted out of the
+    # handler: the scan itself is one batched shared read instead of a
+    # per-sibling python loop of method calls (identical arrival order,
+    # identical integer cycle/access totals)
+    warp_of = {names[w]: w for w in range(n_warps)}
+    siblings = [
+        [names[w2] for w2 in range(n_warps) if w2 != w1] for w1 in range(n_warps)
+    ]
 
     def handler(ctx: WarpContext) -> Optional[Generator]:
         ctx.stats.steal_attempts += 1
@@ -1994,18 +2003,11 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
         best_state: Optional[dict] = None
         best_est = 0
         active_warps: list[int] = []
-        n_read = 0  # sibling states probed by this scan
-        for w in range(sched.stats.n_warps):
-            if w == ctx.warp_id:
-                continue
-            name = names[w]
-            if name not in sched.shared:
-                continue
-            st = ctx.shared_read(name)
-            n_read += 1
+        present = ctx.shared_read_present(siblings[ctx.warp_id])
+        for name, st in present:
             if not st["active"]:
                 continue
-            active_warps.append(w)
+            active_warps.append(warp_of[name])
             est = _estimate_remaining(st)
             if est > best_est:
                 best_est, best_state = est, st
@@ -2013,31 +2015,9 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
         if loot is None:
             if not active_warps:
                 return None
+            n_read = len(present)
             batched = _batchable_polls(sched, ctx, names, active_warps, n_read)
-
-            def poll(
-                c: WarpContext = ctx, k: int = batched, m: int = n_read
-            ) -> Generator[None, None, None]:
-                if k:
-                    # k full (idle + rescan) cycles, summed exactly:
-                    # each was one completed poll task plus one scan
-                    stats = c.stats
-                    stats.steal_attempts += k
-                    stats.tasks_completed += k
-                    stats.shared_accesses += k * m
-                    c.shared.accesses += k * m
-                    c._charge(
-                        k
-                        * (
-                            c.params.steal_check_cycles
-                            + c.params.shared_access_cycles * m
-                        )
-                    )
-                    c.advance_idle(k * _POLL_CYCLES)
-                c.advance_idle(_POLL_CYCLES)
-                yield
-
-            return poll()
+            return _poll_spin(ctx, batched, n_read)
         ctx.stats.steals += 1
         # the thief's DFS state still reads inactive until its stolen
         # generator first resumes; flag the pending mutation so sibling
@@ -2057,6 +2037,28 @@ def _active_idle_handler(sched: BlockScheduler, env: _Env):
         return _spawn_worker(ctx, env, [item])
 
     return handler
+
+
+def _poll_spin(c: WarpContext, k: int, m: int) -> Generator[None, None, None]:
+    """One idle-spin poll task, with ``k`` provably-identical future
+    (idle + rescan) cycles pre-charged in one step (module-level so the
+    handler does not rebuild a closure per no-loot scan).
+
+    Each batched cycle was one completed poll task plus one scan over
+    ``m`` sibling states — the exact per-cycle sums, as integers.
+    """
+    if k:
+        stats = c.stats
+        stats.steal_attempts += k
+        stats.tasks_completed += k
+        stats.shared_accesses += k * m
+        c.shared.accesses += k * m
+        c._charge(
+            k * (c.params.steal_check_cycles + c.params.shared_access_cycles * m)
+        )
+        c.advance_idle(k * _POLL_CYCLES)
+    c.advance_idle(_POLL_CYCLES)
+    yield
 
 
 def _batchable_polls(
@@ -2082,25 +2084,31 @@ def _batchable_polls(
     """
     if not sched.vectorized or sched.pending_tasks:
         return 0
+    contexts = sched.contexts
+    parked = sched._parked
+    shared = sched.shared
+    idle_sourced = sched.idle_sourced
+    generators = sched.generators
+    self_id = ctx.warp_id
     horizon = float("inf")
     for w in range(sched.stats.n_warps):
-        if w == ctx.warp_id or w in sched._parked:
+        if w == self_id or w in parked:
             continue
-        c = sched.contexts[w]
+        c = contexts[w]
         if c.resume_mutates_shared:
             # a thief with undelivered loot: its next resumption writes
             # its DFS state, so the window may not extend past it
             horizon = min(horizon, c.clock)
             continue
-        if names[w] in sched.shared:
+        if names[w] in shared:
             continue  # scanned: active -> horizon below, inactive -> poller
-        if w in sched.idle_sourced:
+        if w in idle_sourced:
             continue  # stateless poller: observes, never mutates
-        if type(sched.generators.get(w)) is TraceCursor:
+        if type(generators.get(w)) is TraceCursor:
             continue  # trace task: pure pricing, touches no shared state
         return 0  # un-started worker: next resumption allocates state
     for w in active_warps:
-        c = sched.contexts[w]
+        c = contexts[w]
         if c.clock < horizon:
             horizon = c.clock
     if horizon == float("inf"):

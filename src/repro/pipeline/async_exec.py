@@ -69,12 +69,22 @@ class PipelineModel:
         registered query, and registrations may change between batches,
         so each batch carries its own ordered stage list.
 
+        A stage-list element may itself be a *list* of ``(stage,
+        resource)`` tuples — a fork-join group: every member becomes
+        ready the moment the preceding element of the same batch
+        finishes, and the following element waits for all members.
+        Members on the same resource still serialize on that resource's
+        FIFO, so a group only buys overlap across distinct resources
+        (the sharded service schedules one kernel group per batch over
+        per-shard ``gpu:<k>`` resources). A plain tuple is a singleton
+        group; stage pairs must be tuples, groups must be lists.
+
         Event-driven greedy list scheduling: among all *ready* stage
         instances (previous stage of the same batch finished), run the
-        one that can start earliest (ties: earlier batch), respecting
-        one-job-at-a-time per resource. This yields the paper's steady
-        state where the CPU alternates preprocess(i+1) / postprocess(i)
-        around the GPU's kernel(i).
+        one that can start earliest (ties: earlier batch, then group
+        order), respecting one-job-at-a-time per resource. This yields
+        the paper's steady state where the CPU alternates
+        preprocess(i+1) / postprocess(i) around the GPU's kernel(i).
         """
         report = PipelineReport()
         n = len(batch_durations)
@@ -85,28 +95,34 @@ class PipelineModel:
             raise ValueError(
                 f"batch_stages length {len(stages_of)} != {n} batches"
             )
+        groups_of = [
+            [g if isinstance(g, list) else [g] for g in stages]
+            for stages in stages_of
+        ]
         resource_free: dict[str, float] = {}
-        next_stage = [0] * n  # per-batch pointer into its stage list
-        prev_end = [0.0] * n
-        remaining = sum(len(s) for s in stages_of)
+        next_group = [0] * n  # per-batch pointer into its group list
+        barrier = [0.0] * n  # completion time of the previous group
+        group_end = [0.0] * n  # running max end within the current group
+        pending = [
+            list(range(len(groups[0]))) if groups else [] for groups in groups_of
+        ]
+        remaining = sum(len(g) for groups in groups_of for g in groups)
         while remaining:
-            best = None  # (start, batch, stage_idx)
+            best = None  # (start, batch, position in pending)
             for i in range(n):
-                s = next_stage[i]
-                if s >= len(stages_of[i]):
-                    continue
-                _, resource = stages_of[i][s]
-                start = max(prev_end[i], resource_free.get(resource, 0.0))
-                if best is None or (start, i) < (best[0], best[1]):
-                    best = (start, i, s)
+                for pos, j in enumerate(pending[i]):
+                    _, resource = groups_of[i][next_group[i]][j]
+                    start = max(barrier[i], resource_free.get(resource, 0.0))
+                    if best is None or (start, i, pos) < best:
+                        best = (start, i, pos)
             assert best is not None
-            start, i, s = best
-            stage, resource = stages_of[i][s]
+            start, i, pos = best
+            j = pending[i].pop(pos)
+            stage, resource = groups_of[i][next_group[i]][j]
             d = batch_durations[i].get(stage, 0.0)
             end = start + d
-            prev_end[i] = end
+            group_end[i] = max(group_end[i], end)
             resource_free[resource] = end
-            next_stage[i] += 1
             remaining -= 1
             report.schedule.append((i, stage, start, end))
             report.per_resource_busy[resource] = (
@@ -114,5 +130,11 @@ class PipelineModel:
             )
             report.per_stage_total[stage] = report.per_stage_total.get(stage, 0.0) + d
             report.serial_total += d
-        report.makespan = max(prev_end, default=0.0)
+            if not pending[i]:
+                barrier[i] = group_end[i]
+                group_end[i] = 0.0
+                next_group[i] += 1
+                if next_group[i] < len(groups_of[i]):
+                    pending[i] = list(range(len(groups_of[i][next_group[i]])))
+        report.makespan = max(barrier, default=0.0)
         return report

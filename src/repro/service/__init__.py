@@ -7,7 +7,9 @@ prices the result for the asynchronous pipeline model. The serving
 path is fault-isolated: store commits are transactional (rollback
 journal), and per-query faults quarantine one query behind its
 circuit breaker (:mod:`repro.service.resilience`) instead of failing
-the batch.
+the batch. ``ShardedMatchingService`` (:mod:`repro.service.sharded`)
+scales the same contract across supervised worker processes over
+shared-memory snapshots, adding shard-granularity crash tolerance.
 """
 
 from repro.service.store import DynamicGraphStore, RollbackJournal, StoreCommit
@@ -16,6 +18,12 @@ from repro.service.matching_service import (
     QueryBatchReport,
     ServiceBatchReport,
     SERVICE_SHARED_STAGES,
+)
+from repro.service.sharded import (
+    ShardedBatchReport,
+    ShardedMatchingService,
+    ShardPolicy,
+    WORKER_BATCH_SITES,
 )
 from repro.service.resilience import (
     HEALTH_DEGRADED,
@@ -35,6 +43,10 @@ __all__ = [
     "QueryBatchReport",
     "ServiceBatchReport",
     "SERVICE_SHARED_STAGES",
+    "ShardedBatchReport",
+    "ShardedMatchingService",
+    "ShardPolicy",
+    "WORKER_BATCH_SITES",
     "BreakerRecord",
     "CircuitBreaker",
     "ResiliencePolicy",

@@ -134,6 +134,17 @@ class CircuitBreaker:
     def note_degraded(self, name: str) -> None:
         self.record(name).degraded_batches += 1
 
+    def latch_degraded(self, name: str) -> None:
+        """Terminal ``degraded`` state: the population behind ``name``
+        moved to a fallback execution tier (a latched worker shard whose
+        queries now run in-process). Unlike the per-batch ``degraded``
+        condition this is sticky — :meth:`settle` only folds
+        ``recovered`` — but unlike a latched quarantine the name keeps
+        serving."""
+        rec = self.record(name)
+        rec.state = HEALTH_DEGRADED
+        rec.degraded_batches += 1
+
     def settle(self) -> None:
         """End-of-batch: ``recovered`` was reported once, fold to ``ok``."""
         for rec in self._records.values():

@@ -7,6 +7,20 @@ and the resilience bench drive the fault-isolation layer through it
 without any monkeypatching.
 """
 
-from repro.testing.faults import FAULT_KINDS, FAULT_SITES, FaultPlan, FaultSpec
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    WORKER_SITES,
+    FaultPlan,
+    FaultSpec,
+    replay_script,
+)
 
-__all__ = ["FAULT_KINDS", "FAULT_SITES", "FaultPlan", "FaultSpec"]
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "WORKER_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "replay_script",
+]

@@ -30,7 +30,24 @@ runtime.launch.degraded the scalar-oracle degraded retry launch
 runtime.observe        ``QueryRuntime.observe_commit`` before the refresh
 runtime.observe.mid    after the refresh, before the version sync
 runtime.bootstrap      ``QueryRuntime.rebootstrap`` (quarantine recovery)
+worker.batch.abort     sharded worker hard-exits (``os._exit``) mid-batch
+worker.batch.hang      sharded worker sleeps past the batch deadline
+worker.ipc.torn        sharded worker sends a malformed (torn) reply
+worker.ipc.dup         sharded worker sends its batch reply twice
+worker.snapshot.stale  sharded worker skips attaching the new snapshot
+worker.bootstrap       sharded worker raises during init/bootstrap
+shard.respawn          parent-side respawn of a tripped shard fails
 ====================== ====================================================
+
+The ``worker.*`` sites fire *inside* a worker process (the plan is
+pickled into each worker at spawn, so per-process arrival counters are
+deterministic given a fixed query partition); ``shard.*`` sites fire in
+the parent supervisor, whose counters persist across respawns of the
+same shard. All of them scope their ``query`` field to a **shard
+name**. The behavioral worker sites are consulted via :meth:`FaultPlan.due`
+(count-and-return rather than count-and-raise) because their effect is
+an action — a hard exit, a sleep, a corrupted message — not an
+exception.
 """
 
 from __future__ import annotations
@@ -38,7 +55,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.errors import DeviceMemoryError, InjectedFault, PmaError
+from repro.errors import DeviceMemoryError, InjectedFault, PmaError, ReproError
 
 #: every injection site compiled into the serving stack
 FAULT_SITES = (
@@ -53,11 +70,27 @@ FAULT_SITES = (
     "runtime.observe",
     "runtime.observe.mid",
     "runtime.bootstrap",
+    "worker.batch.abort",
+    "worker.batch.hang",
+    "worker.ipc.torn",
+    "worker.ipc.dup",
+    "worker.snapshot.stale",
+    "worker.bootstrap",
+    "shard.respawn",
 )
 
 #: sites scoped to one query runtime — ``fire`` is called with a query
 #: name there, and seeded schedules may target specific queries
 RUNTIME_SITES = tuple(s for s in FAULT_SITES if s.startswith("runtime."))
+
+#: process-level sites scoped to one worker shard — ``fire``/``due`` is
+#: called with the shard name in the ``query`` slot
+WORKER_SITES = tuple(
+    s for s in FAULT_SITES if s.startswith("worker.") or s.startswith("shard.")
+)
+
+#: all sites whose seeded schedules may be scoped to a named target
+SCOPED_SITES = RUNTIME_SITES + WORKER_SITES
 
 #: error classes an injected fault can materialize as; "runtime" is the
 #: arbitrary-fault arm (a plain RuntimeError no repro layer ever raises)
@@ -68,13 +101,18 @@ def _make_error(spec: "FaultSpec") -> BaseException:
     tag = f"injected fault at {spec.site!r}, occurrence {spec.occurrence}" + (
         f", query {spec.query!r}" if spec.query else ""
     )
+    err: BaseException
     if spec.kind == "injected":
-        return InjectedFault(spec.site, spec.occurrence, query=spec.query)
-    if spec.kind == "device_memory":
-        return DeviceMemoryError(tag)
-    if spec.kind == "pma":
-        return PmaError(tag)
-    return RuntimeError(tag)
+        err = InjectedFault(spec.site, spec.occurrence, query=spec.query)
+    elif spec.kind == "device_memory":
+        err = DeviceMemoryError(tag)
+    elif spec.kind == "pma":
+        err = PmaError(tag)
+    else:
+        return RuntimeError(tag)
+    if isinstance(err, ReproError):
+        err.with_context(site=spec.site, occurrence=spec.occurrence, query=spec.query)
+    return err
 
 
 @dataclass(frozen=True)
@@ -125,13 +163,8 @@ class FaultPlan:
         """Arrival count so far at ``site`` (optionally per query)."""
         return self._arrivals.get((site, query), 0)
 
-    def fire(self, site: str, query: str | None = None) -> None:
-        """Count one arrival at ``site``; raise if a spec matches it.
-
-        Each spec fires at most once — occurrence counters only move
-        forward — which is what lets the service's bounded retries
-        clear an injected fault deterministically.
-        """
+    def _arrive(self, site: str, query: str | None) -> "FaultSpec | None":
+        """Count one arrival at ``site``; return the matching spec, if any."""
         n_global = self._arrivals.get((site, None), 0)
         self._arrivals[(site, None)] = n_global + 1
         n_query = -1
@@ -148,7 +181,31 @@ class FaultPlan:
             )
             if hit:
                 self.fired.append(spec)
-                raise _make_error(spec)
+                return spec
+        return None
+
+    def fire(self, site: str, query: str | None = None) -> None:
+        """Count one arrival at ``site``; raise if a spec matches it.
+
+        Each spec fires at most once — occurrence counters only move
+        forward — which is what lets the service's bounded retries
+        clear an injected fault deterministically.
+        """
+        spec = self._arrive(site, query)
+        if spec is not None:
+            raise _make_error(spec)
+
+    def due(self, site: str, query: str | None = None) -> "FaultSpec | None":
+        """Count one arrival at ``site``; *return* the matching spec
+        instead of raising.
+
+        Behavioral fault sites (a worker hard-exit, a hang, a torn IPC
+        message) use this form: the caller performs the faulty action
+        itself when a spec is due. Arrival counting is identical to
+        :meth:`fire`, so behavioral and raising sites share one
+        deterministic schedule.
+        """
+        return self._arrive(site, query)
 
     @classmethod
     def seeded(
@@ -180,7 +237,7 @@ class FaultPlan:
             site = rng.choice(site_pool)
             query = (
                 rng.choice(list(queries))
-                if queries and site in RUNTIME_SITES
+                if queries and site in SCOPED_SITES
                 else None
             )
             slots = taken.setdefault((site, query), [])
@@ -193,3 +250,53 @@ class FaultPlan:
                     )
                     break
         return cls(tuple(specs))
+
+
+def replay_script(
+    plan: FaultPlan, script: "list[tuple[str, str | None]]"
+) -> "list[tuple[int, str, str | None, str]]":
+    """Drive ``plan.fire`` over a deterministic arrival ``script`` of
+    ``(site, query)`` pairs; return the fire log as
+    ``(arrival_index, site, query, error_class_name)`` tuples.
+
+    The log is a pure function of ``(plan.specs, script)``, which is
+    what the cross-process determinism tests assert: replaying the same
+    seeded plan in the parent, a forked child, and a spawned child must
+    produce byte-identical logs.
+    """
+    log: list[tuple[int, str, str | None, str]] = []
+    for i, (site, query) in enumerate(script):
+        try:
+            plan.fire(site, query=query)
+        except Exception as exc:  # noqa: BLE001 - the log records the class
+            log.append((i, site, query, type(exc).__name__))
+    return log
+
+
+def _replay_in_child(conn, plan, script) -> None:
+    """``multiprocessing`` target: replay a pickled plan and ship the log
+    back over ``conn``. Module-level so ``spawn`` can import it."""
+    try:
+        conn.send(("ok", replay_script(plan, script)))
+    except Exception as exc:  # noqa: BLE001 - report, don't hang the parent
+        conn.send(("error", repr(exc)))
+    finally:
+        conn.close()
+
+
+def _replay_seeded_in_child(conn, seed, kwargs, script) -> None:
+    """``multiprocessing`` target: *rebuild* the plan from ``seed`` inside
+    the child (exercising RNG determinism across start methods), then
+    replay. Module-level so ``spawn`` can import it."""
+    try:
+        plan = FaultPlan.seeded(seed, **kwargs)
+        conn.send(("ok", [dataclass_tuple(s) for s in plan.specs], replay_script(plan, script)))
+    except Exception as exc:  # noqa: BLE001
+        conn.send(("error", repr(exc)))
+    finally:
+        conn.close()
+
+
+def dataclass_tuple(spec: FaultSpec) -> tuple[str, int, "str | None", str]:
+    """A ``FaultSpec`` as a plain tuple (stable across processes)."""
+    return (spec.site, spec.occurrence, spec.query, spec.kind)

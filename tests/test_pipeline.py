@@ -141,6 +141,72 @@ class TestPipelineEdgeCases:
         assert report.per_resource_busy == {"cpu": 2.0, "gpu": 2.0}
 
 
+class TestForkJoinGroups:
+    """Parallel stage groups (the sharded tier's per-shard kernels)."""
+
+    def test_group_overlaps_distinct_resources(self):
+        model = PipelineModel([("pre", "cpu")])
+        report = model.schedule(
+            [{"pre": 1.0, "k0": 4.0, "k1": 3.0, "post": 1.0}],
+            batch_stages=[
+                [("pre", "cpu"), [("k0", "gpu:0"), ("k1", "gpu:1")], ("post", "cpu")]
+            ],
+        )
+        times = {(i, s): (st, en) for i, s, st, en in report.schedule}
+        # both kernels start at the barrier, post waits for the slower
+        assert times[(0, "k0")] == (1.0, 5.0)
+        assert times[(0, "k1")] == (1.0, 4.0)
+        assert times[(0, "post")][0] == 5.0
+        assert report.makespan == pytest.approx(6.0)
+
+    def test_group_members_on_one_resource_serialize(self):
+        """A group never violates resource exclusivity — same-resource
+        members are a plain FIFO chain, identical to ungrouped stages."""
+        model = PipelineModel([("pre", "cpu")])
+        grouped = model.schedule(
+            [{"k0": 2.0, "k1": 3.0}],
+            batch_stages=[[[("k0", "gpu"), ("k1", "gpu")]]],
+        )
+        flat = model.schedule(
+            [{"k0": 2.0, "k1": 3.0}],
+            batch_stages=[[("k0", "gpu"), ("k1", "gpu")]],
+        )
+        assert grouped.makespan == pytest.approx(flat.makespan) == pytest.approx(5.0)
+        assert grouped.per_resource_busy == flat.per_resource_busy
+
+    def test_singleton_groups_match_flat_schedule(self):
+        """Wrapping every stage in its own group is a no-op — the flat
+        path's chain semantics are the singleton-group special case."""
+        durations = [{"a": 1.0, "b": 4.0, "c": 2.0}] * 3
+        flat_stages = [("a", "cpu"), ("b", "gpu"), ("c", "cpu")]
+        flat = PipelineModel(flat_stages).schedule(durations)
+        grouped = PipelineModel(flat_stages).schedule(
+            durations, batch_stages=[[[s] for s in flat_stages]] * 3
+        )
+        assert grouped.schedule == flat.schedule
+        assert grouped.makespan == flat.makespan
+
+    def test_groups_pipeline_across_batches(self):
+        """Sharded steady state: batch i+1's kernels overlap batch i's
+        postprocess, and within a batch the shards overlap each other."""
+        stages = [
+            ("pre", "cpu"),
+            [("k0", "gpu:0"), ("k1", "gpu:1")],
+            ("post", "cpu"),
+        ]
+        report = PipelineModel([("pre", "cpu")]).schedule(
+            [{"pre": 0.5, "k0": 2.0, "k1": 2.0, "post": 0.5}] * 4,
+            batch_stages=[stages] * 4,
+        )
+        # each gpu is busy 8.0 in total and they run concurrently:
+        # makespan is bounded by one gpu's serial chain plus edges,
+        # far below the 20.0 serial total
+        assert report.serial_total == pytest.approx(20.0)
+        assert report.makespan < 10.0
+        assert report.per_resource_busy["gpu:0"] == pytest.approx(8.0)
+        assert report.per_resource_busy["gpu:1"] == pytest.approx(8.0)
+
+
 class TestMatchCollector:
     def test_positive_then_negative_cancels(self):
         c = MatchCollector()
