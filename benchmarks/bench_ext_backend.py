@@ -1,0 +1,271 @@
+"""Extension: array-backend (`repro.xp`) indirection cost (ISSUE 9).
+
+The xp refactor threads every kernel-facing array call through the
+backend registry; this bench proves the indirection is free where it
+must be and prices it where it is not:
+
+* **identity proof** — under the default ``numpy`` backend the
+  registry injects numpy's *own function objects*
+  (``xp.searchsorted is numpy.searchsorted``), so the dispatch cost of
+  the shipped configuration is exactly one module-attribute lookup —
+  the same as ``np.searchsorted``. Asserted per primitive; this is the
+  structural form of the "≤3% on LJ serving" acceptance gate.
+* **dispatch microbench** — ``xp.searchsorted`` vs ``numpy.searchsorted``
+  on an LJ-sized adjacency, min-of-reps; the ratio is asserted ≤ 1.03.
+* **serving ceiling** — the same LJ serving stream under the ``numpy``
+  backend and under a ``wrapped_numpy`` probe backend that pays one
+  python-level wrapper call per primitive (the ceiling a naive
+  dispatching backend would add). Stats must stay byte-identical;
+  the measured ceiling is reported (a cupy/torch backend would sit
+  between the two arms on dispatch cost).
+
+Writes ``benchmarks/out/BENCH_backend.json``; the CI smoke step runs
+``--smoke`` (tiny scale, the same assertions). Reference PR-8 serving
+numbers from ``BENCH_sharded.json`` are folded in when present.
+
+Knobs: ``REPRO_BENCH_SCALE`` (default 1.0),
+``REPRO_BENCH_XP_BATCHES`` (default 4), ``REPRO_BENCH_XP_QUERIES``
+(default 4), ``REPRO_BENCH_XP_REPS`` (default 3).
+"""
+
+import argparse
+import dataclasses
+import json
+import os
+import time
+
+import numpy as np
+
+from common import DEFAULT_QUERY_SIZE, queries_for
+
+from repro import xp
+from repro.bench.harness import BENCH_PARAMS
+from repro.bench.reporting import ARTIFACT_DIR, render_table, save_artifact
+from repro.bench.workloads import holdout_stream
+from repro.graph import load_dataset
+from repro.matching import WBMConfig, find_matches
+from repro.service import MatchingService
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+N_BATCHES = int(os.environ.get("REPRO_BENCH_XP_BATCHES", "4"))
+N_QUERIES = int(os.environ.get("REPRO_BENCH_XP_QUERIES", "4"))
+REPS = int(os.environ.get("REPRO_BENCH_XP_REPS", "3"))
+BATCH_RATE = 0.10
+MAX_STATIC_MATCHES = 200
+DISPATCH_BUDGET = 0.03
+
+#: the primitives the kernels lean on hardest; each must be numpy's own
+#: object under the default backend (zero indirection by construction)
+IDENTITY_PRIMITIVES = (
+    "asarray", "empty", "zeros", "arange", "concatenate", "searchsorted",
+    "cumsum", "bincount", "lexsort", "argsort", "nonzero", "flatnonzero",
+    "where", "minimum", "maximum", "repeat", "diff", "unique",
+)
+
+
+def register_wrapped_backend():
+    """A probe backend paying one python wrapper frame per primitive
+    call — the dispatch ceiling a naive (non-injecting) backend adds."""
+    if "wrapped_numpy" in xp.available_backends():
+        return
+
+    class WrappedUfunc:
+        """Pays the wrapper frame on calls, keeps ufunc methods."""
+        __slots__ = ("_u",)
+
+        def __init__(self, u):
+            object.__setattr__(self, "_u", u)
+
+        def __call__(self, *args, **kwargs):
+            return self._u(*args, **kwargs)
+
+        def __getattr__(self, name):
+            return getattr(self._u, name)
+
+    def resolve(name):
+        value = getattr(np, name)
+        if isinstance(value, np.ufunc):
+            return WrappedUfunc(value)
+        if callable(value) and not isinstance(value, type):
+            def wrapped(*args, __fn=value, **kwargs):
+                return __fn(*args, **kwargs)
+            return wrapped
+        return value
+
+    xp.register_backend(xp.Backend("wrapped_numpy", resolve=resolve))
+
+
+def identity_proof():
+    failures = [
+        name
+        for name in IDENTITY_PRIMITIVES
+        if getattr(xp, name) is not getattr(np, name)
+    ]
+    assert not failures, f"xp primitives not identity-injected: {failures}"
+    return list(IDENTITY_PRIMITIVES)
+
+
+def dispatch_microbench(n=200_000, reps=7, loops=50):
+    """min-of-reps wall of a searchsorted loop through xp vs numpy —
+    the same function object, so the ratio prices the module-attribute
+    lookup and nothing else."""
+    hay = np.arange(n, dtype=np.int64) * 3
+    probes = np.arange(0, 3 * n, 7, dtype=np.int64)
+
+    def one(mod):
+        t0 = time.perf_counter()
+        for _ in range(loops):
+            mod.searchsorted(hay, probes)
+        return time.perf_counter() - t0
+
+    one(xp), one(np)  # warm both paths before timing
+    xp_wall = np_wall = float("inf")
+    for _ in range(reps):  # interleaved so drift hits both arms alike
+        xp_wall = min(xp_wall, one(xp))
+        np_wall = min(np_wall, one(np))
+    return {"xp_s": xp_wall, "numpy_s": np_wall, "ratio": xp_wall / np_wall}
+
+
+def collect_queries(graph, count):
+    out = []
+    seed = 29
+    for _ in range(count * 12):
+        for kind in ("dense", "sparse", "tree"):
+            for q in queries_for(graph, DEFAULT_QUERY_SIZE, kind, count=2, seed=seed):
+                if len(find_matches(q, graph, limit=MAX_STATIC_MATCHES)) < MAX_STATIC_MATCHES:
+                    out.append(q)
+                if len(out) >= count:
+                    return out
+        seed += 97
+    return out
+
+
+def run_arm(g0, batches, queries, backend_name):
+    """One LJ serving run under one backend; wall + per-batch stats."""
+    with xp.use_backend(backend_name):
+        service = MatchingService(g0, params=BENCH_PARAMS)
+        for i, q in enumerate(queries):
+            service.register_query(q, WBMConfig(), name=f"q{i}", bootstrap=False)
+        t0 = time.perf_counter()
+        reports = [service.process_batch(b) for b in batches]
+        wall = time.perf_counter() - t0
+    stats = [
+        {
+            name: dataclasses.asdict(qr.result.kernel_stats)
+            for name, qr in rep.queries.items()
+        }
+        for rep in reports
+    ]
+    return {
+        "wall": wall,
+        "stats": stats,
+        "matches": [(rep.total_positives, rep.total_negatives) for rep in reports],
+    }
+
+
+def run_experiment():
+    register_wrapped_backend()
+    proven = identity_proof()
+    micro = dispatch_microbench()
+    assert micro["ratio"] <= 1 + DISPATCH_BUDGET, (
+        f"xp dispatch ratio {micro['ratio']:.4f} over the "
+        f"{DISPATCH_BUDGET:.0%} budget"
+    )
+
+    graph = load_dataset("LJ", scale=SCALE)
+    g0, stream = holdout_stream(
+        graph, BATCH_RATE * N_BATCHES, n_batches=N_BATCHES, mode="mixed", seed=11
+    )
+    batches = list(stream)
+    queries = collect_queries(g0, N_QUERIES)
+
+    base_walls, wrapped_walls = [], []
+    base = wrapped = None
+    for _ in range(max(REPS, 1)):
+        base = run_arm(g0, batches, queries, "numpy")
+        wrapped = run_arm(g0, batches, queries, "wrapped_numpy")
+        base_walls.append(base["wall"])
+        wrapped_walls.append(wrapped["wall"])
+    assert base["stats"] == wrapped["stats"], "backend changed KernelStats"
+    assert base["matches"] == wrapped["matches"], "backend changed matches"
+    ceiling = (min(wrapped_walls) - min(base_walls)) / min(base_walls)
+
+    pr8_reference = None
+    sharded_json = ARTIFACT_DIR / "BENCH_sharded.json"
+    if sharded_json.exists():
+        prior = json.loads(sharded_json.read_text())
+        arm0 = next((a for a in prior.get("arms", []) if a.get("workers") == 1), None)
+        if arm0 is not None:
+            pr8_reference = {
+                "workload": prior.get("workload"),
+                "single_worker_wall_s": arm0["wall_s"],
+            }
+
+    total_ops = sum(len(b) for b in batches)
+    rows = [
+        ["identity-injected primitives", f"{len(proven)}", "xp.f is numpy.f", "0% by construction"],
+        ["dispatch microbench (searchsorted)",
+         f"{micro['xp_s']*1e3:.1f}ms vs {micro['numpy_s']*1e3:.1f}ms",
+         f"ratio {micro['ratio']:.4f}",
+         f"<= {1 + DISPATCH_BUDGET:.2f}"],
+        ["LJ serving (numpy backend)", f"{min(base_walls)*1e3:.1f}ms", "", ""],
+        ["LJ serving (wrapped probe)", f"{min(wrapped_walls)*1e3:.1f}ms",
+         f"{ceiling:+.2%}", "naive-dispatch ceiling (informational)"],
+    ]
+    text = render_table(
+        f"Extension: array backend indirection "
+        f"(LJ scale={SCALE}, {N_BATCHES} batches of {BATCH_RATE:.0%} |E|, "
+        f"{len(queries)} queries, {REPS} reps)",
+        ["metric", "wall", "detail", "bound"],
+        rows,
+    )
+
+    payload = {
+        "workload": {
+            "dataset": "LJ",
+            "scale": SCALE,
+            "n_vertices": g0.n_vertices,
+            "n_edges": g0.n_edges,
+            "n_batches": N_BATCHES,
+            "rate_per_batch": BATCH_RATE,
+            "n_queries": len(queries),
+            "total_ops": total_ops,
+            "reps": REPS,
+        },
+        "identity_proof": {
+            "primitives": proven,
+            "all_identity_injected": True,
+        },
+        "dispatch_microbench": {**micro, "budget_frac": DISPATCH_BUDGET,
+                                "within_budget": micro["ratio"] <= 1 + DISPATCH_BUDGET},
+        "serving": {
+            "numpy_wall_s": min(base_walls),
+            "wrapped_wall_s": min(wrapped_walls),
+            "naive_dispatch_ceiling_frac": ceiling,
+            "stats_byte_identical": True,
+            "matches_identical": True,
+        },
+        "pr8_reference": pr8_reference,
+    }
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    json_path = ARTIFACT_DIR / "BENCH_backend.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return text, json_path
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny configuration for the CI smoke step",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        SCALE = min(SCALE, 0.1)
+        N_BATCHES = 2
+        N_QUERIES = 2
+        REPS = 1
+    text, json_path = run_experiment()
+    save_artifact("ext_backend", text)
+    print(f"[artifact: {json_path}]")

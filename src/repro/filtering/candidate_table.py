@@ -16,7 +16,7 @@ an O(n_data × n_query) python loop. The scalar loop survives behind
 
 from __future__ import annotations
 
-import numpy as np
+from repro import xp
 
 from repro.errors import MatchingError
 from repro.filtering.encoding import EncodingSchema, EncodingTable
@@ -48,22 +48,22 @@ class CandidateTable:
         self._query_packed = encodings.schema.pack_codes(self.query_codes)
         n_data = len(encodings)
         if vectorized:
-            self.bitmap = self._bitmap_rows(np.arange(n_data, dtype=np.int64))
+            self.bitmap = self._bitmap_rows(xp.arange(n_data, dtype=xp.int64))
         else:
             self.bitmap = self._bitmap_rows_reference(range(n_data))
-        self._columns: dict[int, np.ndarray] = {}
+        self._columns: dict[int, xp.ndarray] = {}
 
     # ------------------------------------------------------------------
-    def _bitmap_rows(self, rows: np.ndarray) -> np.ndarray:
+    def _bitmap_rows(self, rows: xp.ndarray) -> xp.ndarray:
         """Candidacy of ``rows`` against every query vertex in one
         broadcasted AND-compare: ``(rows, 1, words) & (1, nq, words)``."""
         codes = self.encodings.packed[rows]
         q = self._query_packed
         return ((codes[:, None, :] & q[None, :, :]) == q[None, :, :]).all(axis=2)
 
-    def _bitmap_rows_reference(self, rows) -> np.ndarray:
+    def _bitmap_rows_reference(self, rows) -> xp.ndarray:
         """Original per-cell scalar loop (equality oracle)."""
-        out = np.zeros((len(rows), self.query.n_vertices), dtype=bool)
+        out = xp.zeros((len(rows), self.query.n_vertices), dtype=bool)
         for i, v in enumerate(rows):
             code_v = self.encodings[int(v)]
             for u in range(self.query.n_vertices):
@@ -79,12 +79,12 @@ class CandidateTable:
             return False  # vertices appended after table build: no claim
         return bool(self.bitmap[v, u])
 
-    def candidates_of(self, u: int) -> np.ndarray:
+    def candidates_of(self, u: int) -> xp.ndarray:
         """Sorted int64 data-vertex ids in ``C(u)`` (cached per column;
         a view — do not mutate)."""
         col = self._columns.get(u)
         if col is None:
-            col = np.nonzero(self.bitmap[:, u])[0].astype(np.int64)
+            col = xp.nonzero(self.bitmap[:, u])[0].astype(xp.int64)
             self._columns[u] = col
         return col
 
@@ -105,26 +105,26 @@ class CandidateTable:
             return
         n_data = len(self.encodings)
         if n_data > self.bitmap.shape[0]:
-            grown = np.zeros((n_data, self.query.n_vertices), dtype=bool)
+            grown = xp.zeros((n_data, self.query.n_vertices), dtype=bool)
             grown[: self.bitmap.shape[0]] = self.bitmap
             self.bitmap = grown
-        vs = np.fromiter(changed, dtype=np.int64, count=len(changed))
+        vs = xp.fromiter(changed, dtype=xp.int64, count=len(changed))
         vs.sort()
         old_rows = self.bitmap[vs]  # fancy index: a copy
         if self.vectorized:
             new_rows = self._bitmap_rows(vs)
         else:
-            new_rows = self._bitmap_rows_reference([int(v) for v in vs])
+            new_rows = self._bitmap_rows_reference(xp.to_numpy(vs).tolist())
         self.bitmap[vs] = new_rows
-        flipped = np.nonzero((old_rows != new_rows).any(axis=0))[0]
-        for u in flipped:
-            self._columns.pop(int(u), None)
+        flipped = xp.nonzero((old_rows != new_rows).any(axis=0))[0]
+        for u in xp.to_numpy(flipped).tolist():
+            self._columns.pop(u, None)
 
     def stats(self) -> dict[str, float]:
         """Selectivity diagnostics (used by matching-order generation)."""
         counts = self.bitmap.sum(axis=0)
         return {
-            "min": float(counts.min()) if counts.size else 0.0,
-            "max": float(counts.max()) if counts.size else 0.0,
-            "mean": float(counts.mean()) if counts.size else 0.0,
+            "min": xp.to_scalar(counts.min()) * 1.0 if counts.size else 0.0,
+            "max": xp.to_scalar(counts.max()) * 1.0 if counts.size else 0.0,
+            "mean": xp.to_scalar(counts.mean()) * 1.0 if counts.size else 0.0,
         }

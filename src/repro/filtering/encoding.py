@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
+from repro import xp
 
 from repro.errors import MatchingError
 from repro.graph.csr import CSRGraph
@@ -40,16 +40,16 @@ _WORD_BITS = 64
 _WORD_MASK = (1 << _WORD_BITS) - 1
 
 
-def pack_bit_matrix(bits: np.ndarray, n_words: int) -> np.ndarray:
+def pack_bit_matrix(bits: xp.ndarray, n_words: int) -> xp.ndarray:
     """Pack a ``(rows, K)`` boolean bit matrix into ``(rows, n_words)``
     ``uint64`` words; bit ``b`` of a code lands in word ``b // 64`` at
     position ``b % 64`` (little-endian view over ``packbits`` bytes, so
     no word-sized temporary is materialized)."""
     rows = bits.shape[0]
-    packed8 = np.packbits(bits, axis=1, bitorder="little")
-    out8 = np.zeros((rows, n_words * 8), dtype=np.uint8)
+    packed8 = xp.packbits(bits, axis=1, bitorder="little")
+    out8 = xp.zeros((rows, n_words * 8), dtype=xp.uint8)
     out8[:, : packed8.shape[1]] = packed8
-    return out8.view(np.dtype("<u8"))
+    return out8.view(xp.dtype("<u8"))
 
 
 @dataclass(frozen=True)
@@ -131,29 +131,29 @@ class EncodingSchema:
     # ------------------------------------------------------------------
     # packed representation
     # ------------------------------------------------------------------
-    def pack_code(self, code: int) -> np.ndarray:
+    def pack_code(self, code: int) -> xp.ndarray:
         """Scalar python-int code -> ``(n_words,)`` uint64 row."""
-        return np.array(
+        return xp.array(
             [(code >> (_WORD_BITS * i)) & _WORD_MASK for i in range(self.n_words)],
-            dtype=np.uint64,
+            dtype=xp.uint64,
         )
 
-    def pack_codes(self, codes: Sequence[int]) -> np.ndarray:
+    def pack_codes(self, codes: Sequence[int]) -> xp.ndarray:
         """Scalar codes -> ``(len(codes), n_words)`` uint64 matrix."""
-        out = np.zeros((len(codes), self.n_words), dtype=np.uint64)
+        out = xp.zeros((len(codes), self.n_words), dtype=xp.uint64)
         for i, code in enumerate(codes):
             out[i] = self.pack_code(code)
         return out
 
     @staticmethod
-    def unpack_code(row: np.ndarray) -> int:
+    def unpack_code(row: xp.ndarray) -> int:
         """``(n_words,)`` uint64 row -> scalar python-int code."""
         code = 0
-        for i, word in enumerate(row):
-            code |= int(word) << (_WORD_BITS * i)
+        for i, word in enumerate(xp.to_numpy(row).tolist()):
+            code |= word << (_WORD_BITS * i)
         return code
 
-    def encode_all(self, csr: CSRGraph, vertices: np.ndarray | None = None) -> np.ndarray:
+    def encode_all(self, csr: CSRGraph, vertices: xp.ndarray | None = None) -> xp.ndarray:
         """Vectorized encode of ``vertices`` (default: every vertex)
         against a CSR snapshot.
 
@@ -165,44 +165,44 @@ class EncodingSchema:
         n_labels, m = self.n_labels, self.bits_per_label
         vlabels = csr.vertex_labels
         if vertices is None:
-            vs = np.arange(csr.n_vertices, dtype=np.int64)
+            vs = xp.arange(csr.n_vertices, dtype=xp.int64)
             nbr = csr.neighbors
-            row_of_entry = np.repeat(vs, np.diff(csr.offsets))
+            row_of_entry = xp.repeat(vs, xp.diff(csr.offsets))
         else:
-            vs = np.asarray(vertices, dtype=np.int64)
+            vs = xp.asarray(vertices, dtype=xp.int64)
             deg = csr.offsets[vs + 1] - csr.offsets[vs]
             total = int(deg.sum())
-            row_of_entry = np.repeat(np.arange(len(vs), dtype=np.int64), deg)
+            row_of_entry = xp.repeat(xp.arange(len(vs), dtype=xp.int64), deg)
             # flat CSR indices of every touched vertex's neighbor slice
-            starts = np.repeat(csr.offsets[vs], deg)
-            within = np.arange(total, dtype=np.int64) - np.repeat(
-                np.cumsum(deg) - deg, deg
+            starts = xp.repeat(csr.offsets[vs], deg)
+            within = xp.arange(total, dtype=xp.int64) - xp.repeat(
+                xp.cumsum(deg) - deg, deg
             )
             nbr = csr.neighbors[starts + within]
         rows = len(vs)
-        bits = np.zeros((rows, max(self.total_bits, 1)), dtype=bool)
+        bits = xp.zeros((rows, max(self.total_bits, 1)), dtype=bool)
         if n_labels:
-            alphabet = np.asarray(self.labels, dtype=np.int64)
+            alphabet = xp.asarray(self.labels, dtype=xp.int64)
             # one-hot vertex-label bit
             own = vlabels[vs]
-            li = np.searchsorted(alphabet, own)
-            li_c = np.minimum(li, n_labels - 1)
+            li = xp.searchsorted(alphabet, own)
+            li_c = xp.minimum(li, n_labels - 1)
             enc = alphabet[li_c] == own
-            bits[np.nonzero(enc)[0], li_c[enc]] = True
+            bits[xp.nonzero(enc)[0], li_c[enc]] = True
             # saturating unary neighbor-label counters
             if len(nbr):
                 nl = vlabels[nbr]
-                lj = np.searchsorted(alphabet, nl)
-                lj_c = np.minimum(lj, n_labels - 1)
+                lj = xp.searchsorted(alphabet, nl)
+                lj_c = xp.minimum(lj, n_labels - 1)
                 valid = alphabet[lj_c] == nl
-                counts = np.bincount(
+                counts = xp.bincount(
                     row_of_entry[valid] * n_labels + lj_c[valid],
                     minlength=rows * n_labels,
                 ).reshape(rows, n_labels)
             else:
-                counts = np.zeros((rows, n_labels), dtype=np.int64)
-            sat = np.minimum(counts, m)
-            unary = np.arange(m, dtype=np.int64)[None, None, :] < sat[:, :, None]
+                counts = xp.zeros((rows, n_labels), dtype=xp.int64)
+            sat = xp.minimum(counts, m)
+            unary = xp.arange(m, dtype=xp.int64)[None, None, :] < sat[:, :, None]
             bits[:, n_labels:] = unary.reshape(rows, n_labels * m)
         return pack_bit_matrix(bits, self.n_words)
 
@@ -212,7 +212,7 @@ class EncodingSchema:
         return enc_query & enc_data == enc_query
 
     @staticmethod
-    def candidate_mask(packed: np.ndarray, query_row: np.ndarray) -> np.ndarray:
+    def candidate_mask(packed: xp.ndarray, query_row: xp.ndarray) -> xp.ndarray:
         """Whole-column candidacy: ``(codes & q) == q`` reduced across
         words. ``packed`` is ``(rows, n_words)``, ``query_row`` is one
         packed query code; returns a boolean vector over rows."""
@@ -252,7 +252,7 @@ class EncodingTable:
     @property
     def codes(self) -> list[int]:
         """Scalar python-int view of the packed code matrix."""
-        return [EncodingSchema.unpack_code(row) for row in self.packed]
+        return [EncodingSchema.unpack_code(row) for row in xp.to_numpy(self.packed)]
 
     def __getitem__(self, v: int) -> int:
         return EncodingSchema.unpack_code(self.packed[v])
@@ -277,11 +277,11 @@ class EncodingTable:
         """
         if not vertices:
             return set()
-        vs = np.fromiter(vertices, dtype=np.int64, count=len(vertices))
+        vs = xp.fromiter(vertices, dtype=xp.int64, count=len(vertices))
         vs.sort()
         target = int(vs[-1]) + 1
         if target > len(self.packed):
-            grown = np.zeros((target, self.schema.n_words), dtype=np.uint64)
+            grown = xp.zeros((target, self.schema.n_words), dtype=xp.uint64)
             grown[: len(self.packed)] = self.packed
             self.packed = grown
         if self.vectorized:
@@ -290,11 +290,11 @@ class EncodingTable:
             new_rows = self.schema.encode_all(csr, vs)
         else:
             new_rows = self.schema.pack_codes(
-                [self.schema.encode(graph, int(v)) for v in vs]
+                [self.schema.encode(graph, v) for v in xp.to_numpy(vs).tolist()]
             )
         diff = (new_rows != self.packed[vs]).any(axis=1)
         self.packed[vs] = new_rows
-        return {int(v) for v in vs[diff]}
+        return set(xp.to_numpy(vs[diff]).tolist())
 
     def apply_delta(
         self,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any
 
-import numpy as np
+from repro import xp
 
 from repro.errors import DeviceMemoryError, SharedMemoryError
 from repro.gpu.params import DeviceParams
@@ -162,7 +162,7 @@ class Int64Arena:
     __slots__ = ("buf", "top")
 
     def __init__(self, capacity: int = 256) -> None:
-        self.buf = np.empty(max(capacity, 1), dtype=np.int64)
+        self.buf = xp.empty(max(capacity, 1), dtype=xp.int64)
         self.top = 0
 
     def push(self, values) -> tuple[int, int]:
@@ -174,14 +174,14 @@ class Int64Arena:
             cap = len(self.buf)
             while cap < need:
                 cap *= 2
-            grown = np.empty(cap, dtype=np.int64)
+            grown = xp.empty(cap, dtype=xp.int64)
             grown[:start] = self.buf[:start]
             self.buf = grown
         self.buf[start:need] = values
         self.top = need
         return start, need
 
-    def view(self, start: int, end: int) -> np.ndarray:
+    def view(self, start: int, end: int) -> xp.ndarray:
         """Zero-copy window into the buffer (do not mutate)."""
         return self.buf[start:end]
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-import numpy as np
+from repro import xp
 
 from repro.errors import GpuError
 from repro.gpu.params import DeviceParams
@@ -96,9 +96,9 @@ class TraceBuilder:
 
     def build(self) -> "CostTrace":
         return CostTrace(
-            np.asarray(self._kinds, dtype=np.int64),
-            np.asarray(self._amounts, dtype=np.int64),
-            np.asarray(self._bounds, dtype=np.int64),
+            xp.asarray(self._kinds, dtype=xp.int64),
+            xp.asarray(self._amounts, dtype=xp.int64),
+            xp.asarray(self._bounds, dtype=xp.int64),
         )
 
 
@@ -130,9 +130,9 @@ class SegmentCosts:
     @classmethod
     def from_ops(
         cls,
-        kinds: np.ndarray,
-        amounts: np.ndarray,
-        bounds: np.ndarray,
+        kinds: xp.ndarray,
+        amounts: xp.ndarray,
+        bounds: xp.ndarray,
         params: DeviceParams,
     ) -> "SegmentCosts":
         """Price flat ``(kind, amount)`` op arrays into per-segment
@@ -140,30 +140,30 @@ class SegmentCosts:
         self = cls()
         warp = params.warp_size
         # per-op integer cycle/transaction costs, mirroring WarpContext
-        rounds = np.where(
-            kinds == OP_LANES, -(-np.maximum(amounts, 1) // warp), amounts
+        rounds = xp.where(
+            kinds == OP_LANES, -(-xp.maximum(amounts, 1) // warp), amounts
         )
         is_compute = (kinds == OP_COMPUTE) | (kinds == OP_LANES)
-        compute_cy = np.where(is_compute, rounds * params.compute_cycles, 0)
-        coal_tx = np.where(
-            kinds == OP_COALESCED, -(-np.maximum(amounts, 1) // warp), 0
+        compute_cy = xp.where(is_compute, rounds * params.compute_cycles, 0)
+        coal_tx = xp.where(
+            kinds == OP_COALESCED, -(-xp.maximum(amounts, 1) // warp), 0
         )
-        scat_tx = np.where(kinds == OP_SCATTERED, np.maximum(amounts, 1), 0)
+        scat_tx = xp.where(kinds == OP_SCATTERED, xp.maximum(amounts, 1), 0)
         tx_cy = (coal_tx + scat_tx) * params.global_transaction_cycles
         busy = compute_cy + tx_cy
-        idle = np.where(kinds == OP_IDLE, amounts, 0)
+        idle = xp.where(kinds == OP_IDLE, amounts, 0)
 
         # segment reduction: cumsum differences at the yield boundaries
         # (robust to empty segments, exact in int64)
-        starts = np.empty(len(bounds) + 2, dtype=np.int64)
+        starts = xp.empty(len(bounds) + 2, dtype=xp.int64)
         starts[0] = 0
         starts[1:-1] = bounds
         starts[-1] = len(kinds)
 
-        def seg(per_op: np.ndarray) -> list[int]:
-            cum = np.zeros(len(per_op) + 1, dtype=np.int64)
-            np.cumsum(per_op, out=cum[1:])
-            return (cum[starts[1:]] - cum[starts[:-1]]).tolist()
+        def seg(per_op: xp.ndarray) -> list[int]:
+            cum = xp.zeros(len(per_op) + 1, dtype=xp.int64)
+            xp.cumsum(per_op, out=cum[1:])
+            return xp.to_numpy(cum[starts[1:]] - cum[starts[:-1]]).tolist()
 
         self.n_segments = len(starts) - 1
         self.busy = seg(busy)
@@ -247,12 +247,12 @@ class CostTrace:
     __slots__ = ("kinds", "amounts", "bounds", "_priced")
 
     def __init__(
-        self, kinds: np.ndarray, amounts: np.ndarray, bounds: np.ndarray
+        self, kinds: xp.ndarray, amounts: xp.ndarray, bounds: xp.ndarray
     ) -> None:
         if len(kinds) != len(amounts):
             raise GpuError("trace kinds/amounts length mismatch")
         if len(bounds) and (
-            bounds[0] < 0 or bounds[-1] > len(kinds) or np.any(np.diff(bounds) < 0)
+            bounds[0] < 0 or bounds[-1] > len(kinds) or xp.any(xp.diff(bounds) < 0)
         ):
             raise GpuError("trace yield bounds out of order")
         if len(kinds) and (kinds.min() < 0 or kinds.max() >= N_OPS):

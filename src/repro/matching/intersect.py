@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-import numpy as np
+from repro import xp
 
 from repro.graph.csr import sorted_membership
 
@@ -22,11 +22,11 @@ positions_in = sorted_membership
 
 
 def intersect_sorted(
-    cands: np.ndarray,
-    nbrs: np.ndarray,
-    elbls: Optional[np.ndarray] = None,
+    cands: xp.ndarray,
+    nbrs: xp.ndarray,
+    elbls: Optional[xp.ndarray] = None,
     want_label: Optional[int] = None,
-) -> np.ndarray:
+) -> xp.ndarray:
     """Members of ``cands`` present in the sorted adjacency ``nbrs``
     (optionally requiring the aligned edge label to equal
     ``want_label``). Preserves candidate order; empty adjacency yields
@@ -40,12 +40,12 @@ def intersect_sorted(
 
 
 def segmented_positions_in(
-    targets: np.ndarray,
-    target_segs: np.ndarray,
-    probes: np.ndarray,
-    probe_segs: np.ndarray,
+    targets: xp.ndarray,
+    target_segs: xp.ndarray,
+    probes: xp.ndarray,
+    probe_segs: xp.ndarray,
     stride: int,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[xp.ndarray, xp.ndarray]:
     """Multi-frame form of :func:`positions_in`: one ``searchsorted``
     resolves every probe against its *own* segment's sorted target run.
 
@@ -62,43 +62,43 @@ def segmented_positions_in(
     """
     n = len(targets)
     if not n:
-        return np.zeros(len(probes), dtype=np.int64), np.zeros(
+        return xp.zeros(len(probes), dtype=xp.int64), xp.zeros(
             len(probes), dtype=bool
         )
-    stride = np.int64(stride)
+    stride = xp.int64(stride)
     tkeys = targets + target_segs * stride
     pkeys = probes + probe_segs * stride
-    pos = np.searchsorted(tkeys, pkeys)
-    np.minimum(pos, n - 1, out=pos)
+    pos = xp.searchsorted(tkeys, pkeys)
+    xp.minimum(pos, n - 1, out=pos)
     return pos, tkeys[pos] == pkeys
 
 
 def mask_members(
-    mask: np.ndarray, base: np.ndarray, values: Iterable[int]
+    mask: xp.ndarray, base: xp.ndarray, values: Iterable[int]
 ) -> None:
     """Clear ``mask`` bits of entries in sorted ``base`` equal to any of
     ``values`` (the injectivity filter: few values, one binary search
     each)."""
     n = len(base)
     for dv in values:
-        i = int(np.searchsorted(base, dv))
+        i = int(xp.searchsorted(base, dv))
         if i < n and base[i] == dv:
             mask[i] = False
 
 
-def drop_member(arr: np.ndarray, value: int) -> np.ndarray:
+def drop_member(arr: xp.ndarray, value: int) -> xp.ndarray:
     """``arr`` without ``value`` (one binary search into the sorted
     array) — the per-child injectivity filter of the level-stepped DFS:
     a frame's children share one prefix-narrowed candidate run and each
     only needs its own assigned vertex removed. Returns ``arr`` itself
     when the value is absent (children may share the run read-only)."""
-    i = int(np.searchsorted(arr, value))
+    i = int(xp.searchsorted(arr, value))
     if i < len(arr) and arr[i] == value:
-        return np.delete(arr, i)
+        return xp.delete(arr, i)
     return arr
 
 
-def gather_column(col: np.ndarray, base: np.ndarray) -> np.ndarray:
+def gather_column(col: xp.ndarray, base: xp.ndarray) -> xp.ndarray:
     """``col[base]`` where ``base`` is sorted and ``col`` may be shorter
     than the id space (updates appended vertices after the column was
     built): out-of-range rows carry no claim."""
@@ -106,7 +106,7 @@ def gather_column(col: np.ndarray, base: np.ndarray) -> np.ndarray:
     n_base = len(base)
     if n_base and base[-1] < n_col:  # base is sorted: one bounds check
         return col[base]
-    out = np.zeros(n_base, dtype=bool)
+    out = xp.zeros(n_base, dtype=bool)
     in_range = base < n_col
     out[in_range] = col[base[in_range]]
     return out

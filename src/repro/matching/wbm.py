@@ -47,6 +47,7 @@ from typing import Generator, Optional
 
 import numpy as np
 
+from repro import xp
 from repro.errors import BudgetExceeded, ConfigMismatchError, MatchingError
 from repro.filtering import CandidateTable, EncodingSchema
 from repro.graph.csr import CSRGraph, _flat_indices
@@ -211,16 +212,16 @@ class _Env:
         self._csr = csr
         # rank_map as parallel arrays for vectorized total-order checks
         if rank_map:
-            edges = np.array(list(rank_map.keys()), dtype=np.int64)
+            edges = xp.array(list(rank_map.keys()), dtype=xp.int64)
             self._rank_u = edges[:, 0]
             self._rank_v = edges[:, 1]
-            self._rank_r = np.fromiter(
-                rank_map.values(), dtype=np.int64, count=len(rank_map)
+            self._rank_r = xp.fromiter(
+                rank_map.values(), dtype=xp.int64, count=len(rank_map)
             )
         else:
             self._rank_u = self._rank_v = self._rank_r = None
         # per data-vertex (sorted update partners, their ranks), lazy
-        self._rank_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._rank_cache: dict[int, tuple[xp.ndarray, xp.ndarray]] = {}
         # pooled per-warp DFS states for the level-stepped path: blocks
         # run sequentially within a launch, so a warp's frame stack and
         # assignment array are reused across blocks (workers reset them
@@ -235,7 +236,7 @@ class _Env:
         # Injectivity and rank filtering are applied by the caller on
         # top of the cached slice — both are order-preserving ANDs, so
         # they commute with the cached narrowing. None = caching off.
-        self._hub_slices: Optional[dict[tuple, np.ndarray]] = (
+        self._hub_slices: Optional[dict[tuple, xp.ndarray]] = (
             {} if (config.vectorized and config.fused_gen) else None
         )
         self.gauge = _MemoryGauge()
@@ -259,21 +260,21 @@ class _Env:
             self._csr = CSRGraph.from_graph(self.graph)
         return self._csr
 
-    def rank_partners(self, dv: int) -> tuple[np.ndarray, np.ndarray]:
+    def rank_partners(self, dv: int) -> tuple[xp.ndarray, xp.ndarray]:
         """Update-edge partners of data vertex ``dv`` (sorted) with the
         rank of each touching net-update edge, cached per launch."""
         entry = self._rank_cache.get(dv)
         if entry is None:
             sel_u = self._rank_u == dv
             sel_v = self._rank_v == dv
-            partners = np.concatenate([self._rank_v[sel_u], self._rank_u[sel_v]])
-            ranks = np.concatenate([self._rank_r[sel_u], self._rank_r[sel_v]])
-            order = np.argsort(partners)
+            partners = xp.concatenate([self._rank_v[sel_u], self._rank_u[sel_v]])
+            ranks = xp.concatenate([self._rank_r[sel_u], self._rank_r[sel_v]])
+            order = xp.argsort(partners)
             entry = (partners[order], ranks[order])
             self._rank_cache[dv] = entry
         return entry
 
-    def rank_filter(self, cands: np.ndarray, dv: int, rank: int) -> np.ndarray:
+    def rank_filter(self, cands: xp.ndarray, dv: int, rank: int) -> xp.ndarray:
         """Drop candidates whose edge to ``dv`` is a net-update edge of
         rank below ``rank`` (the total-order duplicate rule)."""
         partners, ranks = self.rank_partners(dv)
@@ -287,7 +288,7 @@ class _Env:
 
     def hub_slice(
         self, anchor_dv: int, qv: int, anchor_qv: int, col, col_key
-    ) -> np.ndarray:
+    ) -> xp.ndarray:
         """Cached first-stage narrowing of ``anchor_dv``'s sorted
         adjacency for candidates of ``qv``: vertex label, edge label to
         the anchor, and the candidacy column — every prefix-independent
@@ -507,7 +508,7 @@ def _candidates_vectorized(
         # injectivity on the cached slice: clearing assigned vertices
         # from the narrowed subsequence keeps exactly the survivors the
         # full-base mask would keep (both filters are per-element ANDs)
-        keep = np.ones(len(narrowed), dtype=bool)
+        keep = xp.ones(len(narrowed), dtype=bool)
         mask_members(keep, narrowed, assign.values())
         cands = narrowed[keep]
     else:
@@ -538,7 +539,7 @@ def _candidates_vectorized(
         )
         if env._rank_r is not None and len(cands):
             cands = env.rank_filter(cands, dv, rank)
-    return [int(c) for c in cands]
+    return xp.to_numpy(cands).tolist()
 
 
 def _fused_self_anchor(
@@ -549,8 +550,8 @@ def _fused_self_anchor(
     qv_prev: int,
     others: list[int],
     col,
-    c_arr: np.ndarray,
-) -> list[np.ndarray]:
+    c_arr: xp.ndarray,
+) -> list[xp.ndarray]:
     """Batched Gen-Candidates for a run of children whose cost anchor is
     the frame vertex itself (each child's own adjacency is the narrowest
     matched neighborhood). One concatenated pass over the children's
@@ -578,8 +579,8 @@ def _fused_self_anchor(
     # adjacency (no self loops), so only the shared prefix values mask
     for v in prefix.values():
         m &= xs != v
-    segs = np.repeat(np.arange(k, dtype=np.int64), cnt)
-    keep = np.nonzero(m)[0]
+    segs = xp.repeat(xp.arange(k, dtype=xp.int64), cnt)
+    keep = xp.nonzero(m)[0]
     xs = xs[keep]
     segs = segs[keep]
     has_rank = env._rank_r is not None
@@ -604,10 +605,10 @@ def _fused_self_anchor(
     empty = c_arr[:0]
     if not alive or not len(xs):
         return [empty] * k
-    counts = np.bincount(segs, minlength=k)
-    bounds = np.zeros(k + 1, dtype=np.int64)
-    np.cumsum(counts, out=bounds[1:])
-    out: list[np.ndarray] = []
+    counts = xp.bincount(segs, minlength=k)
+    bounds = xp.zeros(k + 1, dtype=xp.int64)
+    xp.cumsum(counts, out=bounds[1:])
+    out: list[xp.ndarray] = []
     for i in range(k):
         res = xs[int(bounds[i]) : int(bounds[i + 1])]
         if has_rank and len(res):
@@ -755,7 +756,7 @@ def _level_children_scalar(
                 qv_prev,
                 others_if_self,
                 col,
-                np.array([c for _, c in fuse_self], dtype=np.int64),
+                xp.array([c for _, c in fuse_self], dtype=xp.int64),
             )
             for (j, _), r in zip(fuse_self, res):
                 children[j] = r
@@ -783,7 +784,7 @@ def _narrowed_prefix_run(
     matched: list[int],
     anchor: int,
     col_key=None,
-) -> np.ndarray:
+) -> xp.ndarray:
     """Array form of the shared prefix narrowing: candidates of ``qv``
     in the anchor's sorted adjacency surviving every prefix-only
     constraint (labels, bitmap, injectivity, rank rule, every prefix
@@ -801,7 +802,7 @@ def _narrowed_prefix_run(
         and len(base) > _SCALAR_GEN_MAX
     ):
         narrowed = env.hub_slice(anchor_dv, qv, anchor, col, col_key)
-        keep = np.ones(len(narrowed), dtype=bool)
+        keep = xp.ones(len(narrowed), dtype=bool)
         mask_members(keep, narrowed, prefix.values())
         pre = narrowed[keep]
     else:
@@ -852,7 +853,7 @@ def _prefix_narrowed(
         pre = _narrowed_prefix_run(
             env, prefix, rank, qv, qv_prev, col, matched, anchor, col_key
         )
-        return [int(x) for x in pre]
+        return xp.to_numpy(pre).tolist()
     used = set(prefix.values())
     rank_map = env.rank_map
     labels = graph.vertex_labels
@@ -891,7 +892,7 @@ def _prefix_narrowed(
 
 
 def _gen_cost_segments(
-    degs: np.ndarray, anchor_idx: np.ndarray, params: DeviceParams
+    degs: xp.ndarray, anchor_idx: xp.ndarray, params: DeviceParams
 ) -> SegmentCosts:
     """Per-child priced Gen-Candidates segments from a degree matrix
     (one row per matched query neighbor, one column per child).
@@ -900,36 +901,36 @@ def _gen_cost_segments(
     k = degs.shape[1]
     n_others = degs.shape[0] - 1
     warp = params.warp_size
-    n_base = degs[anchor_idx, np.arange(k)]
+    n_base = degs[anchor_idx, xp.arange(k)]
     lanes = n_base * (1 + n_others)
-    probe = np.maximum(1, n_base // warp)
+    probe = xp.maximum(1, n_base // warp)
     if n_others:
         rounds = -(-n_base // warp)
         q_deg = (degs.sum(axis=0) - n_base) // n_others
         # frexp's exponent is bit_length for positive ints (0 for 0)
-        steps = np.maximum(1, np.frexp(q_deg)[1].astype(np.int64))
-        kinds = np.tile(
-            np.array(
+        steps = xp.maximum(1, xp.frexp(q_deg)[1].astype(xp.int64))
+        kinds = xp.tile(
+            xp.array(
                 [OP_COALESCED, OP_LANES, OP_SCATTERED, OP_SCATTERED],
-                dtype=np.int64,
+                dtype=xp.int64,
             ),
             k,
         )
-        amounts = np.empty(4 * k, dtype=np.int64)
+        amounts = xp.empty(4 * k, dtype=xp.int64)
         amounts[0::4] = n_base
         amounts[1::4] = lanes
         amounts[2::4] = rounds * steps * n_others
         amounts[3::4] = probe
-        bounds = np.arange(4, 4 * k, 4, dtype=np.int64)
+        bounds = xp.arange(4, 4 * k, 4, dtype=xp.int64)
     else:
-        kinds = np.tile(
-            np.array([OP_COALESCED, OP_LANES, OP_SCATTERED], dtype=np.int64), k
+        kinds = xp.tile(
+            xp.array([OP_COALESCED, OP_LANES, OP_SCATTERED], dtype=xp.int64), k
         )
-        amounts = np.empty(3 * k, dtype=np.int64)
+        amounts = xp.empty(3 * k, dtype=xp.int64)
         amounts[0::3] = n_base
         amounts[1::3] = lanes
         amounts[2::3] = probe
-        bounds = np.arange(3, 3 * k, 3, dtype=np.int64)
+        bounds = xp.arange(3, 3 * k, 3, dtype=xp.int64)
     return SegmentCosts.from_ops(kinds, amounts, bounds, params)
 
 
@@ -938,7 +939,7 @@ def _level_children_multi(
     group: CoalescedGroup,
     order: tuple[int, ...],
     lv: int,
-    requests: list[tuple[dict[int, int], np.ndarray, int]],
+    requests: list[tuple[dict[int, int], xp.ndarray, int]],
     params: DeviceParams,
 ) -> list[tuple[list, SegmentCosts]]:
     """Launch-wide fused form of :func:`_level_children`.
@@ -977,28 +978,28 @@ def _level_children_multi(
     ]
     if not matched:
         raise MatchingError(f"matching order broke connectivity at {qv}")
-    counts = np.array([len(c) for _, c, _ in requests], dtype=np.int64)
-    all_cands = np.concatenate([c for _, c, _ in requests])
+    counts = xp.array([len(c) for _, c, _ in requests], dtype=xp.int64)
+    all_cands = xp.concatenate([c for _, c, _ in requests])
     total = len(all_cands)
     offsets = csr.offsets
-    degs = np.empty((len(matched), total), dtype=np.int64)
+    degs = xp.empty((len(matched), total), dtype=xp.int64)
     for i, w in enumerate(matched):
         if w == qv_prev:
             degs[i] = offsets[all_cands + 1] - offsets[all_cands]
         else:
-            degs[i] = np.repeat(
-                np.array(
+            degs[i] = xp.repeat(
+                xp.array(
                     [csr.degree(prefix[w]) for prefix, _, _ in requests],
-                    dtype=np.int64,
+                    dtype=xp.int64,
                 ),
                 counts,
             )
     # first minimum along the matched order == the oracle's min() tie-break
-    anchor_idx = np.argmin(degs, axis=0)
+    anchor_idx = xp.argmin(degs, axis=0)
     batch_costs = _gen_cost_segments(degs, anchor_idx, params)
 
-    starts = np.zeros(len(requests) + 1, dtype=np.int64)
-    np.cumsum(counts, out=starts[1:])
+    starts = xp.zeros(len(requests) + 1, dtype=xp.int64)
+    xp.cumsum(counts, out=starts[1:])
     out: list[tuple[list, SegmentCosts]] = []
     for r in range(len(requests)):
         a, b = int(starts[r]), int(starts[r + 1])
@@ -1023,15 +1024,15 @@ def _level_children_multi(
     others = [w for w in matched if w != qv_prev]
     empty = all_cands[:0]
     # deferred (request, child) pairs for the fused segmented intersect
-    fuse_pre: list[np.ndarray] = []
+    fuse_pre: list[xp.ndarray] = []
     fuse_dst: list[tuple[int, int]] = []
     fuse_c: list[int] = []
     for r, (prefix, cands_r, rank) in enumerate(requests):
         children = out[r][0]
         a = int(starts[r])
         aidx = anchor_idx[a : a + len(cands_r)]
-        for ai in sorted(set(aidx.tolist())):
-            sel = np.nonzero(aidx == ai)[0]
+        for ai in sorted(set(xp.to_numpy(aidx).tolist())):
+            sel = xp.to_numpy(xp.nonzero(aidx == ai)[0])
             w_anchor = matched[ai]
             if w_anchor == qv_prev:
                 # the anchor is the frame vertex itself: per-child base.
@@ -1061,7 +1062,7 @@ def _level_children_multi(
                         if deg_row[j] <= _SCALAR_GEN_MAX
                         else _candidates_vectorized
                     )
-                    children[j] = np.asarray(
+                    children[j] = xp.asarray(
                         gen(
                             env,
                             group,
@@ -1073,7 +1074,7 @@ def _level_children_multi(
                             rank,
                             col_key,
                         ),
-                        dtype=np.int64,
+                        dtype=xp.int64,
                     )
                 continue
             # prefix anchor: one shared narrowing for the whole run
@@ -1096,20 +1097,20 @@ def _level_children_multi(
     if fuse_pre:
         # one concatenated gather over the children's adjacency slices
         # plus one segmented searchsorted covers every deferred pair
-        c_arr = np.array(fuse_c, dtype=np.int64)
+        c_arr = xp.array(fuse_c, dtype=xp.int64)
         t_starts = offsets[c_arr]
         t_counts = offsets[c_arr + 1] - t_starts
         flat = _flat_indices(t_starts, t_counts)
         targets = csr.neighbors[flat]
         t_lbls = csr.edge_labels[flat]
         n_items = len(c_arr)
-        seg_ids = np.arange(n_items, dtype=np.int64)
-        t_segs = np.repeat(seg_ids, t_counts)
-        p_lens = np.fromiter(
-            (len(p) for p in fuse_pre), dtype=np.int64, count=n_items
+        seg_ids = xp.arange(n_items, dtype=xp.int64)
+        t_segs = xp.repeat(seg_ids, t_counts)
+        p_lens = xp.fromiter(
+            (len(p) for p in fuse_pre), dtype=xp.int64, count=n_items
         )
-        probes = np.concatenate(fuse_pre)
-        p_segs = np.repeat(seg_ids, p_lens)
+        probes = xp.concatenate(fuse_pre)
+        p_segs = xp.repeat(seg_ids, p_lens)
         pos, hit = segmented_positions_in(
             targets, t_segs, probes, p_segs, csr.n_vertices
         )
@@ -1135,7 +1136,7 @@ def _level_children(
     order: tuple[int, ...],
     prefix: dict[int, int],
     lv: int,
-    cands: np.ndarray,
+    cands: xp.ndarray,
     rank: int,
     params: DeviceParams,
 ) -> tuple[list, Optional[SegmentCosts]]:
@@ -1181,26 +1182,26 @@ def _level_children(
     if k < _LEVEL_BATCH_MIN:
         return _level_children_scalar(
             env, group, prefix, rank, params, qv, qv_prev, col, matched,
-            [int(c) for c in cands], col_key,
+            xp.to_numpy(cands).tolist(), col_key,
         )
-    cands = np.asarray(cands, dtype=np.int64)
+    cands = xp.asarray(cands, dtype=xp.int64)
     offsets = csr.offsets
-    degs = np.empty((len(matched), k), dtype=np.int64)
+    degs = xp.empty((len(matched), k), dtype=xp.int64)
     for i, w in enumerate(matched):
         if w == qv_prev:
             degs[i] = offsets[cands + 1] - offsets[cands]
         else:
             degs[i] = csr.degree(prefix[w])
     # first minimum along the matched order == the oracle's min() tie-break
-    anchor_idx = np.argmin(degs, axis=0)
+    anchor_idx = xp.argmin(degs, axis=0)
     costs = _gen_cost_segments(degs, anchor_idx, params)
 
     # --- per-child candidate data ------------------------------------
     children: list = [None] * k
     empty = cands[:0]
     has_rank = env._rank_r is not None
-    for ai in sorted(set(anchor_idx.tolist())):
-        sel = np.nonzero(anchor_idx == ai)[0]
+    for ai in sorted(set(xp.to_numpy(anchor_idx).tolist())):
+        sel = xp.to_numpy(xp.nonzero(anchor_idx == ai)[0])
         w_anchor = matched[ai]
         if w_anchor == qv_prev:
             # the anchor is the frame vertex itself: per-child base
@@ -1233,7 +1234,7 @@ def _level_children(
                     if deg_row[j] <= _SCALAR_GEN_MAX
                     else _candidates_vectorized
                 )
-                children[j] = np.asarray(
+                children[j] = xp.asarray(
                     gen(
                         env,
                         group,
@@ -1245,7 +1246,7 @@ def _level_children(
                         rank,
                         col_key,
                     ),
-                    dtype=np.int64,
+                    dtype=xp.int64,
                 )
             continue
         # prefix anchor: one shared narrowing for the whole run
@@ -1471,10 +1472,10 @@ class _FrameStack:
 
     def __init__(self, n_levels: int) -> None:
         cap = max(int(n_levels), 1)
-        self.level = np.zeros(cap, dtype=np.int64)
-        self.start = np.zeros(cap, dtype=np.int64)
-        self.end = np.zeros(cap, dtype=np.int64)
-        self.p = np.zeros(cap, dtype=np.int64)
+        self.level = xp.zeros(cap, dtype=xp.int64)
+        self.start = xp.zeros(cap, dtype=xp.int64)
+        self.end = xp.zeros(cap, dtype=xp.int64)
+        self.p = xp.zeros(cap, dtype=xp.int64)
         self.arena = Int64Arena()
         self.depth = 0
         self.children: list = [None] * cap
@@ -1630,7 +1631,7 @@ class _DfsLevelCursor(LevelCursor):
             if pend[0] == 0:  # entry frame push after the item-entry gen
                 _, cands, level = pend
                 env.gauge.alloc(len(cands))
-                self._push_frame(ctx, state, level, np.asarray(cands, dtype=np.int64))
+                self._push_frame(ctx, state, level, xp.asarray(cands, dtype=xp.int64))
             else:  # child attach after a priced gen segment
                 _, child, nxt, qv_prev = pend
                 if len(child):
@@ -1697,7 +1698,7 @@ class _DfsLevelCursor(LevelCursor):
             return True  # the oracle's entry-gen yield
         # stolen frame slice: pushed in the same resumption, no yield
         env.gauge.alloc(len(cands))
-        self._push_frame(ctx, state, level, np.asarray(cands, dtype=np.int64))
+        self._push_frame(ctx, state, level, xp.asarray(cands, dtype=xp.int64))
         return self._inner(ctx)
 
     def staged_gen(self):
@@ -1815,7 +1816,7 @@ class _DfsLevelCursor(LevelCursor):
                 # run as one batch with the identical total charge
                 k = end - p
                 row = assign.tolist()
-                for c in fs.arena.view(p, end).tolist():
+                for c in xp.to_numpy(fs.arena.view(p, end)).tolist():
                     row[qv] = c
                     out_matches.append(tuple(row))
                 params = ctx.params
@@ -1908,7 +1909,7 @@ def _make_step_coalescer(sched: BlockScheduler, env: _Env):
                 group.full_order,
                 lv,
                 [
-                    (r[2](lv), np.asarray(r[3], dtype=np.int64), r[4])
+                    (r[2](lv), xp.asarray(r[3], dtype=xp.int64), r[4])
                     for _, r in batch
                 ],
                 sched.params,
@@ -2249,18 +2250,18 @@ def _initial_items_bulk(
     csr = env.csr
     labels = csr.vertex_labels
     n = csr.n_vertices
-    arr = np.asarray(edges, dtype=np.int64).reshape(-1, 3)
+    arr = xp.asarray(edges, dtype=xp.int64).reshape(-1, 3)
     # canonical (min, max) of every undirected edge in one pass
-    ex = np.minimum(arr[:, 0], arr[:, 1])
-    ey = np.maximum(arr[:, 0], arr[:, 1])
+    ex = xp.minimum(arr[:, 0], arr[:, 1])
+    ey = xp.maximum(arr[:, 0], arr[:, 1])
     el = arr[:, 2]
     in_range = (ex < n) & (ey < n)
-    ex_c = np.minimum(ex, n - 1) if n else ex
-    ey_c = np.minimum(ey, n - 1) if n else ey
+    ex_c = xp.minimum(ex, n - 1) if n else ex
+    ey_c = xp.minimum(ey, n - 1) if n else ey
     # plain-int columns once per launch: the dict items below are the
     # hot allocation path and np scalar unboxing per field shows up
-    exl = ex.tolist()
-    eyl = ey.tolist()
+    exl = xp.to_numpy(ex).tolist()
+    eyl = xp.to_numpy(ey).tolist()
     items_per_edge: list[list[dict]] = [[] for _ in edges]
     for group in env.plan.groups:
         a, b = group.representative
@@ -2277,7 +2278,7 @@ def _initial_items_bulk(
             ok = ends < len(col)
             ok[ok] = col[ends[ok]]
             sel &= ok
-        for i in np.nonzero(sel)[0].tolist():
+        for i in xp.to_numpy(xp.nonzero(sel)[0]).tolist():
             items_per_edge[i].append(
                 {
                     "group": group,

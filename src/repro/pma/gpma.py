@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
-import numpy as np
+from repro import xp
 
 from repro.errors import GraphError
 from repro.graph.labeled_graph import LabeledGraph
@@ -41,19 +41,19 @@ def edge_key(u: int, v: int) -> int:
     return (u << _SHIFT) | v
 
 
-def _directed_keys(edges: np.ndarray) -> np.ndarray:
+def _directed_keys(edges: xp.ndarray) -> xp.ndarray:
     """Both directed keys of every ``(u, v, label)`` row."""
     u, v = edges[:, 0], edges[:, 1]
-    return np.concatenate(((u << _SHIFT) | v, (v << _SHIFT) | u))
+    return xp.concatenate(((u << _SHIFT) | v, (v << _SHIFT) | u))
 
 
-def directed_key_runs(edges: np.ndarray) -> np.ndarray:
+def directed_key_runs(edges: xp.ndarray) -> xp.ndarray:
     """``(2k, 2)`` directed ``(key, label)`` runs of ``(u, v, label)``
     rows — the journal form the store's rollback feeds straight back to
     the PMA batch ops (both directions of every undirected edge)."""
-    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 3)
-    labels = np.concatenate((edges[:, 2], edges[:, 2]))
-    return np.stack((_directed_keys(edges), labels), axis=1)
+    edges = xp.asarray(edges, dtype=xp.int64).reshape(-1, 3)
+    labels = xp.concatenate((edges[:, 2], edges[:, 2]))
+    return xp.stack((_directed_keys(edges), labels), axis=1)
 
 
 @dataclass
@@ -128,15 +128,20 @@ class GPMAGraph:
         # bulk edge-key construction from the flat adjacency export
         # (vectorized shift-or instead of a python loop per edge)
         degrees, dst, lbl = g.adjacency_arrays()
-        src = np.repeat(np.arange(g.n_vertices, dtype=np.int64), degrees)
+        src = xp.repeat(xp.arange(g.n_vertices, dtype=xp.int64), degrees)
         keys = (src << _SHIFT) | dst
-        order = np.argsort(keys)
+        order = xp.argsort(keys)
         if vectorized:
             gpma._pma = PMA.bulk_load(
-                np.stack((keys[order], lbl[order]), axis=1), vectorized=True
+                xp.stack((keys[order], lbl[order]), axis=1), vectorized=True
             )
         else:
-            items = list(zip(keys[order].tolist(), lbl[order].tolist()))
+            items = list(
+                zip(
+                    xp.to_numpy(keys[order]).tolist(),
+                    xp.to_numpy(lbl[order]).tolist(),
+                )
+            )
             gpma._pma = PMA.bulk_load(items, vectorized=False)
         gpma._n_vertices = g.n_vertices
         return gpma
@@ -155,7 +160,7 @@ class GPMAGraph:
     def neighbors(self, v: int) -> list[int]:
         """Sorted neighbor list of ``v`` (a coalesced PMA range scan)."""
         if self.vectorized:
-            return self.neighbor_arrays(v)[0].tolist()
+            return xp.to_numpy(self.neighbor_arrays(v)[0]).tolist()
         lo, hi = edge_key(v, 0), edge_key(v + 1, 0)
         return [k & _DST_MASK for k, _ in self._pma.range_items(lo, hi)]
 
@@ -163,11 +168,11 @@ class GPMAGraph:
         """Sorted ``(neighbor, edge_label)`` pairs."""
         if self.vectorized:
             nbrs, lbls = self.neighbor_arrays(v)
-            return list(zip(nbrs.tolist(), lbls.tolist()))
+            return list(zip(xp.to_numpy(nbrs).tolist(), xp.to_numpy(lbls).tolist()))
         lo, hi = edge_key(v, 0), edge_key(v + 1, 0)
         return [(k & _DST_MASK, lbl) for k, lbl in self._pma.range_items(lo, hi)]
 
-    def neighbor_arrays(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+    def neighbor_arrays(self, v: int) -> tuple[xp.ndarray, xp.ndarray]:
         """Sorted ``(neighbors, edge_labels)`` arrays of ``v`` — the
         coalesced range scan without per-element python."""
         keys, vals = self._pma.range_arrays(edge_key(v, 0), edge_key(v + 1, 0))
@@ -202,7 +207,7 @@ class GPMAGraph:
                     self._n_vertices = max(
                         self._n_vertices, int(arr[:, :2].max()) + 1
                     )
-            keys = np.concatenate((_directed_keys(ins), _directed_keys(dele)))
+            keys = xp.concatenate((_directed_keys(ins), _directed_keys(dele)))
         else:
             self._n_vertices = max(
                 [self._n_vertices]
@@ -213,7 +218,7 @@ class GPMAGraph:
             for u, v, _ in delta.inserted + delta.deleted:
                 key_list.append(edge_key(u, v))
                 key_list.append(edge_key(v, u))
-            keys = np.asarray(key_list, dtype=np.int64)
+            keys = xp.asarray(key_list, dtype=xp.int64)
 
         # --- leaf location: one tree walk per directed update key ------
         index = SegmentIndex(self._pma, cached_levels=self.top_k_cached)
@@ -222,7 +227,7 @@ class GPMAGraph:
             leaves, cost = index.locate_bulk(keys)
             stats.shared_probes += cost.shared_probes
             stats.global_probes += cost.global_probes
-            uniq, counts = np.unique(leaves, return_counts=True)
+            uniq, counts = xp.unique(leaves, return_counts=True)
         stats.locate_cycles += (
             stats.shared_probes * params.shared_access_cycles
             + stats.global_probes * params.global_transaction_cycles
@@ -236,24 +241,24 @@ class GPMAGraph:
             # ascending leaf order so the float accumulation is identical
             # to the scalar per-leaf loop
             work = seg_size + counts
-            txn = np.ceil(work / warp) * params.global_transaction_cycles
+            txn = xp.ceil(work / warp) * params.global_transaction_cycles
             if seg_size <= warp:
                 if self.cooperative_groups:
                     # sub-warp groups sized to the segment let one warp
                     # process warp/group segments concurrently
                     group = _pow2_at_least(seg_size, warp)
                     concurrency = warp // group
-                    rounds = np.ceil(work / group) / concurrency
+                    rounds = xp.ceil(work / group) / concurrency
                 else:
-                    rounds = np.ceil(work / warp) * 1.0  # idle lanes wasted
+                    rounds = xp.ceil(work / warp) * 1.0  # idle lanes wasted
                 cycles = rounds * params.compute_cycles + txn
             else:
                 # block strategy stages the segment in shared memory;
                 # oversized work pays the global-scratch device price
                 block = txn + work * params.shared_access_cycles / warp
                 device = 2 * txn
-                cycles = np.where(work <= params.shared_memory_words, block, device)
-            stats.materialize_cycles += sum(cycles.tolist())
+                cycles = xp.where(work <= params.shared_memory_words, block, device)
+            stats.materialize_cycles += sum(xp.to_numpy(cycles).tolist())
             stats.segments_touched = len(uniq)
 
         # --- structural mutation (real) + rebalance pricing -------------
@@ -268,8 +273,8 @@ class GPMAGraph:
                 self.faults.fire("gpma.mid")
             if len(ins):
                 ins_keys = _directed_keys(ins)
-                ins_vals = np.concatenate((ins[:, 2], ins[:, 2]))
-                esc += self._pma.batch_insert(np.stack((ins_keys, ins_vals), axis=1))
+                ins_vals = xp.concatenate((ins[:, 2], ins[:, 2]))
+                esc += self._pma.batch_insert(xp.stack((ins_keys, ins_vals), axis=1))
         else:
             delete_keys: list[int] = []
             for u, v, _ in delta.deleted:
@@ -295,7 +300,7 @@ class GPMAGraph:
     # ------------------------------------------------------------------
     # rollback support (the store's transactional-commit path)
     # ------------------------------------------------------------------
-    def revert_runs(self, delete_runs: np.ndarray, insert_runs: np.ndarray) -> None:
+    def revert_runs(self, delete_runs: xp.ndarray, insert_runs: xp.ndarray) -> None:
         """Structurally undo an applied delta from its journaled key runs.
 
         ``insert_runs`` / ``delete_runs`` are the ``(2k, 2)`` directed
@@ -308,12 +313,12 @@ class GPMAGraph:
         """
         if len(insert_runs):
             if self.vectorized:
-                self._pma.batch_delete(np.asarray(insert_runs[:, 0], dtype=np.int64))
+                self._pma.batch_delete(xp.asarray(insert_runs[:, 0], dtype=xp.int64))
             else:
                 self._pma.batch_delete([int(k) for k in insert_runs[:, 0]])
         if len(delete_runs):
             if self.vectorized:
-                self._pma.batch_insert(np.asarray(delete_runs, dtype=np.int64))
+                self._pma.batch_insert(xp.asarray(delete_runs, dtype=xp.int64))
             else:
                 self._pma.batch_insert([(int(k), int(v)) for k, v in delete_runs])
         self._pma.opstats.reset()

@@ -38,7 +38,7 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-import numpy as np
+from repro import xp
 
 from repro.errors import PmaError
 
@@ -67,15 +67,15 @@ class PmaOpStats:
         self.segments_touched = 0
 
 
-def _slots_of(counts: np.ndarray, bases: np.ndarray) -> np.ndarray:
+def _slots_of(counts: xp.ndarray, bases: xp.ndarray) -> xp.ndarray:
     """Flat storage-slot index of every live element: segment base plus
     within-segment rank, in global key order."""
     total = int(counts.sum())
     if not total:
-        return np.empty(0, dtype=np.int64)
-    cum = np.cumsum(counts)
-    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
-    return np.repeat(bases, counts) + within
+        return xp.empty(0, dtype=xp.int64)
+    cum = xp.cumsum(counts)
+    within = xp.arange(total, dtype=xp.int64) - xp.repeat(cum - counts, counts)
+    return xp.repeat(bases, counts) + within
 
 
 class PMA:
@@ -100,7 +100,7 @@ class PMA:
         self.opstats = PmaOpStats()
         if self._vec:
             self._alloc_arrays(n_segs)
-            self._seg_first = np.full(n_segs, _NEG_INF, dtype=np.int64)
+            self._seg_first = xp.full(n_segs, _NEG_INF, dtype=xp.int64)
         else:
             self._segments: list[list[tuple[int, int]]] = [[] for _ in range(n_segs)]
             self._seg_first: list[int] = [_NEG_INF] * n_segs
@@ -109,10 +109,10 @@ class PMA:
         # one spare slot per segment absorbs the transient overflow a
         # batch escalation creates before its window rebalance lands
         stride = self._segment_size + 1
-        self._akeys = np.zeros(n_segs * stride, dtype=np.int64)
-        self._avals = np.zeros(n_segs * stride, dtype=np.int64)
-        self._acounts = np.zeros(n_segs, dtype=np.int64)
-        self._packed_cache: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._akeys = xp.zeros(n_segs * stride, dtype=xp.int64)
+        self._avals = xp.zeros(n_segs * stride, dtype=xp.int64)
+        self._acounts = xp.zeros(n_segs, dtype=xp.int64)
+        self._packed_cache: Optional[tuple[xp.ndarray, xp.ndarray, xp.ndarray]] = None
         self._last_spread: Optional[tuple[int, int]] = None
 
     @classmethod
@@ -121,8 +121,8 @@ class PMA:
         density (the initialization path: the data graph is loaded once,
         then evolves through batch updates)."""
         if vectorized:
-            arr = np.asarray(items, dtype=np.int64).reshape(-1, 2)
-            order = np.argsort(arr[:, 0], kind="stable")
+            arr = xp.asarray(items, dtype=xp.int64).reshape(-1, 2)
+            order = xp.argsort(arr[:, 0], kind="stable")
             keys, vals = arr[order, 0], arr[order, 1]
             dup = keys[1:] == keys[:-1]
             if dup.any():
@@ -148,41 +148,41 @@ class PMA:
         pma._refresh_first_range(0, n_segs)
         return pma
 
-    def _distribute_evenly(self, keys: np.ndarray, vals: np.ndarray) -> None:
+    def _distribute_evenly(self, keys: xp.ndarray, vals: xp.ndarray) -> None:
         """Spread sorted key/value arrays evenly over all segments (the
         bulk-load / resize layout: ``divmod`` base + one extra in the
         leading segments)."""
         n_segs = self.n_segments
         base, extra = divmod(len(keys), n_segs)
-        counts = np.full(n_segs, base, dtype=np.int64)
+        counts = xp.full(n_segs, base, dtype=xp.int64)
         counts[:extra] += 1
         self._acounts = counts
         self._scatter(keys, vals)
         self._n = int(len(keys))
         self._refresh_first_all()
 
-    def _scatter(self, keys: np.ndarray, vals: np.ndarray) -> None:
+    def _scatter(self, keys: xp.ndarray, vals: xp.ndarray) -> None:
         """Write globally sorted packed arrays into the per-segment
         left-packed storage slots given by the current counts."""
         stride = self._segment_size + 1
-        bases = np.arange(self.n_segments, dtype=np.int64) * stride
+        bases = xp.arange(self.n_segments, dtype=xp.int64) * stride
         slots = _slots_of(self._acounts, bases)
         self._akeys[slots] = keys
         self._avals[slots] = vals
-        offsets = np.empty(self.n_segments + 1, dtype=np.int64)
+        offsets = xp.empty(self.n_segments + 1, dtype=xp.int64)
         offsets[0] = 0
-        np.cumsum(self._acounts, out=offsets[1:])
+        xp.cumsum(self._acounts, out=offsets[1:])
         self._packed_cache = (keys, vals, offsets)
 
-    def _packed(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _packed(self) -> tuple[xp.ndarray, xp.ndarray, xp.ndarray]:
         """Globally sorted live ``(keys, values, segment offsets)``."""
         if self._packed_cache is None:
             stride = self._segment_size + 1
-            bases = np.arange(self.n_segments, dtype=np.int64) * stride
+            bases = xp.arange(self.n_segments, dtype=xp.int64) * stride
             slots = _slots_of(self._acounts, bases)
-            offsets = np.empty(self.n_segments + 1, dtype=np.int64)
+            offsets = xp.empty(self.n_segments + 1, dtype=xp.int64)
             offsets[0] = 0
-            np.cumsum(self._acounts, out=offsets[1:])
+            xp.cumsum(self._acounts, out=offsets[1:])
             self._packed_cache = (self._akeys[slots], self._avals[slots], offsets)
         return self._packed_cache
 
@@ -236,7 +236,7 @@ class PMA:
         """
         self.opstats.locates += 1
         if self._vec:
-            i = int(np.searchsorted(self._seg_first, key, side="right")) - 1
+            i = int(xp.searchsorted(self._seg_first, key, side="right")) - 1
             i = max(0, i)
             counts = self._acounts
             while i > 0 and not counts[i]:
@@ -248,16 +248,16 @@ class PMA:
             i -= 1
         return i
 
-    def _owners_bulk(self, keys: np.ndarray) -> np.ndarray:
+    def _owners_bulk(self, keys: xp.ndarray) -> xp.ndarray:
         """Vectorized :meth:`_locate_segment` (no stats: the callers
         charge locates at the same granularity as the scalar path)."""
-        idx = np.searchsorted(self._seg_first, keys, side="right") - 1
-        np.maximum(idx, 0, out=idx)
+        idx = xp.searchsorted(self._seg_first, keys, side="right") - 1
+        xp.maximum(idx, 0, out=idx)
         counts = self._acounts
-        ne = np.where(counts > 0, np.arange(len(counts), dtype=np.int64), -1)
-        np.maximum.accumulate(ne, out=ne)
+        ne = xp.where(counts > 0, xp.arange(len(counts), dtype=xp.int64), -1)
+        xp.maximum.accumulate(ne, out=ne)
         owners = ne[idx]
-        np.maximum(owners, 0, out=owners)
+        xp.maximum(owners, 0, out=owners)
         return owners
 
     def lookup(self, key: int) -> Optional[int]:
@@ -268,7 +268,7 @@ class PMA:
             base = seg_idx * stride
             cnt = int(self._acounts[seg_idx])
             kseg = self._akeys[base : base + cnt]
-            i = int(np.searchsorted(kseg, key))
+            i = int(xp.searchsorted(kseg, key))
             if i < cnt and kseg[i] == key:
                 return int(self._avals[base + i])
             return None
@@ -317,18 +317,18 @@ class PMA:
                 out.append((k, v))
         return out
 
-    def range_arrays(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
+    def range_arrays(self, lo: int, hi: int) -> tuple[xp.ndarray, xp.ndarray]:
         """Array view of :meth:`range_items` (vectorized storage only):
         ``(keys, values)`` with ``lo <= key < hi``, one binary search
         over the packed order."""
         if not self._vec:
             items = self.range_items(lo, hi)
-            arr = np.asarray(items, dtype=np.int64).reshape(-1, 2)
+            arr = xp.asarray(items, dtype=xp.int64).reshape(-1, 2)
             return arr[:, 0], arr[:, 1]
         self.opstats.locates += 1  # parity with the scalar range scan
         pk, pv, _ = self._packed()
-        a = int(np.searchsorted(pk, lo))
-        b = int(np.searchsorted(pk, hi))
+        a = int(xp.searchsorted(pk, lo))
+        b = int(xp.searchsorted(pk, hi))
         return pk[a:b], pv[a:b]
 
     # ------------------------------------------------------------------
@@ -368,7 +368,7 @@ class PMA:
         base = seg_idx * stride
         cnt = int(self._acounts[seg_idx])
         kseg = self._akeys[base : base + cnt]
-        i = int(np.searchsorted(kseg, key))
+        i = int(xp.searchsorted(kseg, key))
         if i < cnt and kseg[i] == key:
             raise PmaError(f"key {key} already present")
         if cnt + 1 <= self._segment_size:
@@ -410,7 +410,7 @@ class PMA:
         base = seg_idx * stride
         cnt = int(self._acounts[seg_idx])
         kseg = self._akeys[base : base + cnt]
-        i = int(np.searchsorted(kseg, key))
+        i = int(xp.searchsorted(kseg, key))
         if i >= cnt or kseg[i] != key:
             raise PmaError(f"key {key} not present")
         value = int(self._avals[base + i])
@@ -493,10 +493,10 @@ class PMA:
         return escalations
 
     def _batch_insert_vec(self, items) -> int:
-        arr = np.asarray(items, dtype=np.int64).reshape(-1, 2)
+        arr = xp.asarray(items, dtype=xp.int64).reshape(-1, 2)
         if not len(arr):
             return 0
-        order = np.argsort(arr[:, 0], kind="stable")
+        order = xp.argsort(arr[:, 0], kind="stable")
         pk, pv = arr[order, 0], arr[order, 1]
         dup = pk[1:] == pk[:-1]
         if dup.any():
@@ -519,17 +519,17 @@ class PMA:
                 all_owners[start:] = self._owners_bulk(pk[start:])
             rem_k, rem_v = pk[start:], pv[start:]
             owners = all_owners[start:]
-            change = np.flatnonzero(owners[1:] != owners[:-1]) + 1
-            g_starts = np.concatenate(([0], change))
-            g_ends = np.concatenate((change, [len(owners)]))
+            change = xp.flatnonzero(owners[1:] != owners[:-1]) + 1
+            g_starts = xp.concatenate(([0], change))
+            g_ends = xp.concatenate((change, [len(owners)]))
             g_seg = owners[g_starts]
             g_size = g_ends - g_starts
             room = self._segment_size - self._acounts[g_seg]
             # a group is deferred to its own escalation pass when it
             # overflows its leaf or when the root bound trips first
-            n_before = self._n + np.concatenate(([0], np.cumsum(g_size)[:-1]))
+            n_before = self._n + xp.concatenate(([0], xp.cumsum(g_size)[:-1]))
             blocked = (g_size > room) | (n_before + 1 > tau_root * self._capacity)
-            nb = np.flatnonzero(blocked)
+            nb = xp.flatnonzero(blocked)
             k = int(nb[0]) if len(nb) else len(g_seg)
             if k > 0:
                 upto = int(g_ends[k - 1])
@@ -568,10 +568,10 @@ class PMA:
 
     def _bulk_merge(
         self,
-        keys: np.ndarray,
-        vals: np.ndarray,
-        g_seg: np.ndarray,
-        g_size: np.ndarray,
+        keys: xp.ndarray,
+        vals: xp.ndarray,
+        g_seg: xp.ndarray,
+        g_size: xp.ndarray,
     ) -> None:
         """Merge a run of whole groups, each fitting its segment, in one
         sorted-merge: stats match the scalar per-item inserts exactly.
@@ -588,27 +588,27 @@ class PMA:
         slots_t = _slots_of(counts_t, bases_t)
         tk = self._akeys[slots_t]
         tv = self._avals[slots_t]
-        t_offsets = np.empty(len(g_seg) + 1, dtype=np.int64)
+        t_offsets = xp.empty(len(g_seg) + 1, dtype=xp.int64)
         t_offsets[0] = 0
-        np.cumsum(counts_t, out=t_offsets[1:])
+        xp.cumsum(counts_t, out=t_offsets[1:])
         n_old = len(tk)
-        pos = np.searchsorted(tk, keys)
+        pos = xp.searchsorted(tk, keys)
         if n_old:
-            pc = np.minimum(pos, n_old - 1)
+            pc = xp.minimum(pos, n_old - 1)
             present = (tk[pc] == keys) & (pos < n_old)
             if present.any():
-                raise PmaError(f"key {int(keys[np.flatnonzero(present)[0]])} already present")
+                raise PmaError(f"key {int(keys[xp.flatnonzero(present)[0]])} already present")
         # scalar inserts a group's items smallest-first: the t-th item
         # lands at within-segment position p_t + t of a segment holding
         # L + t elements, so its move cost is (L + t + 1) - (p_t + t)
-        gidx = np.repeat(np.arange(len(g_seg), dtype=np.int64), g_size)
+        gidx = xp.repeat(xp.arange(len(g_seg), dtype=xp.int64), g_size)
         within = pos - t_offsets[gidx]
-        self.opstats.element_moves += int(np.sum(counts_t[gidx] + 1 - within))
+        self.opstats.element_moves += int(xp.sum(counts_t[gidx] + 1 - within))
         total = n_old + len(keys)
-        dst_new = pos + np.arange(len(keys), dtype=np.int64)
-        mk = np.empty(total, dtype=np.int64)
-        mv = np.empty(total, dtype=np.int64)
-        old_mask = np.ones(total, dtype=bool)
+        dst_new = pos + xp.arange(len(keys), dtype=xp.int64)
+        mk = xp.empty(total, dtype=xp.int64)
+        mv = xp.empty(total, dtype=xp.int64)
+        old_mask = xp.ones(total, dtype=bool)
         old_mask[dst_new] = False
         mk[dst_new] = keys
         mv[dst_new] = vals
@@ -623,7 +623,7 @@ class PMA:
         self._n += int(len(keys))
         self._refresh_first_all()
 
-    def _seg_insert_unpriced(self, seg_idx: int, keys: np.ndarray, vals: np.ndarray) -> None:
+    def _seg_insert_unpriced(self, seg_idx: int, keys: xp.ndarray, vals: xp.ndarray) -> None:
         """Merge ``keys`` into one segment without move accounting (the
         scalar escalation path prices the subsequent rebalance instead).
         May overflow into the segment's spare slot."""
@@ -632,17 +632,17 @@ class PMA:
         cnt = int(self._acounts[seg_idx])
         kseg = self._akeys[base : base + cnt].copy()
         vseg = self._avals[base : base + cnt].copy()
-        pos = np.searchsorted(kseg, keys)
+        pos = xp.searchsorted(kseg, keys)
         if cnt:
-            pc = np.minimum(pos, cnt - 1)
+            pc = xp.minimum(pos, cnt - 1)
             present = (kseg[pc] == keys) & (pos < cnt)
             if present.any():
-                raise PmaError(f"key {int(keys[np.flatnonzero(present)[0]])} already present")
+                raise PmaError(f"key {int(keys[xp.flatnonzero(present)[0]])} already present")
         total = cnt + len(keys)
-        dst_new = pos + np.arange(len(keys), dtype=np.int64)
-        mk = np.empty(total, dtype=np.int64)
-        mv = np.empty(total, dtype=np.int64)
-        old_mask = np.ones(total, dtype=bool)
+        dst_new = pos + xp.arange(len(keys), dtype=xp.int64)
+        mk = xp.empty(total, dtype=xp.int64)
+        mv = xp.empty(total, dtype=xp.int64)
+        old_mask = xp.ones(total, dtype=bool)
         old_mask[dst_new] = False
         mk[dst_new] = keys
         mv[dst_new] = vals
@@ -665,10 +665,10 @@ class PMA:
         return escalations
 
     def _batch_delete_vec(self, keys) -> int:
-        arr = np.asarray(list(keys) if not isinstance(keys, np.ndarray) else keys, dtype=np.int64)
+        arr = xp.asarray(list(keys) if not isinstance(keys, xp.ndarray) else keys, dtype=xp.int64)
         if not arr.size:
             return 0
-        desc = np.sort(arr)[::-1]
+        desc = xp.sort(arr)[::-1]
         # a present key's owner is the segment physically holding it, so
         # owners survive across runs: deletes never move elements between
         # segments, and only a spread window / resize invalidates them
@@ -678,9 +678,9 @@ class PMA:
         while start < len(desc):
             rem = desc[start:]
             owners = all_owners[start:]
-            change = np.flatnonzero(owners[1:] != owners[:-1]) + 1
-            g_starts = np.concatenate(([0], change))
-            g_ends = np.concatenate((change, [len(owners)]))
+            change = xp.flatnonzero(owners[1:] != owners[:-1]) + 1
+            g_starts = xp.concatenate(([0], change))
+            g_ends = xp.concatenate((change, [len(owners)]))
             g_seg = owners[g_starts]
             g_size = g_ends - g_starts
             counts = self._acounts[g_seg]
@@ -689,9 +689,9 @@ class PMA:
             # delete; until then the scalar path never rebalances
             thr = (self._segment_size // 4) if self.height else 0
             d_trig = counts - thr + 1
-            np.maximum(d_trig, 1, out=d_trig)
+            xp.maximum(d_trig, 1, out=d_trig)
             trig = g_size >= d_trig
-            nb = np.flatnonzero(trig)
+            nb = xp.flatnonzero(trig)
             if len(nb):
                 g = int(nb[0])
                 n_del = (int(g_ends[g - 1]) if g else 0) + int(d_trig[g])
@@ -725,7 +725,7 @@ class PMA:
         return escalations
 
     def _bulk_remove(
-        self, sel_desc: np.ndarray, owners_desc: np.ndarray, refresh: bool = True
+        self, sel_desc: xp.ndarray, owners_desc: xp.ndarray, refresh: bool = True
     ) -> None:
         """Delete a descending run of present keys, none of which
         underflows its segment except possibly the last; stats match
@@ -736,9 +736,9 @@ class PMA:
         asc = sel_desc[::-1]
         own_asc = owners_desc[::-1]
         # group boundaries along the ascending run (owners ascending)
-        g_change = np.flatnonzero(own_asc[1:] != own_asc[:-1]) + 1
-        g_starts = np.concatenate(([0], g_change))
-        g_sizes = np.concatenate((g_change, [len(asc)])) - g_starts
+        g_change = xp.flatnonzero(own_asc[1:] != own_asc[:-1]) + 1
+        g_starts = xp.concatenate(([0], g_change))
+        g_sizes = xp.concatenate((g_change, [len(asc)])) - g_starts
         t_seg = own_asc[g_starts]
         stride = self._segment_size + 1
         counts_t = self._acounts[t_seg]
@@ -746,36 +746,36 @@ class PMA:
         slots_t = _slots_of(counts_t, bases_t)
         tk = self._akeys[slots_t]
         tv = self._avals[slots_t]
-        t_offsets = np.empty(len(t_seg) + 1, dtype=np.int64)
+        t_offsets = xp.empty(len(t_seg) + 1, dtype=xp.int64)
         t_offsets[0] = 0
-        np.cumsum(counts_t, out=t_offsets[1:])
+        xp.cumsum(counts_t, out=t_offsets[1:])
         n_old = len(tk)
-        pos = np.searchsorted(tk, asc)
-        pc = np.minimum(pos, max(n_old - 1, 0))
-        found = (pos < n_old) & (tk[pc] == asc) if n_old else np.zeros(len(asc), dtype=bool)
+        pos = xp.searchsorted(tk, asc)
+        pc = xp.minimum(pos, max(n_old - 1, 0))
+        found = (pos < n_old) & (tk[pc] == asc) if n_old else xp.zeros(len(asc), dtype=bool)
         # a repeated key in the batch is deleted once, then missing: mark
         # the earlier ascending twin (the later delete in descending
         # processing order) as not found
-        dup_prev = np.zeros(len(asc), dtype=bool)
+        dup_prev = xp.zeros(len(asc), dtype=bool)
         dup_prev[:-1] = asc[:-1] == asc[1:]
         problem = ~found | dup_prev
         if problem.any():
             # the scalar loop raises at the first problem in descending
             # order == the last problem in ascending order
-            bad = int(np.flatnonzero(problem)[-1])
+            bad = int(xp.flatnonzero(problem)[-1])
             raise PmaError(f"key {int(asc[bad])} not present")
         self.opstats.locates += len(asc)
         # scalar deletes a segment's keys largest-first: the t-th delete
         # pops position q_t of a segment holding L - t elements, costing
         # (L - 1 - t) - q_t moves; summed per group that is
         # d(L-1) - d(d-1)/2 - sum(positions)
-        gidx = np.repeat(np.arange(len(t_seg), dtype=np.int64), g_sizes)
+        gidx = xp.repeat(xp.arange(len(t_seg), dtype=xp.int64), g_sizes)
         within = pos - t_offsets[gidx]
         L = counts_t[gidx]
         self.opstats.element_moves += int(
-            np.sum(L - 1) - int(np.sum(g_sizes * (g_sizes - 1) // 2)) - int(np.sum(within))
+            xp.sum(L - 1) - int(xp.sum(g_sizes * (g_sizes - 1) // 2)) - int(xp.sum(within))
         )
-        keep = np.ones(n_old, dtype=bool)
+        keep = xp.ones(n_old, dtype=bool)
         keep[pos] = False
         new_counts_t = counts_t - g_sizes
         self._acounts[t_seg] = new_counts_t
@@ -840,13 +840,13 @@ class PMA:
         n_segs = end - start
         if self._vec:
             stride = self._segment_size + 1
-            bases = np.arange(start, end, dtype=np.int64) * stride
+            bases = xp.arange(start, end, dtype=xp.int64) * stride
             counts = self._acounts[start:end]
             slots = _slots_of(counts, bases)
             ek = self._akeys[slots]
             ev = self._avals[slots]
             base_cnt, extra = divmod(len(ek), n_segs)
-            new_counts = np.full(n_segs, base_cnt, dtype=np.int64)
+            new_counts = xp.full(n_segs, base_cnt, dtype=xp.int64)
             new_counts[:extra] += 1
             self._acounts[start:end] = new_counts
             nslots = _slots_of(new_counts, bases)
@@ -893,7 +893,7 @@ class PMA:
             n_segs = self._capacity // self._segment_size
             self._height = max(0, (n_segs - 1).bit_length())
             self._alloc_arrays(n_segs)
-            self._seg_first = np.full(n_segs, _NEG_INF, dtype=np.int64)
+            self._seg_first = xp.full(n_segs, _NEG_INF, dtype=xp.int64)
             self._distribute_evenly(pk, pv)
             self.opstats.element_moves += len(pk)
             return
@@ -924,11 +924,11 @@ class PMA:
         running maximum over ``NEG_INF``-masked segment heads."""
         stride = self._segment_size + 1
         n_segs = self.n_segments
-        firsts = np.full(n_segs, _NEG_INF, dtype=np.int64)
+        firsts = xp.full(n_segs, _NEG_INF, dtype=xp.int64)
         nonempty = self._acounts > 0
-        heads = np.arange(n_segs, dtype=np.int64) * stride
+        heads = xp.arange(n_segs, dtype=xp.int64) * stride
         firsts[nonempty] = self._akeys[heads[nonempty]]
-        np.maximum.accumulate(firsts, out=firsts)
+        xp.maximum.accumulate(firsts, out=firsts)
         self._seg_first = firsts
 
     def _refresh_first_range(self, start: int, end: int) -> None:
@@ -979,17 +979,17 @@ class PMA:
 
     def _check_invariants_vec(self) -> None:
         counts = self._acounts
-        over = np.flatnonzero((counts > self._segment_size) | (counts < 0))
+        over = xp.flatnonzero((counts > self._segment_size) | (counts < 0))
         if len(over):
             s = int(over[0])
             raise PmaError(
                 f"segment {s} overflows: {int(counts[s])} > {self._segment_size}"
             )
         pk, _, offsets = self._packed()
-        bad = np.flatnonzero(np.diff(pk) <= 0)
+        bad = xp.flatnonzero(xp.diff(pk) <= 0)
         if len(bad):
             i = int(bad[0]) + 1
-            s = int(np.searchsorted(offsets, i, side="right")) - 1
+            s = int(xp.searchsorted(offsets, i, side="right")) - 1
             raise PmaError(
                 f"key order violated at segment {s}: {int(pk[i])} <= {int(pk[i - 1])}"
             )
@@ -999,12 +999,12 @@ class PMA:
             raise PmaError("capacity != n_segments * segment_size")
         stride = self._segment_size + 1
         n_segs = self.n_segments
-        expect = np.full(n_segs, _NEG_INF, dtype=np.int64)
+        expect = xp.full(n_segs, _NEG_INF, dtype=xp.int64)
         nonempty = counts > 0
-        heads = np.arange(n_segs, dtype=np.int64) * stride
+        heads = xp.arange(n_segs, dtype=xp.int64) * stride
         expect[nonempty] = self._akeys[heads[nonempty]]
-        np.maximum.accumulate(expect, out=expect)
-        diff = np.flatnonzero(np.asarray(self._seg_first) != expect)
+        xp.maximum.accumulate(expect, out=expect)
+        diff = xp.flatnonzero(xp.asarray(self._seg_first) != expect)
         if len(diff):
             s = int(diff[0])
             raise PmaError(

@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro import xp
 from repro.pma.pma import PMA
 
 
@@ -37,10 +36,10 @@ class SegmentIndex:
 
     def __init__(self, pma: PMA, cached_levels: int = 3) -> None:
         self.cached_levels = cached_levels
-        firsts = np.asarray(pma._seg_first, dtype=np.int64)
+        firsts = xp.asarray(pma._seg_first, dtype=xp.int64)
         # each level is a stride view of the leaves: window minima are
         # the first keys of every 2^level-th segment (no copies)
-        self.levels: list[np.ndarray] = [firsts]
+        self.levels: list[xp.ndarray] = [firsts]
         while len(self.levels[-1]) > 1:
             self.levels.append(self.levels[-1][::2])
         self.height = len(self.levels) - 1
@@ -73,7 +72,7 @@ class SegmentIndex:
     def locate_leaf(self, key: int) -> int:
         return self.locate(key)[0]
 
-    def locate_bulk(self, keys) -> tuple[np.ndarray, LocateCost]:
+    def locate_bulk(self, keys) -> tuple[xp.ndarray, LocateCost]:
         """Vectorized :meth:`locate` over many keys.
 
         The walk's leaf is exactly the rightmost segment whose
@@ -83,10 +82,10 @@ class SegmentIndex:
         of them shared. Returns the leaf array plus the *summed* cost,
         identical to accumulating per-key :meth:`locate` calls.
         """
-        arr = np.asarray(keys, dtype=np.int64)
-        firsts = np.asarray(self.levels[0], dtype=np.int64)
-        leaves = np.searchsorted(firsts, arr, side="right") - 1
-        np.maximum(leaves, 0, out=leaves)
+        arr = xp.asarray(keys, dtype=xp.int64)
+        firsts = xp.asarray(self.levels[0], dtype=xp.int64)
+        leaves = xp.searchsorted(firsts, arr, side="right") - 1
+        xp.maximum(leaves, 0, out=leaves)
         shared_per = min(self.cached_levels, self.height)
         global_per = self.height - shared_per
         return leaves, LocateCost(shared_per * len(arr), global_per * len(arr))

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import xp
 from repro.bench.cost import CostModel, DEFAULT_COST_MODEL
 from repro.errors import (
     GraphError,
@@ -376,6 +377,8 @@ class MatchingService:
                 continue
             try:
                 self._runtimes[name].observe_commit(commit)
+            except xp.ScalarEscapeError:
+                raise
             except Exception as err:  # noqa: BLE001 — isolation boundary
                 self._trip(name, batch_index, err, health, failed)
 
@@ -443,7 +446,7 @@ class MatchingService:
         for _ in range(self.policy.store_retries + 1):
             try:
                 return call(), None
-            except (UpdateError, GraphError):
+            except (UpdateError, GraphError, xp.ScalarEscapeError):
                 raise
             except Exception as err:  # noqa: BLE001 — isolation boundary
                 last = err
@@ -456,6 +459,10 @@ class MatchingService:
         runtime = self._runtimes[name]
         try:
             return runtime.launch(edges)
+        except xp.ScalarEscapeError:
+            # a strict-backend escape is a kernel bug, not a fault —
+            # quarantining it would hide the diagnostic
+            raise
         except Exception as err:  # noqa: BLE001 — isolation boundary
             if self.policy.degrade_to_scalar and runtime.config.vectorized:
                 try:

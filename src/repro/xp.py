@@ -1,0 +1,332 @@
+"""Pluggable array backend (``xp``) for the kernel-facing modules.
+
+The level-stepped DFS cursors, candidate masks, PMA merges, and trace
+pricing are pure array programs — searchsorted, cumsum, bincount,
+lexsort, boolean masking, segmented gathers, packed-uint64 bit ops.
+This module is the one place they obtain those primitives: kernel code
+writes ``from repro import xp`` and calls ``xp.searchsorted(...)``,
+and the active *backend* decides what executes. Swapping numpy for a
+device library (cupy, torch) is then a single registry entry instead
+of an ~18-module rewrite, which is what turns the virtual-GPU cost
+model into a calibration target for real hardware.
+
+Backends
+--------
+``numpy`` (default)
+    Injects numpy's **own function objects** into this module's
+    namespace — ``xp.searchsorted is numpy.searchsorted`` — so dispatch
+    costs exactly one module-attribute lookup, the same as
+    ``np.searchsorted``. Zero indirection by construction.
+
+``strict_numpy`` (test backend)
+    Deliberately hostile: every array it produces is a
+    :class:`StrictArray`, an ndarray subclass that raises
+    :class:`ScalarEscapeError` on the *implicit* host-transfer surface
+    — ``.item()``, ``.tolist()``, ``float(...)``, and iteration. On a
+    real device each of those is a hidden device→host copy (and a
+    stream synchronization); the strict backend forces them out of the
+    kernels. Per-element indexing (``arr[i]`` with a scalar index) and
+    ``int(...)``/``bool(...)`` of 0-d results stay permitted: the
+    virtual-GPU model treats those as lane-local register reads and
+    host control flow, which even device-resident kernels need.
+
+Sanctioned escapes
+------------------
+Host transfers that are *intentional* (stats finalization, returning
+matches to the caller) go through exactly two greppable chokepoints:
+
+* ``xp.to_scalar(x)`` — one scalar to a Python ``int``/``float``;
+* ``xp.to_numpy(a)`` — one bulk materialization to a plain
+  ``numpy.ndarray`` (zero-copy demotion under the numpy backends).
+
+Selection
+---------
+The ``REPRO_ARRAY_BACKEND`` environment variable picks the backend at
+import time (default ``numpy``); :func:`set_backend` /
+:func:`use_backend` switch it at runtime (already-imported kernel
+modules follow, because they read attributes off this module on every
+call). :func:`register_backend` adds a new one::
+
+    from repro import xp
+    xp.register_backend(xp.Backend("cupy", exports=vars(cupy), ...))
+    xp.set_backend("cupy")
+
+Any new backend must pass ``tests/test_backend_conformance.py`` — the
+primitive-level contract (adversarial empty/single-element/overflow/
+duplicate inputs) every backend is held to against the numpy reference.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import sys
+from contextlib import contextmanager
+from typing import Any, Callable
+
+import numpy as _np
+
+
+class ScalarEscapeError(TypeError):
+    """An implicit device→host scalar escape the strict backend bans.
+
+    Use ``xp.to_scalar(x)`` (one scalar) or ``xp.to_numpy(a)`` (bulk)
+    to make the transfer explicit.
+    """
+
+
+class StrictArray(_np.ndarray):
+    """ndarray subclass rejecting implicit host scalar escapes.
+
+    Produced by the ``strict_numpy`` backend. Ufuncs and reductions
+    propagate the subclass; the backend's wrapped routines re-promote
+    results that numpy returns as base-class arrays.
+    """
+
+    __slots__ = ()
+
+    def _escape(self, what: str) -> "ScalarEscapeError":
+        return ScalarEscapeError(
+            f"implicit host escape via {what} on a device array; use "
+            f"xp.to_scalar() for one scalar or xp.to_numpy() for a bulk "
+            f"transfer"
+        )
+
+    def item(self, *args):  # noqa: D102 - banned escape
+        raise self._escape(".item()")
+
+    def tolist(self):  # noqa: D102 - banned escape
+        raise self._escape(".tolist()")
+
+    def __float__(self):
+        raise self._escape("float()")
+
+    def __complex__(self):
+        raise self._escape("complex()")
+
+    def __iter__(self):
+        raise self._escape("iteration")
+
+
+def _promote(result: Any) -> Any:
+    """View ndarray results as :class:`StrictArray` (recursively through
+    the tuple/list results of ``nonzero``, ``unique`` & co.)."""
+    if isinstance(result, StrictArray):
+        return result
+    if isinstance(result, _np.ndarray):
+        return result.view(StrictArray)
+    if isinstance(result, tuple):
+        return tuple(_promote(r) for r in result)
+    if isinstance(result, list):
+        return [_promote(r) for r in result]
+    return result
+
+
+def _wrap_routine(fn: Callable) -> Callable:
+    @functools.wraps(fn)
+    def wrapped(*args, **kwargs):
+        return _promote(fn(*args, **kwargs))
+
+    return wrapped
+
+
+class _WrappedUfunc:
+    """A ufunc whose call *and* methods (``accumulate``, ``reduce``,
+    ``reduceat``, ``outer``, ``at``) promote results to StrictArray."""
+
+    __slots__ = ("_ufunc",)
+
+    def __init__(self, ufunc: _np.ufunc) -> None:
+        object.__setattr__(self, "_ufunc", ufunc)
+
+    def __call__(self, *args, **kwargs):
+        return _promote(self._ufunc(*args, **kwargs))
+
+    def __getattr__(self, name: str):
+        attr = getattr(self._ufunc, name)
+        if callable(attr):
+            return _wrap_routine(attr)
+        return attr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<strict {self._ufunc!r}>"
+
+
+def _np_to_scalar(x: Any) -> Any:
+    """numpy-backend ``to_scalar``: one array scalar to a Python scalar."""
+    if isinstance(x, _np.ndarray):
+        # bypass subclass overrides: the chokepoint is the sanctioned path
+        return _np.ndarray.item(x)
+    if isinstance(x, _np.generic):
+        return x.item()
+    return x
+
+
+def _np_to_numpy(x: Any) -> _np.ndarray:
+    """numpy-backend ``to_numpy``: demote to a base-class ndarray
+    (zero-copy view for StrictArray inputs)."""
+    return _np.asarray(x)
+
+
+class Backend:
+    """One registered array backend.
+
+    ``exports`` is the eagerly-injected namespace (name → object); any
+    name not exported is resolved lazily through ``resolve`` and cached.
+    For the numpy backend ``exports`` is numpy's own public namespace,
+    so every ``xp.<name>`` *is* the corresponding ``numpy.<name>``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        exports: "dict[str, Any] | None" = None,
+        resolve: "Callable[[str], Any] | None" = None,
+        to_scalar: Callable[[Any], Any] = _np_to_scalar,
+        to_numpy: Callable[[Any], _np.ndarray] = _np_to_numpy,
+    ) -> None:
+        self.name = name
+        self._exports = dict(exports) if exports else {}
+        self._resolve = resolve
+        self.to_scalar = to_scalar
+        self.to_numpy = to_numpy
+
+    def exports(self) -> "dict[str, Any]":
+        return dict(self._exports)
+
+    def resolve(self, name: str) -> Any:
+        if self._resolve is None:
+            raise AttributeError(name)
+        return self._resolve(name)
+
+
+def _numpy_exports() -> "dict[str, Any]":
+    return {k: v for k, v in vars(_np).items() if not k.startswith("_")}
+
+
+def _strict_resolve(name: str) -> Any:
+    value = getattr(_np, name)
+    if isinstance(value, _np.ufunc):
+        return _WrappedUfunc(value)
+    if isinstance(value, type):
+        # classes and dtype constructors pass through untouched so
+        # isinstance checks and dtype identity keep working
+        return value
+    if callable(value):
+        return _wrap_routine(value)
+    return value
+
+
+def _strict_to_scalar(x: Any) -> Any:
+    if isinstance(x, _np.ndarray):
+        return _np.ndarray.item(_np.asarray(x))
+    if isinstance(x, _np.generic):
+        return x.item()
+    return x
+
+
+_REGISTRY: "dict[str, Backend]" = {}
+_active: "Backend | None" = None
+_injected: "set[str]" = set()
+
+
+def register_backend(backend: Backend, *, overwrite: bool = False) -> Backend:
+    """Add ``backend`` to the registry (does not activate it)."""
+    if backend.name in _REGISTRY and not overwrite:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> "tuple[str, ...]":
+    """Registered backend names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: "str | None" = None) -> Backend:
+    """The active backend, or the registered backend called ``name``."""
+    if name is None:
+        assert _active is not None
+        return _active
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {name!r}; registered: {available_backends()}"
+        ) from None
+
+
+def set_backend(name: str) -> Backend:
+    """Activate a registered backend; rebinds this module's namespace
+    so already-imported kernel modules switch on their next call."""
+    backend = get_backend(name)
+    module_dict = sys.modules[__name__].__dict__
+    for stale in _injected:
+        module_dict.pop(stale, None)
+    _injected.clear()
+    exports = backend.exports()
+    exports["to_scalar"] = backend.to_scalar
+    exports["to_numpy"] = backend.to_numpy
+    exports["backend_name"] = backend.name
+    for protected in _PROTECTED:
+        exports.pop(protected, None)
+    module_dict.update(exports)
+    _injected.update(exports)
+    globals()["_active"] = backend
+    return backend
+
+
+@contextmanager
+def use_backend(name: str):
+    """Context manager: activate ``name``, restore the previous backend
+    on exit (test fixture surface)."""
+    previous = get_backend().name
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)
+
+
+def __getattr__(name: str):
+    """Lazy fallback: resolve long-tail names through the active
+    backend and cache them at module speed."""
+    if name.startswith("__") or _active is None:
+        raise AttributeError(name)
+    try:
+        value = _active.resolve(name)
+    except AttributeError:
+        raise AttributeError(
+            f"array backend {_active.name!r} has no attribute {name!r}"
+        ) from None
+    module_dict = sys.modules[__name__].__dict__
+    module_dict[name] = value
+    _injected.add(name)
+    return value
+
+
+#: module API names a backend's exports may never shadow
+_PROTECTED = frozenset(
+    {
+        "Backend",
+        "ScalarEscapeError",
+        "StrictArray",
+        "available_backends",
+        "get_backend",
+        "register_backend",
+        "set_backend",
+        "use_backend",
+    }
+)
+
+register_backend(Backend("numpy", exports=_numpy_exports(), resolve=lambda n: getattr(_np, n)))
+register_backend(
+    Backend(
+        "strict_numpy",
+        resolve=_strict_resolve,
+        to_scalar=_strict_to_scalar,
+        to_numpy=_np_to_numpy,
+    )
+)
+set_backend(os.environ.get("REPRO_ARRAY_BACKEND", "numpy"))

@@ -2,12 +2,43 @@
 
 Ensures ``src`` is importable even when the editable install is absent
 (the offline environment lacks ``wheel``, so a ``.pth`` shim or this
-fallback stands in for ``pip install -e .``).
+fallback stands in for ``pip install -e .``), and hosts the array
+backend matrix fixture: tests marked ``backend_matrix`` re-run once
+per registered ``repro.xp`` backend, but only when the
+``REPRO_BACKEND_MATRIX`` environment variable opts in (the CI matrix
+leg) so the default tier-1 run stays single-backend and bounded.
 """
 
+import os
 import sys
 from pathlib import Path
+
+import pytest
 
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+from repro import xp  # noqa: E402 — after the src path shim
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_BACKEND_MATRIX"):
+        return
+    skip = pytest.mark.skip(
+        reason="backend matrix leg; set REPRO_BACKEND_MATRIX=1 to run"
+    )
+    for item in items:
+        if "backend_matrix" in item.keywords:
+            item.add_marker(skip)
+
+
+@pytest.fixture(params=xp.available_backends())
+def backend(request):
+    """Activate each registered array backend for one test run.
+
+    Combine with ``@pytest.mark.backend_matrix`` for whole-workload
+    legs; the primitive conformance suite uses it unconditionally.
+    """
+    with xp.use_backend(request.param) as b:
+        yield b

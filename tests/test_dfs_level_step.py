@@ -28,6 +28,7 @@ import numpy as np
 import pytest
 
 from kernel_baseline_workloads import PARAMS, WORKLOADS, run_workload
+from repro import xp
 from repro.errors import BudgetExceeded, ConfigMismatchError
 from repro.graph.generators import attach_labels, power_law_graph
 from repro.graph.labeled_graph import LabeledGraph
@@ -408,6 +409,51 @@ class TestFusedGenLockstep:
 
 
 # ---------------------------------------------------------------------------
+# array backend matrix: the same lockstep + golden contracts per backend
+# ---------------------------------------------------------------------------
+@pytest.mark.backend_matrix
+class TestBackendMatrix:
+    """Re-run the flag-with-oracle contracts under every registered
+    ``repro.xp`` backend (opt-in via ``REPRO_BACKEND_MATRIX=1``).
+
+    The ``strict_numpy`` leg is the refactor's proof obligation: the
+    kernels run end to end with every implicit host scalar escape
+    banned, and the stats still match the frozen numpy goldens byte
+    for byte — so a device backend that honors the conformance
+    contract cannot silently change the modeled numbers either.
+    """
+
+    @pytest.mark.parametrize("stealing", ["active", "off"])
+    def test_lockstep_all_arms(self, backend, stealing):
+        g0, batches = mixed_stream(4)
+        cursor = run_stream(g0, CHORD_Q, batches, stealing=stealing)
+        gen = run_stream(
+            g0, CHORD_Q, batches, stealing=stealing, level_step=False
+        )
+        oracle = run_stream(
+            g0,
+            CHORD_Q,
+            batches,
+            stealing=stealing,
+            vectorized=False,
+            level_step=False,
+        )
+        assert cursor == gen == oracle
+
+    def test_fused_unfused_lockstep(self, backend):
+        g0, q, batches = hub_heavy_workload()
+        fused = run_stream(g0, q, batches, config_extra={"fused_gen": True})
+        unfused = run_stream(g0, q, batches, config_extra={"fused_gen": False})
+        assert fused == unfused
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_frozen_baseline_per_backend(self, backend, name):
+        base = json.loads((DATA / f"baseline_kernel_{name}.json").read_text())
+        record = run_workload(name, vectorized=True, level_step=True)
+        assert json.loads(json.dumps(record)) == base["record"]
+
+
+# ---------------------------------------------------------------------------
 # golden-stats regression: frozen fixed-seed serving workloads
 # ---------------------------------------------------------------------------
 class TestKernelGoldenStats:
@@ -472,7 +518,7 @@ class TestFrameStack:
         assign = np.array([4, 8, -1, -1], dtype=np.int64)
         loot = fs.steal_shallowest(order, assign)
         assert loot["level"] == 2
-        assert loot["cands"].tolist() == [30, 40]  # back half of frame 0
+        assert xp.to_numpy(loot["cands"]).tolist() == [30, 40]  # back half of frame 0
         assert loot["assign"] == {0: 4, 1: 8}
         assert int(fs.end[0] - fs.start[0]) == 2  # victim sees the cut
         assert fs.remaining() == 4  # 2 left shallow + 2 deep
@@ -496,8 +542,8 @@ class TestInt64Arena:
         arena = Int64Arena(capacity=2)
         a = arena.push([1, 2])
         b = arena.push(list(range(100)))
-        assert arena.view(*a).tolist() == [1, 2]
-        assert arena.view(*b).tolist() == list(range(100))
+        assert xp.to_numpy(arena.view(*a)).tolist() == [1, 2]
+        assert xp.to_numpy(arena.view(*b)).tolist() == list(range(100))
         assert len(arena.buf) >= 102
 
     def test_truncate_is_lifo(self):
@@ -506,7 +552,7 @@ class TestInt64Arena:
         arena.push([9])
         arena.truncate(e0)
         assert arena.top == e0
-        assert arena.view(s0, e0).tolist() == [7, 8]
+        assert xp.to_numpy(arena.view(s0, e0)).tolist() == [7, 8]
 
 
 # ---------------------------------------------------------------------------

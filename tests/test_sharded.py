@@ -614,3 +614,131 @@ class TestChaos:
                     assert svc.matches(name) == find_matches(q, shadow), name
         finally:
             svc.close()
+
+
+# ---------------------------------------------------------------------------
+# PR-8 test gap: AttachedSnapshot unlink ordering under mid-batch faults
+# ---------------------------------------------------------------------------
+class TestSnapshotUnlinkOrdering:
+    """The parent retires the previous batch's shared segment only at
+    the very end of ``process_batch`` — after reply collection, any
+    mid-batch respawn (which re-attaches the *current* handle), and any
+    degrade-to-in-process transition. These spies pin that ordering:
+    no unlink ever targets the live handle, the live handle stays
+    attachable at every unlink point, and every published segment is
+    unlinked exactly once by ``close()``.
+    """
+
+    def _install_spies(self, monkeypatch):
+        import repro.service.sharded as sharded_mod
+
+        state = {
+            "published": [],
+            "unlinked": [],
+            "svc": None,
+            "in_batch": False,
+        }
+        real_publish = sharded_mod.publish_snapshot
+        real_unlink = sharded_mod.unlink_snapshot
+
+        def spy_publish(arrays, version):
+            handle = real_publish(arrays, version=version)
+            state["published"].append(handle.shm_name)
+            return handle
+
+        def spy_unlink(handle):
+            svc = state["svc"]
+            if state["in_batch"] and svc is not None:
+                live = svc._handle
+                # never the currently-published segment: a respawned
+                # worker or a late reply may still need to attach it
+                assert handle.shm_name != live.shm_name
+                attached = AttachedSnapshot(live)
+                try:
+                    assert attached.version == live.version
+                finally:
+                    attached.close()
+            # never the same segment twice
+            assert handle.shm_name not in state["unlinked"]
+            state["unlinked"].append(handle.shm_name)
+            real_unlink(handle)
+
+        monkeypatch.setattr(sharded_mod, "publish_snapshot", spy_publish)
+        monkeypatch.setattr(sharded_mod, "unlink_snapshot", spy_unlink)
+        return state
+
+    def _run_with_spies(self, g, batches, plan, shard_policy, monkeypatch):
+        state = self._install_spies(monkeypatch)
+        svc = make_sharded(g, faults=plan, shard_policy=shard_policy)
+        state["svc"] = svc
+        try:
+            reports = []
+            for batch in batches:
+                state["in_batch"] = True
+                try:
+                    reports.append(svc.process_batch(batch))
+                finally:
+                    state["in_batch"] = False
+            finals = {}
+            for name, _ in QUERIES:
+                try:
+                    finals[name] = svc.matches(name)
+                except QueryQuarantinedError as err:
+                    finals[name] = err
+        finally:
+            svc.close()
+        return state, reports, finals
+
+    def test_respawn_midbatch_keeps_live_segment(
+        self, workload, baseline, monkeypatch
+    ):
+        """A worker abort mid-batch triggers a same-batch respawn whose
+        re-bootstrap attaches the current snapshot — the previous
+        segment's retirement must not race it."""
+        g, batches = workload
+        base_reports, base_finals = baseline
+        plan = FaultPlan([FaultSpec("worker.batch.abort", 1, query="shard0")])
+        state, reports, finals = self._run_with_spies(
+            g, batches, plan, None, monkeypatch
+        )
+        assert [r.shard_health["shard0"] for r in reports] == [
+            "ok",
+            "quarantined",
+            "ok",
+            "ok",
+        ]
+        # ordering held (the spy asserts at each unlink), recovery is
+        # byte-identical, and no segment leaked or double-freed
+        assert finals == base_finals
+        assert sorted(state["unlinked"]) == sorted(state["published"])
+
+    def test_degraded_shard_never_loses_its_segment(
+        self, workload, baseline, monkeypatch
+    ):
+        """Respawn exhaustion mid-batch degrades the shard to
+        in-process serving; the parent must not unlink a segment the
+        shard could still reference while the transition is in flight,
+        and the degraded queries keep serving correctly afterwards."""
+        g, batches = workload
+        _, base_finals = baseline
+        plan = FaultPlan(
+            [FaultSpec("worker.batch.abort", 1, query="shard0")]
+            + [FaultSpec("shard.respawn", k, query="shard0") for k in range(2)]
+        )
+        state, reports, finals = self._run_with_spies(
+            g,
+            batches,
+            plan,
+            ShardPolicy(n_workers=2, max_respawns=2, degrade_to_inprocess=True),
+            monkeypatch,
+        )
+        assert [r.shard_health["shard0"] for r in reports] == [
+            "ok",
+            "quarantined",
+            "degraded",
+            "degraded",
+        ]
+        # the degraded shard's queries are correct from the re-anchored
+        # boundary — they survived the segment retirements
+        assert finals == base_finals
+        assert sorted(state["unlinked"]) == sorted(state["published"])
