@@ -46,6 +46,11 @@ class CSMEngine(ABC):
         self.graph = graph.copy()
         self.cost = cost if cost is not None else CostCounter()
         self._orders: dict[tuple[int, int], list[int]] = {}
+        # optional columnar NLF index (see _enable_nlf_index); None means
+        # engines fall back to per-probe Counter rebuilds
+        self._nlf_counts = None
+        self._nlf_alpha_index: dict[int, int] | None = None
+        self._qreq: dict[int, "object"] | None = None
         self._build_index()
 
     # ------------------------------------------------------------------
@@ -63,6 +68,48 @@ class CSMEngine(ABC):
         """Maintain the index after an edge deletion (the edge is
         already gone from ``self.graph``). Default: none."""
 
+    def _enable_nlf_index(self) -> None:
+        """Build a dense ``(n_vertices, |labels|)`` neighbor-label count
+        matrix from the authoritative CSR snapshot, replacing the O(deg)
+        Counter rebuild :meth:`LabeledGraph.nlf` performs on every
+        candidate probe. Maintained incrementally per edge update; the
+        filter semantics are unchanged (labels outside the query's
+        alphabet have requirement zero, so they can never fail a check).
+        """
+        import numpy as np
+
+        from repro.graph.csr import CSRGraph
+
+        g, q = self.graph, self.query
+        alphabet = sorted(
+            {g.vertex_label(v) for v in g.vertices()}
+            | {q.vertex_label(u) for u in q.vertices()}
+        )
+        self._nlf_alpha_index = {lbl: i for i, lbl in enumerate(alphabet)}
+        n_labels = len(alphabet)
+        csr = CSRGraph.from_graph(g)
+        n = g.n_vertices
+        alpha_arr = np.asarray(alphabet, dtype=np.int64)
+        nbr_lbl = np.searchsorted(alpha_arr, np.asarray(csr.vertex_labels)[csr.neighbors])
+        row = np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.offsets))
+        self._nlf_counts = np.bincount(
+            row * n_labels + nbr_lbl, minlength=n * n_labels
+        ).reshape(n, n_labels)
+        self._qreq = {
+            u: np.asarray([q.nlf(u).get(lbl, 0) for lbl in alphabet], dtype=np.int64)
+            for u in q.vertices()
+        }
+
+    def _nlf_shift(self, u: int, v: int, delta: int) -> None:
+        """Incrementally maintain the NLF count matrix after an edge
+        (u, v) was inserted (``delta=+1``) or deleted (``delta=-1``)."""
+        counts = self._nlf_counts
+        if counts is None:
+            return
+        idx = self._nlf_alpha_index
+        counts[u, idx[self.graph.vertex_label(v)]] += delta
+        counts[v, idx[self.graph.vertex_label(u)]] += delta
+
     def process_update(self, op: UpdateOp) -> tuple[set[Match], set[Match]]:
         """Apply one update; returns ``(positives, negatives)`` created/
         destroyed by it."""
@@ -71,6 +118,7 @@ class CSMEngine(ABC):
             if self.graph.has_edge(u, v):
                 raise MatchingError(f"insert of existing edge ({u}, {v})")
             self.graph.add_edge(u, v, op.label)
+            self._nlf_shift(u, v, +1)
             self._index_insert(u, v, op.label)
             pos = self._enumerate_with_edge(u, v)
             return pos, set()
@@ -79,6 +127,7 @@ class CSMEngine(ABC):
         neg = self._enumerate_with_edge(u, v)
         label = self.graph.edge_label(u, v)
         self.graph.remove_edge(u, v)
+        self._nlf_shift(u, v, -1)
         self._index_delete(u, v, label)
         return set(), neg
 

@@ -20,11 +20,15 @@ class Graphflow(CSMEngine):
         # Graphflow maintains no candidate index; precompute the query
         # NLF signatures used as the per-vertex filter
         self._qnlf = {u: self.query.nlf(u) for u in self.query.vertices()}
+        self._enable_nlf_index()
 
     def _candidate_ok(self, qv: int, dv: int) -> bool:
         self.cost.charge(1, "filter")
         g = self.graph
         if g.degree(dv) < self.query.degree(qv):
             return False
+        counts = self._nlf_counts
+        if counts is not None:
+            return bool((counts[dv] >= self._qreq[qv]).all())
         gn = g.nlf(dv)
         return all(gn.get(lbl, 0) >= cnt for lbl, cnt in self._qnlf[qv].items())

@@ -31,6 +31,7 @@ class RapidFlow(CSMEngine):
     def _build_index(self) -> None:
         q = self.query
         self._qnlf = {u: q.nlf(u) for u in q.vertices()}
+        self._enable_nlf_index()
         self._leaves = sorted(
             u for u in q.vertices() if q.degree(u) == 1 and q.n_vertices > 2
         )
@@ -48,6 +49,9 @@ class RapidFlow(CSMEngine):
         g = self.graph
         if g.degree(dv) < self.query.degree(qv):
             return False
+        counts = self._nlf_counts
+        if counts is not None:
+            return bool((counts[dv] >= self._qreq[qv]).all())
         gn = g.nlf(dv)
         return all(gn.get(lbl, 0) >= cnt for lbl, cnt in self._qnlf[qv].items())
 

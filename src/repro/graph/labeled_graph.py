@@ -6,10 +6,25 @@ dataset has a single edge label, mirroring the paper's Table II where
 four of six datasets have ``|ΣE| = 1``).
 
 The structure is mutable — edge insertions and deletions are the whole
-point of the batch-dynamic problem — and keeps per-vertex adjacency as
-``dict[neighbor] -> edge label`` for O(1) membership plus a lazily
-cached sorted neighbor tuple for the matching kernels, which scan
-adjacency in key order (the PMA layout does the same on "device").
+point of the batch-dynamic problem. Adjacency lives in one of two
+states:
+
+* **eager** — per-vertex ``dict[neighbor] -> edge label`` for O(1)
+  membership, the historical representation and still the default for
+  graphs built edge by edge;
+* **derived view** (:meth:`from_csr`) — the columnar CSR snapshot *is*
+  the topology and the dicts do not exist yet. Bulk reads (``degree``,
+  ``neighbors``, ``has_edge``, ``nlf``, ``adjacency_arrays``) are
+  served straight from the snapshot; the first dict-shaped access
+  (``neighbor_dict``, mutation, ``__eq__``) materializes the dicts
+  once, after which the graph is eager. A view absorbs a committed
+  batch by *rebasing* onto the post-batch snapshot
+  (:meth:`absorb_delta`) — O(1), no per-edge dict writes.
+
+Scalar oracles and baselines see an identical dict interface either
+way. Both states keep a lazily cached sorted neighbor tuple for the
+matching kernels, which scan adjacency in key order (the PMA layout
+does the same on "device").
 """
 
 from __future__ import annotations
@@ -37,13 +52,91 @@ class LabeledGraph:
         ``len(vertex_labels)``.
     """
 
-    __slots__ = ("_labels", "_adj", "_n_edges", "_sorted_cache")
+    __slots__ = ("_labels", "_adj_store", "_n_edges", "_sorted_cache", "_csr_source")
 
     def __init__(self, vertex_labels: Sequence[int] = ()) -> None:
         self._labels: list[int] = list(vertex_labels)
-        self._adj: list[dict[int, int]] = [{} for _ in self._labels]
+        self._adj_store: list[dict[int, int]] | None = [{} for _ in self._labels]
         self._n_edges = 0
         self._sorted_cache: dict[int, tuple[int, ...]] = {}
+        self._csr_source = None
+
+    # ------------------------------------------------------------------
+    # adjacency representation (eager dicts vs derived CSR view)
+    # ------------------------------------------------------------------
+    @property
+    def _adj(self) -> list[dict[int, int]]:
+        """The adjacency dicts, materializing the derived view on the
+        first dict-shaped access."""
+        adj = self._adj_store
+        if adj is None:
+            adj = self._materialize()
+        return adj
+
+    def _materialize(self) -> list[dict[int, int]]:
+        csr = self._csr_source
+        nbrs = csr.neighbors.tolist()
+        lbls = csr.edge_labels.tolist()
+        bounds = csr.offsets.tolist()
+        adj: list[dict[int, int]] = [
+            dict(zip(nbrs[bounds[v] : bounds[v + 1]], lbls[bounds[v] : bounds[v + 1]]))
+            for v in range(csr.n_vertices)
+        ]
+        # vertices appended after the snapshot was cut have no edges yet
+        adj.extend({} for _ in range(len(self._labels) - csr.n_vertices))
+        self._adj_store = adj
+        self._csr_source = None
+        return adj
+
+    @property
+    def is_materialized(self) -> bool:
+        """False while adjacency is still a derived view over a CSR
+        snapshot (no dicts built)."""
+        return self._adj_store is not None
+
+    def ensure_materialized(self) -> "LabeledGraph":
+        """Force the eager dict representation (oracle/bench arms)."""
+        self._adj
+        return self
+
+    @classmethod
+    def from_csr(cls, csr) -> "LabeledGraph":
+        """Derived view over an immutable CSR snapshot.
+
+        Topology reads are served from the snapshot; the adjacency
+        dicts materialize only when dict-shaped access demands them.
+        """
+        g = cls.__new__(cls)
+        vl = csr.vertex_labels
+        g._labels = vl.tolist() if hasattr(vl, "tolist") else list(vl)
+        g._adj_store = None
+        g._csr_source = csr
+        g._n_edges = csr.n_edges
+        g._sorted_cache = {}
+        return g
+
+    def absorb_delta(self, delta, csr=None, strict: bool = False) -> None:
+        """Absorb a committed batch's net :class:`EffectiveDelta`.
+
+        When this graph is an unmaterialized derived view and ``csr``
+        is the post-batch snapshot, the absorb is a *rebase*: the view
+        swaps its source snapshot in O(1) with no per-edge work.
+        Materialized graphs — or calls without a snapshot — fall back
+        to the per-edge :func:`repro.graph.updates.apply_effective_delta`
+        replay; ``strict=True`` validates the delta against the dicts
+        before any mutation.
+        """
+        if self._adj_store is None and csr is not None:
+            self._csr_source = csr
+            self._n_edges = csr.n_edges
+            if len(self._labels) != csr.n_vertices:
+                vl = csr.vertex_labels
+                self._labels = vl.tolist() if hasattr(vl, "tolist") else list(vl)
+            self._sorted_cache.clear()
+            return
+        from repro.graph.updates import apply_effective_delta
+
+        apply_effective_delta(self, delta, strict=strict)
 
     # ------------------------------------------------------------------
     # construction
@@ -69,10 +162,21 @@ class LabeledGraph:
         return g
 
     def copy(self) -> "LabeledGraph":
-        """Deep copy (labels and adjacency)."""
-        g = LabeledGraph(self._labels)
-        g._adj = [dict(nbrs) for nbrs in self._adj]
+        """Deep copy (labels and adjacency).
+
+        Copying a derived view is O(|V|): the immutable source snapshot
+        is shared, not rebuilt into dicts.
+        """
+        g = LabeledGraph.__new__(LabeledGraph)
+        g._labels = list(self._labels)
         g._n_edges = self._n_edges
+        g._sorted_cache = {}
+        if self._adj_store is None:
+            g._adj_store = None
+            g._csr_source = self._csr_source
+        else:
+            g._adj_store = [dict(nbrs) for nbrs in self._adj_store]
+            g._csr_source = None
         return g
 
     # ------------------------------------------------------------------
@@ -92,7 +196,8 @@ class LabeledGraph:
     def add_vertex(self, label: int) -> int:
         """Append a vertex with ``label``; return its id."""
         self._labels.append(label)
-        self._adj.append({})
+        if self._adj_store is not None:
+            self._adj_store.append({})
         return len(self._labels) - 1
 
     def vertex_label(self, v: int) -> int:
@@ -110,9 +215,11 @@ class LabeledGraph:
 
     def edge_label_alphabet(self) -> set[int]:
         """Distinct edge labels present in the graph."""
+        if self._adj_store is None:
+            return set(self._csr_source.edge_labels.tolist())
         out: set[int] = set()
         for u in self.vertices():
-            for v, lbl in self._adj[u].items():
+            for v, lbl in self._adj_store[u].items():
                 if u <= v:
                     out.add(lbl)
         return out
@@ -123,13 +230,30 @@ class LabeledGraph:
     def has_edge(self, u: int, v: int) -> bool:
         self._check_vertex(u)
         self._check_vertex(v)
-        return v in self._adj[u]
+        if self._adj_store is None:
+            csr = self._csr_source
+            n = csr.n_vertices
+            if u >= n or v >= n:
+                return False  # post-snapshot vertices have no edges yet
+            return bool(csr.has_edge(u, v))
+        return v in self._adj_store[u]
 
     def edge_label(self, u: int, v: int) -> int:
         self._check_vertex(u)
         self._check_vertex(v)
+        if self._adj_store is None:
+            csr = self._csr_source
+            n = csr.n_vertices
+            if u < n and v < n:
+                import numpy as np
+
+                nbrs = csr.neighbor_slice(u)
+                i = int(np.searchsorted(nbrs, v))
+                if i < len(nbrs) and nbrs[i] == v:
+                    return int(csr.edge_label_slice(u)[i])
+            raise GraphError(f"edge ({u}, {v}) does not exist")
         try:
-            return self._adj[u][v]
+            return self._adj_store[u][v]
         except KeyError:
             raise GraphError(f"edge ({u}, {v}) does not exist") from None
 
@@ -143,10 +267,11 @@ class LabeledGraph:
         self._check_vertex(v)
         if u == v:
             raise GraphError(f"self loop ({u}, {u}) not allowed")
-        if v in self._adj[u]:
+        adj = self._adj
+        if v in adj[u]:
             raise GraphError(f"edge ({u}, {v}) already exists")
-        self._adj[u][v] = label
-        self._adj[v][u] = label
+        adj[u][v] = label
+        adj[v][u] = label
         self._n_edges += 1
         self._sorted_cache.pop(u, None)
         self._sorted_cache.pop(v, None)
@@ -155,25 +280,42 @@ class LabeledGraph:
         """Delete the undirected edge ``(u, v)``."""
         self._check_vertex(u)
         self._check_vertex(v)
-        if v not in self._adj[u]:
+        adj = self._adj
+        if v not in adj[u]:
             raise GraphError(f"edge ({u}, {v}) does not exist")
-        del self._adj[u][v]
-        del self._adj[v][u]
+        del adj[u][v]
+        del adj[v][u]
         self._n_edges -= 1
         self._sorted_cache.pop(u, None)
         self._sorted_cache.pop(v, None)
 
     def edges(self) -> Iterator[Edge]:
         """Iterate canonical ``(u, v)`` pairs with ``u < v``."""
+        if self._adj_store is None:
+            csr = self._csr_source
+            for u in range(csr.n_vertices):
+                for v in csr.neighbor_slice(u).tolist():
+                    if u < v:
+                        yield (u, v)
+            return
         for u in self.vertices():
-            for v in self._adj[u]:
+            for v in self._adj_store[u]:
                 if u < v:
                     yield (u, v)
 
     def labeled_edges(self) -> Iterator[tuple[int, int, int]]:
         """Iterate ``(u, v, edge_label)`` with ``u < v``."""
+        if self._adj_store is None:
+            csr = self._csr_source
+            for u in range(csr.n_vertices):
+                row = csr.neighbor_slice(u).tolist()
+                row_lbl = csr.edge_label_slice(u).tolist()
+                for v, lbl in zip(row, row_lbl):
+                    if u < v:
+                        yield (u, v, lbl)
+            return
         for u in self.vertices():
-            for v, lbl in self._adj[u].items():
+            for v, lbl in self._adj_store[u].items():
                 if u < v:
                     yield (u, v, lbl)
 
@@ -182,14 +324,24 @@ class LabeledGraph:
     # ------------------------------------------------------------------
     def degree(self, v: int) -> int:
         self._check_vertex(v)
-        return len(self._adj[v])
+        if self._adj_store is None:
+            csr = self._csr_source
+            return csr.degree(v) if v < csr.n_vertices else 0
+        return len(self._adj_store[v])
 
     def neighbors(self, v: int) -> tuple[int, ...]:
         """Sorted neighbor tuple (cached until the vertex mutates)."""
         self._check_vertex(v)
         cached = self._sorted_cache.get(v)
         if cached is None:
-            cached = tuple(sorted(self._adj[v]))
+            if self._adj_store is None:
+                csr = self._csr_source
+                if v < csr.n_vertices:
+                    cached = tuple(csr.neighbor_slice(v).tolist())
+                else:
+                    cached = ()
+            else:
+                cached = tuple(sorted(self._adj_store[v]))
             self._sorted_cache[v] = cached
         return cached
 
@@ -211,17 +363,30 @@ class LabeledGraph:
         out-degree of ``v`` and ``dst``/``labels`` are numpy int64
         arrays of every directed edge's head and edge label, grouped by
         source vertex (dict insertion order within a group). This is
-        the bulk export the CSR snapshot builds from — one interleaved
-        ``fromiter`` over chained ``dict.items`` views, so cold builds
-        walk the adjacency exactly once instead of once per column.
+        the bulk export the CSR snapshot builds from. A derived view
+        returns its source snapshot's columns directly (already grouped
+        and sorted — consumers re-sort or copy, never mutate); the
+        eager representation walks the adjacency once with one
+        interleaved ``fromiter`` over chained ``dict.items`` views.
         """
         import numpy as np
+
+        if self._adj_store is None:
+            csr = self._csr_source
+            degrees = np.diff(csr.offsets)
+            extra = len(self._labels) - csr.n_vertices
+            if extra:
+                degrees = np.concatenate(
+                    [degrees, np.zeros(extra, dtype=np.int64)]
+                )
+            return degrees, csr.neighbors, csr.edge_labels
         from itertools import chain
 
-        degrees = np.fromiter(map(len, self._adj), dtype=np.int64, count=len(self._adj))
+        adj = self._adj_store
+        degrees = np.fromiter(map(len, adj), dtype=np.int64, count=len(adj))
         total = int(degrees.sum())
         flat = np.fromiter(
-            chain.from_iterable(chain.from_iterable(d.items() for d in self._adj)),
+            chain.from_iterable(chain.from_iterable(d.items() for d in adj)),
             dtype=np.int64,
             count=2 * total,
         )
@@ -229,8 +394,14 @@ class LabeledGraph:
 
     def nlf(self, v: int) -> Counter:
         """Neighborhood label frequency: Counter(label -> count)."""
+        if self._adj_store is None:
+            self._check_vertex(v)
+            csr = self._csr_source
+            if v >= csr.n_vertices:
+                return Counter()
+            return Counter(csr.vertex_labels[csr.neighbor_slice(v)].tolist())
         labels = self._labels
-        return Counter(labels[w] for w in self._adj[v])
+        return Counter(labels[w] for w in self._adj_store[v])
 
     def avg_degree(self) -> float:
         if not self._labels:
@@ -240,7 +411,14 @@ class LabeledGraph:
     def max_degree(self) -> int:
         if not self._labels:
             return 0
-        return max(len(nbrs) for nbrs in self._adj)
+        if self._adj_store is None:
+            import numpy as np
+
+            csr = self._csr_source
+            if csr.n_vertices == 0:
+                return 0
+            return int(np.diff(csr.offsets).max())
+        return max(len(nbrs) for nbrs in self._adj_store)
 
     # ------------------------------------------------------------------
     # derived graphs
@@ -253,8 +431,9 @@ class LabeledGraph:
         keep_sorted = sorted(set(keep))
         remap = {old: new for new, old in enumerate(keep_sorted)}
         sub = LabeledGraph([self._labels[v] for v in keep_sorted])
+        adj = self._adj
         for old_u in keep_sorted:
-            for old_v, lbl in self._adj[old_u].items():
+            for old_v, lbl in adj[old_u].items():
                 if old_u < old_v and old_v in remap:
                     sub.add_edge(remap[old_u], remap[old_v], lbl)
         return sub, remap

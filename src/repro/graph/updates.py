@@ -263,13 +263,33 @@ def apply_batch(graph: LabeledGraph, batch: UpdateBatch, strict: bool = True) ->
             graph.remove_edge(u, v)
 
 
-def apply_effective_delta(graph: LabeledGraph, delta: EffectiveDelta) -> None:
+def apply_effective_delta(
+    graph: LabeledGraph, delta: EffectiveDelta, *, strict: bool = False
+) -> None:
     """Apply a validated net delta to the host mirror in place.
 
     Equivalent to :func:`apply_batch` with the batch the delta came
     from, but touches each net edge exactly once: deletions first, then
     insertions (an in-batch label change is a delete+insert pair).
+
+    With ``strict=True`` the delta is validated against the graph
+    *before* any mutation — a delete of a missing edge or an insert of
+    an existing one (outside a label-change pair) raises
+    :class:`UpdateError` and leaves the graph untouched, matching
+    :func:`apply_batch`'s strict contract. A delta replayed against the
+    wrong mirror state (e.g. after a rollback) then fails loudly
+    instead of silently desyncing the mirror.
     """
+    if strict:
+        for u, v, _ in delta.deleted:
+            if not graph.has_edge(u, v):
+                raise UpdateError(f"delete of missing edge ({u}, {v})")
+        # a label change lists the edge in both deleted and inserted;
+        # its insert is valid exactly because the delete precedes it
+        del_edges = {(u, v) for u, v, _ in delta.deleted}
+        for u, v, _ in delta.inserted:
+            if (u, v) not in del_edges and graph.has_edge(u, v):
+                raise UpdateError(f"insert of existing edge ({u}, {v})")
     for u, v, _ in delta.deleted:
         graph.remove_edge(u, v)
     for u, v, lbl in delta.inserted:
@@ -282,9 +302,12 @@ def _bulk_edge_state(
     """Pre-batch ``(exists, label)`` of every queried edge.
 
     With a CSR snapshot of ``graph`` the lookup is one binary search
-    over the snapshot's directed edge-key index; endpoints beyond the
-    snapshot (vertices appended since it was cut) carry no edges.
-    Without a snapshot, the adjacency dicts are probed per edge.
+    over the snapshot's directed edge-key index. Endpoints beyond the
+    snapshot (vertices appended since it was cut) are not covered by
+    the index, so those pairs fall through to the live graph — an edge
+    added to a snapshot-fresh vertex between snapshot and batch must
+    read as existing. Without a snapshot, the adjacency dicts are
+    probed per edge.
     """
     k = len(uu)
     exists = np.zeros(k, dtype=bool)
@@ -299,6 +322,11 @@ def _bulk_edge_state(
                 pos, hit = sorted_membership(ekeys, q)
                 exists[in_range] = hit
                 labels[in_range] = np.where(hit, elabels[pos], 0)
+        for i in np.flatnonzero(~in_range).tolist():
+            u, v = int(uu[i]), int(vv[i])
+            if graph.has_edge(u, v):
+                exists[i] = True
+                labels[i] = graph.edge_label(u, v)
         return exists, labels
     for i in range(k):
         nbrs = graph.neighbor_dict(int(uu[i]))

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil
 
+import numpy as _np
+
 from repro import xp
 
 from repro.errors import GraphError
@@ -207,7 +209,9 @@ class GPMAGraph:
                     self._n_vertices = max(
                         self._n_vertices, int(arr[:, :2].max()) + 1
                     )
-            keys = xp.concatenate((_directed_keys(ins), _directed_keys(dele)))
+            ins_keys = _directed_keys(ins)
+            del_keys = _directed_keys(dele)
+            keys = xp.concatenate((ins_keys, del_keys))
         else:
             self._n_vertices = max(
                 [self._n_vertices]
@@ -227,7 +231,12 @@ class GPMAGraph:
             leaves, cost = index.locate_bulk(keys)
             stats.shared_probes += cost.shared_probes
             stats.global_probes += cost.global_probes
-            uniq, counts = xp.unique(leaves, return_counts=True)
+            # histogram instead of a sort-based unique: leaves are dense
+            # segment ids, and flatnonzero(bincount) is the same
+            # ascending unique/counts pair at O(n + n_segments)
+            occ = xp.bincount(leaves)
+            uniq = xp.flatnonzero(occ)
+            counts = occ[uniq]
         stats.locate_cycles += (
             stats.shared_probes * params.shared_access_cycles
             + stats.global_probes * params.global_transaction_cycles
@@ -258,7 +267,12 @@ class GPMAGraph:
                 block = txn + work * params.shared_access_cycles / warp
                 device = 2 * txn
                 cycles = xp.where(work <= params.shared_memory_words, block, device)
-            stats.materialize_cycles += sum(xp.to_numpy(cycles).tolist())
+            # sequential left-to-right float adds, same IEEE op order as
+            # the python sum the frozen baselines pinned — accumulate's
+            # last element is that sum computed in one C pass
+            stats.materialize_cycles += float(
+                _np.add.accumulate(xp.to_numpy(cycles))[-1]
+            )
             stats.segments_touched = len(uniq)
 
         # --- structural mutation (real) + rebalance pricing -------------
@@ -268,11 +282,10 @@ class GPMAGraph:
         esc = 0
         if self.vectorized:
             if len(dele):
-                esc += self._pma.batch_delete(_directed_keys(dele))
+                esc += self._pma.batch_delete(del_keys)
             if self.faults is not None:
                 self.faults.fire("gpma.mid")
             if len(ins):
-                ins_keys = _directed_keys(ins)
                 ins_vals = xp.concatenate((ins[:, 2], ins[:, 2]))
                 esc += self._pma.batch_insert(xp.stack((ins_keys, ins_vals), axis=1))
         else:

@@ -38,6 +38,8 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+import numpy as _np
+
 from repro import xp
 
 from repro.errors import PmaError
@@ -112,6 +114,8 @@ class PMA:
         self._akeys = xp.zeros(n_segs * stride, dtype=xp.int64)
         self._avals = xp.zeros(n_segs * stride, dtype=xp.int64)
         self._acounts = xp.zeros(n_segs, dtype=xp.int64)
+        # cached per-segment head slots: arange(n_segs) * stride
+        self._seg_heads = xp.arange(n_segs, dtype=xp.int64) * stride
         self._packed_cache: Optional[tuple[xp.ndarray, xp.ndarray, xp.ndarray]] = None
         self._last_spread: Optional[tuple[int, int]] = None
 
@@ -254,6 +258,10 @@ class PMA:
         idx = xp.searchsorted(self._seg_first, keys, side="right") - 1
         xp.maximum(idx, 0, out=idx)
         counts = self._acounts
+        if bool((counts > 0).all()):
+            # no empty segments: fill-forward firsts are all distinct
+            # owners, so the clamped searchsorted index is the owner
+            return idx
         ne = xp.where(counts > 0, xp.arange(len(counts), dtype=xp.int64), -1)
         xp.maximum.accumulate(ne, out=ne)
         owners = ne[idx]
@@ -283,7 +291,7 @@ class PMA:
 
     def keys(self) -> Iterator[int]:
         if self._vec:
-            yield from self._packed()[0].tolist()
+            yield from xp.to_numpy(self._packed()[0]).tolist()
             return
         for seg in self._segments:
             for k, _ in seg:
@@ -292,7 +300,7 @@ class PMA:
     def items(self) -> Iterator[tuple[int, int]]:
         if self._vec:
             pk, pv, _ = self._packed()
-            yield from zip(pk.tolist(), pv.tolist())
+            yield from zip(xp.to_numpy(pk).tolist(), xp.to_numpy(pv).tolist())
             return
         for seg in self._segments:
             yield from seg
@@ -301,7 +309,7 @@ class PMA:
         """All ``(key, value)`` with ``lo <= key < hi`` in key order."""
         if self._vec:
             ks, vs = self.range_arrays(lo, hi)
-            return list(zip(ks.tolist(), vs.tolist()))
+            return list(zip(xp.to_numpy(ks).tolist(), xp.to_numpy(vs).tolist()))
         out: list[tuple[int, int]] = []
         s = self._locate_segment(lo)
         for seg_idx in range(s, self.n_segments):
@@ -497,7 +505,7 @@ class PMA:
         if not len(arr):
             return 0
         order = xp.argsort(arr[:, 0], kind="stable")
-        pk, pv = arr[order, 0], arr[order, 1]
+        pk, pv = arr[:, 0][order], arr[:, 1][order]
         dup = pk[1:] == pk[:-1]
         if dup.any():
             raise PmaError(f"duplicate key {int(pk[1:][dup][0])} in batch")
@@ -604,24 +612,27 @@ class PMA:
         gidx = xp.repeat(xp.arange(len(g_seg), dtype=xp.int64), g_size)
         within = pos - t_offsets[gidx]
         self.opstats.element_moves += int(xp.sum(counts_t[gidx] + 1 - within))
-        total = n_old + len(keys)
-        dst_new = pos + xp.arange(len(keys), dtype=xp.int64)
-        mk = xp.empty(total, dtype=xp.int64)
-        mv = xp.empty(total, dtype=xp.int64)
-        old_mask = xp.ones(total, dtype=bool)
-        old_mask[dst_new] = False
-        mk[dst_new] = keys
-        mv[dst_new] = vals
-        mk[old_mask] = tk
-        mv[old_mask] = tv
-        new_counts_t = counts_t + g_size
-        self._acounts[g_seg] = new_counts_t
-        slots2 = _slots_of(new_counts_t, bases_t)
-        self._akeys[slots2] = mk
-        self._avals[slots2] = mv
+        # only elements at-or-after an insertion point within their own
+        # segment shift (right, by the number of new keys before them);
+        # everything else keeps its slot, so the merge scatters just the
+        # shifted suffixes and the new keys instead of rewriting every
+        # touched segment
+        gs_cum_ex = xp.cumsum(g_size) - g_size
+        slot_new = bases_t[gidx] + within + xp.arange(len(keys), dtype=xp.int64) - gs_cum_ex[gidx]
+        if n_old:
+            inc = xp.bincount(pos, minlength=n_old + 1)
+            shift = xp.cumsum(inc)[:n_old]  # new keys at merged pos <= j
+            shift -= xp.repeat(gs_cum_ex, counts_t)  # drop earlier groups
+            moved = shift > 0
+            mslots = slots_t[moved] + shift[moved]
+            self._akeys[mslots] = tk[moved]
+            self._avals[mslots] = tv[moved]
+        self._akeys[slot_new] = keys
+        self._avals[slot_new] = vals
+        self._acounts[g_seg] = counts_t + g_size
         self._packed_cache = None
         self._n += int(len(keys))
-        self._refresh_first_all()
+        self._refresh_first_touched(g_seg, bases_t)
 
     def _seg_insert_unpriced(self, seg_idx: int, keys: xp.ndarray, vals: xp.ndarray) -> None:
         """Merge ``keys`` into one segment without move accounting (the
@@ -654,11 +665,22 @@ class PMA:
         self._packed_cache = None
 
     def batch_delete(self, keys) -> int:
-        """Delete many keys; returns escalation count. Missing keys raise."""
+        """Delete many keys; returns escalation count.
+
+        Missing keys raise :class:`PmaError`, and so do keys repeated in
+        ``keys`` — a duplicate is rejected up front on **both** arms,
+        before any mutation, mirroring :meth:`batch_insert`'s duplicate
+        contract (historically the scalar arm deleted the first
+        occurrence and raised mid-way on the second).
+        """
         if self._vec:
             return self._batch_delete_vec(keys)
+        pend = sorted(keys)
+        for a, b in zip(pend, pend[1:]):
+            if a == b:
+                raise PmaError(f"duplicate key {a} in batch")
         escalations = 0
-        for key in sorted(keys, reverse=True):
+        for key in reversed(pend):
             before = self.opstats.rebalances
             self.delete(key)
             escalations += self.opstats.rebalances - before
@@ -669,6 +691,11 @@ class PMA:
         if not arr.size:
             return 0
         desc = xp.sort(arr)[::-1]
+        dup = desc[1:] == desc[:-1]
+        if dup.any():
+            # smallest duplicated key == the first duplicate the scalar
+            # arm's ascending scan reports
+            raise PmaError(f"duplicate key {int(desc[1:][dup][-1])} in batch")
         # a present key's owner is the segment physically holding it, so
         # owners survive across runs: deletes never move elements between
         # segments, and only a spread window / resize invalidates them
@@ -691,45 +718,187 @@ class PMA:
             d_trig = counts - thr + 1
             xp.maximum(d_trig, 1, out=d_trig)
             trig = g_size >= d_trig
-            nb = xp.flatnonzero(trig)
-            if len(nb):
-                g = int(nb[0])
-                n_del = (int(g_ends[g - 1]) if g else 0) + int(d_trig[g])
-                reb_seg = int(g_seg[g])
-            else:
-                n_del = len(rem)
-                reb_seg = None
-            # the rebalance (if any) refreshes first keys itself
-            self._bulk_remove(rem[:n_del], owners[:n_del], refresh=reb_seg is None)
+            if not trig.any():
+                self._bulk_remove(rem, owners)
+                start += len(rem)
+                continue
+            # plan a chunk spanning *several* underflow rebalances: walk
+            # the groups (descending segments), absorbing deletes and
+            # simulating each trigger's rebalance walk against
+            # round-start counts minus the chunk's own deletions — exact
+            # as long as no planned spread window contains a later
+            # group's segment or overlaps another planned window
+            # (aligned windows nest or are disjoint, and a spread
+            # preserves the element sum of every window containing it,
+            # so the simulated counts equal the sequential ones)
+            g_seg_h = xp.to_numpy(g_seg)
+            g_size_h = xp.to_numpy(g_size)
+            g_starts_h = xp.to_numpy(g_starts)
+            g_ends_h = xp.to_numpy(g_ends)
+            d_trig_h = xp.to_numpy(d_trig)
+            trig_idx = xp.to_numpy(xp.flatnonzero(trig)).tolist()
+            #: per-segment deletes planned into this chunk / planned
+            #: window coverage — the simulation state (host arrays: the
+            #: planner only reads device state through the prefix sums)
+            acs = _np.zeros(self.n_segments + 1, dtype=_np.int64)
+            _np.cumsum(xp.to_numpy(self._acounts), out=acs[1:])
+            removed = _np.zeros(self.n_segments, dtype=_np.int64)
+            covered = _np.zeros(self.n_segments, dtype=bool)
+            windows: list[tuple[int, int, int]] = []  # (start, end, level)
+            n_del = 0
+            solo_seg = None  # first trigger whose walk resizes: run solo
+            pos = 0  # next group not yet planned
+            cut = False
+            for ti in trig_idx:
+                if ti > pos:
+                    # absorb the non-trigger groups [pos, ti) wholesale —
+                    # up to the first one sitting inside a planned window
+                    cov = covered[g_seg_h[pos:ti]]
+                    j = (pos + int(xp.argmax(cov))) if cov.any() else ti
+                    if j > pos:
+                        removed[g_seg_h[pos:j]] = g_size_h[pos:j]
+                        n_del = int(g_ends_h[j - 1])
+                        pos = j
+                    if j < ti:
+                        cut = True  # owners/counts stale after a spread
+                        break
+                s = int(g_seg_h[ti])
+                if covered[s]:
+                    cut = True
+                    break
+                dt = int(d_trig_h[ti])
+                removed[s] = dt
+                level_found = None
+                for level in range(1, self.height + 1):
+                    ws, we = self._window_bounds(s, level)
+                    cap = (we - ws) * self._segment_size
+                    count = int(acs[we] - acs[ws]) - int(removed[ws:we].sum())
+                    if count >= self._rho(level) * cap:
+                        level_found = (ws, we, level)
+                        break
+                if level_found is None:
+                    # root violation -> grow/shrink moves everything;
+                    # only exact as a solo round
+                    if not windows:
+                        solo_seg = s
+                        n_del = int(g_starts_h[ti]) + dt
+                    else:
+                        removed[s] = 0
+                    cut = True
+                    break
+                ws, we, level = level_found
+                if bool(covered[ws:we].any()):
+                    removed[s] = 0
+                    cut = True
+                    break  # nested/overlapping spreads: next round
+                n_del = int(g_starts_h[ti]) + dt
+                windows.append((ws, we, level))
+                covered[ws:we] = True
+                pos = ti + 1
+                if dt < int(g_size_h[ti]):
+                    cut = True
+                    break  # rest of the group re-locates after the spread
+            if not cut and pos < len(g_seg_h):
+                # trailing non-trigger groups after the last trigger
+                cov = covered[g_seg_h[pos:]]
+                j = (pos + int(xp.argmax(cov))) if cov.any() else len(g_seg_h)
+                if j > pos:
+                    n_del = int(g_ends_h[j - 1])
+
+            if windows and solo_seg is None:
+                # one bulk removal across every planned group, then all
+                # pairwise-disjoint window spreads in one redistribution
+                self._bulk_remove(rem[:n_del], owners[:n_del])
+                start += n_del
+                self._spread_many(windows)
+                escalations += len(windows)
+                tail = all_owners[start:]
+                aff = xp.zeros(len(tail), dtype=bool)
+                for ws, we, _ in windows:
+                    aff |= (tail >= ws) & (tail < we)
+                if aff.any():
+                    tail[aff] = self._owners_bulk(desc[start:][aff])
+                continue
+            # solo path: cut at the first trigger, delete the prefix,
+            # run the real rebalance walk (it may resize)
+            self._bulk_remove(rem[:n_del], owners[:n_del])
             start += n_del
-            if reb_seg is not None:
-                before = self.opstats.rebalances
-                cap_before = self._capacity
-                self._last_spread = None
-                self._rebalance_up(reb_seg, for_insert=False)
-                escalations += self.opstats.rebalances - before
-                if self._capacity != cap_before:
-                    # resized: every owner is stale
-                    all_owners[start:] = self._owners_bulk(desc[start:])
-                elif self._last_spread is not None:
-                    # spread moved elements inside one window only
-                    s, e = self._last_spread
-                    tail = all_owners[start:]
-                    aff = (tail >= s) & (tail < e)
-                    if aff.any():
-                        tail[aff] = self._owners_bulk(desc[start:][aff])
-                else:
-                    # shrink no-op at minimum capacity: nothing moved,
-                    # but the skipped refresh must land now
-                    self._refresh_first_all()
+            before = self.opstats.rebalances
+            cap_before = self._capacity
+            self._last_spread = None
+            self._rebalance_up(solo_seg, for_insert=False)
+            escalations += self.opstats.rebalances - before
+            if self._capacity != cap_before:
+                # resized: every owner is stale
+                all_owners[start:] = self._owners_bulk(desc[start:])
+            elif self._last_spread is not None:
+                # spread moved elements inside one window only
+                s, e = self._last_spread
+                tail = all_owners[start:]
+                aff = (tail >= s) & (tail < e)
+                if aff.any():
+                    tail[aff] = self._owners_bulk(desc[start:][aff])
         return escalations
 
-    def _bulk_remove(
-        self, sel_desc: xp.ndarray, owners_desc: xp.ndarray, refresh: bool = True
-    ) -> None:
-        """Delete a descending run of present keys, none of which
-        underflows its segment except possibly the last; stats match
-        per-key scalar deletes exactly.
+    def _spread_many(self, windows: list[tuple[int, int, int]]) -> None:
+        """Execute several pairwise-disjoint window spreads as **one**
+        vectorized redistribution: gather the windows' elements in
+        ascending segment order, compute every window's even layout with
+        prefix-aware counts, and scatter back in one pass. Stats are
+        applied per window in the caller's (scalar temporal) order —
+        integer accumulation commutes, so totals stay byte-identical to
+        interleaved :meth:`_spread` calls. Ends with the same
+        first-key refresh a spread performs."""
+        stride = self._segment_size + 1
+        asc = sorted(windows, key=lambda w: w[0])
+        seg_idx = xp.concatenate(
+            [xp.arange(ws, we, dtype=xp.int64) for ws, we, _ in asc]
+        )
+        counts = self._acounts[seg_idx]
+        bases = seg_idx * stride
+        slots = _slots_of(counts, bases)
+        ek = self._akeys[slots]
+        ev = self._avals[slots]
+        # per-window totals and even layouts, all windows at once: the
+        # cumulative counts at each window's end offset give its total,
+        # and the leading ``total % width`` segments take one extra
+        widths = xp.asarray([we - ws for ws, we, _ in asc], dtype=xp.int64)
+        ends = xp.cumsum(widths)
+        cum = xp.cumsum(counts)
+        csum = cum[ends - 1]
+        tot = csum.copy()
+        tot[1:] = csum[1:] - csum[:-1]
+        base_cnt = tot // widths
+        extra = tot - base_cnt * widths
+        within = xp.arange(len(seg_idx), dtype=xp.int64) - xp.repeat(
+            ends - widths, widths
+        )
+        new_counts = xp.repeat(base_cnt, widths) + (within < xp.repeat(extra, widths))
+        self._acounts[seg_idx] = new_counts
+        tot_h = xp.to_numpy(tot).tolist()
+        totals = {ws: tot_h[i] for i, (ws, _we, _l) in enumerate(asc)}
+        # window sums are preserved, so the per-window element ranges of
+        # the gathered arrays and the new slots line up exactly
+        nslots = _slots_of(new_counts, bases)
+        self._akeys[nslots] = ek
+        self._avals[nslots] = ev
+        self._packed_cache = None
+        for ws, we, level in windows:  # caller order == scalar order
+            self.opstats.element_moves += totals[ws]
+            self.opstats.rebalances += 1
+            self.opstats.max_rebalance_level = max(
+                self.opstats.max_rebalance_level, level
+            )
+            self.opstats.segments_touched += we - ws
+        self._refresh_first_touched(seg_idx, bases)
+
+    def _bulk_remove(self, sel_desc: xp.ndarray, owners_desc: xp.ndarray) -> None:
+        """Delete a descending run of present keys; stats match per-key
+        scalar deletes exactly. Segments may underflow mid-run — the
+        caller is responsible for running (or batching) the rebalance
+        walks afterwards, and for ensuring the run stops before any
+        deletion whose preceding rebalance would have moved elements
+        between segments.
 
         Like :meth:`_bulk_merge`, only the touched segments are
         gathered, compacted and rewritten."""
@@ -753,39 +922,46 @@ class PMA:
         pos = xp.searchsorted(tk, asc)
         pc = xp.minimum(pos, max(n_old - 1, 0))
         found = (pos < n_old) & (tk[pc] == asc) if n_old else xp.zeros(len(asc), dtype=bool)
-        # a repeated key in the batch is deleted once, then missing: mark
-        # the earlier ascending twin (the later delete in descending
-        # processing order) as not found
-        dup_prev = xp.zeros(len(asc), dtype=bool)
-        dup_prev[:-1] = asc[:-1] == asc[1:]
-        problem = ~found | dup_prev
-        if problem.any():
+        # duplicate batch keys cannot reach this point: batch_delete
+        # rejects them up front on both arms, so a miss here is a
+        # genuinely absent key
+        if not found.all():
             # the scalar loop raises at the first problem in descending
             # order == the last problem in ascending order
-            bad = int(xp.flatnonzero(problem)[-1])
+            bad = int(xp.flatnonzero(~found)[-1])
             raise PmaError(f"key {int(asc[bad])} not present")
         self.opstats.locates += len(asc)
         # scalar deletes a segment's keys largest-first: the t-th delete
         # pops position q_t of a segment holding L - t elements, costing
         # (L - 1 - t) - q_t moves; summed per group that is
-        # d(L-1) - d(d-1)/2 - sum(positions)
-        gidx = xp.repeat(xp.arange(len(t_seg), dtype=xp.int64), g_sizes)
-        within = pos - t_offsets[gidx]
-        L = counts_t[gidx]
-        self.opstats.element_moves += int(
-            xp.sum(L - 1) - int(xp.sum(g_sizes * (g_sizes - 1) // 2)) - int(xp.sum(within))
+        # d(L-1) - d(d-1)/2 - sum(positions), with the per-element terms
+        # folded into per-group products (within = pos - group offset)
+        n_sel = len(asc)
+        self.opstats.element_moves += (
+            int(xp.sum((counts_t + t_offsets[:-1]) * g_sizes))
+            - n_sel
+            - int(xp.sum(g_sizes * (g_sizes - 1) // 2))
+            - int(xp.sum(pos))
         )
-        keep = xp.ones(n_old, dtype=bool)
-        keep[pos] = False
-        new_counts_t = counts_t - g_sizes
-        self._acounts[t_seg] = new_counts_t
-        slots2 = _slots_of(new_counts_t, bases_t)
-        self._akeys[slots2] = tk[keep]
-        self._avals[slots2] = tv[keep]
+        # only surviving elements after a deletion point within their
+        # own segment shift (left, by the number of deletions before
+        # them); everything else keeps its slot, so the compaction
+        # scatters just the shifted suffixes instead of rewriting every
+        # touched segment
+        gs_cum_ex = xp.cumsum(g_sizes) - g_sizes
+        dec = xp.bincount(pos, minlength=n_old)
+        shift = xp.cumsum(dec) - dec  # deletions strictly before j
+        shift -= xp.repeat(gs_cum_ex, counts_t)  # drop earlier groups
+        moved = (dec == 0) & (shift > 0)
+        mslots = slots_t[moved] - shift[moved]
+        self._akeys[mslots] = tk[moved]
+        self._avals[mslots] = tv[moved]
+        self._acounts[t_seg] = counts_t - g_sizes
         self._packed_cache = None
         self._n -= int(len(asc))
-        if refresh:
-            self._refresh_first_all()
+        # touched heads may have changed (and later spreads only refresh
+        # their own windows), so the firsts always update here
+        self._refresh_first_touched(t_seg, bases_t)
 
     def _next_first(self, seg_idx: int) -> int:
         """First key of the nearest non-empty segment right of
@@ -922,14 +1098,20 @@ class PMA:
         """Vectorized full recompute of the fill-forward first keys:
         non-empty firsts are non-decreasing, so the fill-forward is a
         running maximum over ``NEG_INF``-masked segment heads."""
-        stride = self._segment_size + 1
-        n_segs = self.n_segments
-        firsts = xp.full(n_segs, _NEG_INF, dtype=xp.int64)
-        nonempty = self._acounts > 0
-        heads = xp.arange(n_segs, dtype=xp.int64) * stride
-        firsts[nonempty] = self._akeys[heads[nonempty]]
+        firsts = xp.where(self._acounts > 0, self._akeys[self._seg_heads], _NEG_INF)
         xp.maximum.accumulate(firsts, out=firsts)
         self._seg_first = firsts
+
+    def _refresh_first_touched(self, t_seg: xp.ndarray, bases: xp.ndarray) -> None:
+        """Update fill-forward firsts after mutating segments ``t_seg``
+        (whose head slots are ``bases``): while no segment anywhere is
+        empty, no first key is inherited, so only the touched segments'
+        own heads can differ — a scatter replaces the full recompute.
+        Any empty segment falls back to :meth:`_refresh_first_all`."""
+        if bool((self._acounts == 0).any()):
+            self._refresh_first_all()
+            return
+        self._seg_first[t_seg] = self._akeys[bases]
 
     def _refresh_first_range(self, start: int, end: int) -> None:
         """Recompute fill-forward first keys for ``[start, end)`` and any

@@ -222,6 +222,23 @@ class _WorkerStore:
         self.version = handle.version
         old.close()
 
+    def advance(self, delta, handle=None) -> None:
+        """Absorb one committed batch into the replica.
+
+        With ``handle`` (the normal path) the published post-batch
+        snapshot is attached and the replica mirror rebases onto it —
+        a derived view advances in O(1) with no per-edge dict writes.
+        Without a handle (the ``worker.snapshot.stale`` fault path) the
+        mirror replays the delta per edge under the strict contract, so
+        a delta that does not match the replica state raises
+        :class:`UpdateError` instead of silently desyncing.
+        """
+        if handle is not None:
+            self.attach(handle)
+            self.graph.absorb_delta(delta, csr=self._csr, strict=True)
+        else:
+            apply_effective_delta(self.graph, delta, strict=True)
+
 
 class _Worker:
     """The loop body of one worker process."""
@@ -245,8 +262,11 @@ class _Worker:
             init["handle"].version,
             init["vectorized"],
         )
+        # the replica mirror is a derived view over the attached CSR —
+        # nothing graph-sized crosses the pipe, for fork and spawn alike
+        graph = LabeledGraph.from_csr(attachment.csr())
         self.store = _WorkerStore(
-            init["graph"], encodings, attachment, init["vectorized"], plan
+            graph, encodings, attachment, init["vectorized"], plan
         )
         if plan is not None:
             plan.fire("worker.bootstrap", query=self.shard)
@@ -377,10 +397,10 @@ class _Worker:
         if effects["worker.batch.hang"]:
             time.sleep(_HANG_SLEEP_S)
 
-        # 2. advance the replica mirror and attach the committed snapshot
-        apply_effective_delta(self.store.graph, delta)
-        if not effects["worker.snapshot.stale"]:
-            self.store.attach(bmsg["handle"])
+        # 2. attach the committed snapshot and rebase the replica mirror
+        self.store.advance(
+            delta, None if effects["worker.snapshot.stale"] else bmsg["handle"]
+        )
         if self.store.version != version:
             raise ShardFaultError(
                 self.shard,
@@ -611,7 +631,8 @@ class ShardedMatchingService:
         Raises on init fault / crash / timeout."""
         init = {
             "shard": shard.name,
-            "graph": self.store.graph,  # pickled by value: a replica
+            # no graph in the init payload: the worker derives its
+            # replica mirror from the attached shared-memory snapshot
             "params": self.params,
             "policy": self.policy,
             "faults": self.faults,

@@ -38,7 +38,6 @@ from repro.graph.updates import (
     EffectiveDelta,
     UpdateBatch,
     apply_batch,
-    apply_effective_delta,
     effective_delta,
 )
 from repro.gpu.device import VirtualGPU
@@ -138,6 +137,12 @@ class DynamicGraphStore:
         # the initial bulk encode reads the same CSR snapshot the
         # kernels will; scalar mode (the oracle) walks the dicts
         csr = self.csr_snapshot() if vectorized else None
+        if vectorized and copy:
+            # the snapshot is authoritative: demote the host mirror to a
+            # derived view over it, so commits rebase the view (O(1))
+            # instead of replaying per-edge dict writes; dict-shaped
+            # access still materializes an identical mirror on demand
+            self.graph = LabeledGraph.from_csr(csr)
         self.encodings = EncodingTable(schema, self.graph, csr, vectorized=vectorized)
         # prices the (single) shared upload; follows the store's flag so
         # the scalar-oracle store exercises the generator launch path too
@@ -233,22 +238,29 @@ class DynamicGraphStore:
             gpma_stats = self.gpma.apply_delta(delta)
             stage = "graph"
             self._fire("store.commit.graph")
+            new_csr: CSRGraph | None = None
             if self.vectorized:
-                # the host mirror absorbs the validated net delta directly:
-                # each net edge is touched once, cancelling ops cost nothing
-                apply_effective_delta(self.graph, delta)
+                if delta:
+                    # the CSR is authoritative: splice it first (the row
+                    # splice reads only the post-batch vertex count and
+                    # labels, which edge deltas never change), then let
+                    # the host mirror absorb the batch — a derived view
+                    # rebases onto the new snapshot in O(1); a
+                    # materialized mirror replays the net delta per edge
+                    # under the strict contract
+                    if old_csr is None:
+                        old_csr = CSRGraph.from_graph(self.graph)
+                    new_csr = old_csr.apply_delta(delta, self.graph)
+                    self.graph.absorb_delta(delta, csr=new_csr, strict=True)
             else:
                 apply_batch(self.graph, batch)
             stage = "encoding"
             self._fire("store.commit.encoding")
             if self.vectorized and delta:
-                # refresh the snapshot eagerly — incrementally when the
-                # pre-batch snapshot is warm: the encoding refresh reads it
-                # now and every runtime's positive-phase kernel reuses it
-                if old_csr is not None:
-                    self._csr = old_csr.apply_delta(delta, self.graph)
-                else:
-                    self._csr = CSRGraph.from_graph(self.graph)
+                # publish the snapshot the mirror was rebased on: the
+                # encoding refresh reads it now and every runtime's
+                # positive-phase kernel reuses it
+                self._csr = new_csr
                 self._csr_version = self.version + 1
                 changed = self.encodings.apply_delta(self.graph, delta, csr=self._csr)
             else:
@@ -315,16 +327,27 @@ class DynamicGraphStore:
                 enc.packed[journal.touched_vertices] = journal.prior_rows
             enc.version = journal.prior_version
         if stage in ("graph", "encoding", "committed"):
-            # host mirror: tolerant inverse apply — handles a partially
-            # applied mirror too (remove-if-present / add-if-missing,
-            # insertions undone first so label changes restore cleanly)
             inv = journal.inverse
-            for u, v, _ in inv.deleted:  # edges the commit inserted
-                if self.graph.has_edge(u, v):
-                    self.graph.remove_edge(u, v)
-            for u, v, lbl in inv.inserted:  # edges the commit deleted
-                if not self.graph.has_edge(u, v):
-                    self.graph.add_edge(u, v, lbl)
+            if (
+                not self.graph.is_materialized
+                and journal.prior_csr is not None
+                and journal.prior_csr_version == journal.prior_version
+            ):
+                # an unmaterialized view cannot be partially applied (any
+                # per-edge apply would have materialized it), so restoring
+                # it is a rebase onto the journaled pre-batch snapshot —
+                # the view stays a view through rollback
+                self.graph.absorb_delta(inv, csr=journal.prior_csr)
+            else:
+                # host mirror: tolerant inverse apply — handles a partially
+                # applied mirror too (remove-if-present / add-if-missing,
+                # insertions undone first so label changes restore cleanly)
+                for u, v, _ in inv.deleted:  # edges the commit inserted
+                    if self.graph.has_edge(u, v):
+                        self.graph.remove_edge(u, v)
+                for u, v, lbl in inv.inserted:  # edges the commit deleted
+                    if not self.graph.has_edge(u, v):
+                        self.graph.add_edge(u, v, lbl)
             # device container absorbed the full delta: revert it from
             # the journaled directed key runs
             self.gpma.revert_runs(journal.delete_runs, journal.insert_runs)
